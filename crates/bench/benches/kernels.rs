@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks for the numeric substrate: the convolution
+//! and matmul kernels that dominate ANN training, the SNN timestep that
+//! dominates Table-1 sweeps, and the conversion pass itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tcl_core::{Converter, NormStrategy};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::Mode;
+use tcl_snn::{Readout, SimConfig};
+use tcl_tensor::{ops, ops::ConvGeometry, Histogram, SeededRng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SeededRng::new(1);
+    let a = rng.uniform_tensor([128, 128], -1.0, 1.0);
+    let b = rng.uniform_tensor([128, 128], -1.0, 1.0);
+    c.bench_function("matmul_128x128", |bench| {
+        bench.iter(|| ops::matmul(&a, &b).unwrap())
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = SeededRng::new(2);
+    let x = rng.uniform_tensor([8, 8, 16, 16], -1.0, 1.0);
+    let w = rng.uniform_tensor([16, 8, 3, 3], -1.0, 1.0);
+    let bias = rng.uniform_tensor([16], -0.1, 0.1);
+    let geom = ConvGeometry::square(3, 1, 1).unwrap();
+    c.bench_function("conv2d_im2col_8x8x16x16", |bench| {
+        bench.iter(|| ops::conv2d(&x, &w, Some(&bias), geom).unwrap())
+    });
+    c.bench_function("conv2d_naive_8x8x16x16", |bench| {
+        bench.iter(|| ops::conv2d_naive(&x, &w, Some(&bias), geom).unwrap())
+    });
+    let gout = rng.uniform_tensor([8, 16, 16, 16], -1.0, 1.0);
+    c.bench_function("conv2d_backward_8x8x16x16", |bench| {
+        bench.iter(|| ops::conv2d_backward(&x, &w, &gout, geom).unwrap())
+    });
+}
+
+fn bench_ann_forward(c: &mut Criterion) {
+    let mut rng = SeededRng::new(3);
+    let cfg = ModelConfig::new((3, 16, 16), 10)
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let mut net = Architecture::Vgg16.build(&cfg, &mut rng).unwrap();
+    let x = rng.uniform_tensor([4, 3, 16, 16], -1.0, 1.0);
+    c.bench_function("vgg16_forward_batch4", |bench| {
+        bench.iter(|| net.forward(&x, Mode::Eval).unwrap())
+    });
+}
+
+fn bench_snn_step(c: &mut Criterion) {
+    let mut rng = SeededRng::new(4);
+    let cfg = ModelConfig::new((3, 16, 16), 10)
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+    let calibration = rng.uniform_tensor([16, 3, 16, 16], -1.0, 1.0);
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, &calibration)
+        .unwrap();
+    let x = rng.uniform_tensor([4, 3, 16, 16], -1.0, 1.0);
+    c.bench_function("snn_step_cnn6_batch4", |bench| {
+        bench.iter_batched(
+            || conversion.snn.clone(),
+            |mut snn| {
+                for _ in 0..10 {
+                    snn.step(&x).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut rng = SeededRng::new(5);
+    let cfg = ModelConfig::new((3, 16, 16), 10)
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let net = Architecture::Vgg16.build(&cfg, &mut rng).unwrap();
+    let calibration = rng.uniform_tensor([32, 3, 16, 16], -1.0, 1.0);
+    c.bench_function("convert_vgg16_tcl", |bench| {
+        bench.iter(|| {
+            Converter::new(NormStrategy::TrainedClip)
+                .convert(&net, &calibration)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut rng = SeededRng::new(6);
+    let cfg = ModelConfig::new((3, 16, 16), 10)
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+    let calibration = rng.uniform_tensor([16, 3, 16, 16], -1.0, 1.0);
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, &calibration)
+        .unwrap();
+    let images = rng.uniform_tensor([8, 3, 16, 16], -1.0, 1.0);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let sim = SimConfig::new(vec![25], 8, Readout::SpikeCount).unwrap();
+    c.bench_function("snn_sweep_t25_8imgs", |bench| {
+        bench.iter_batched(
+            || conversion.snn.clone(),
+            |mut snn| tcl_snn::evaluate(&mut snn, &images, &labels, &sim).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = SeededRng::new(7);
+    let values: Vec<f32> = (0..65_536).map(|_| rng.uniform(0.0, 4.0)).collect();
+    c.bench_function("histogram_record_64k", |bench| {
+        bench.iter(|| {
+            let mut h = Histogram::new(128, 3.0);
+            h.record_all(&values);
+            h.quantile(0.999)
+        })
+    });
+}
+
+fn bench_batchnorm_fold(c: &mut Criterion) {
+    let mut rng = SeededRng::new(8);
+    let cfg = ModelConfig::new((3, 16, 16), 10)
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let mut net = Architecture::ResNet18.build(&cfg, &mut rng).unwrap();
+    let x = rng.uniform_tensor([8, 3, 16, 16], -1.0, 1.0);
+    net.forward(&x, Mode::Train).unwrap();
+    c.bench_function("fold_batch_norm_resnet18", |bench| {
+        bench.iter(|| tcl_core::fold_batch_norm(&net).unwrap())
+    });
+    let _ = Tensor::zeros([1]);
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul,
+        bench_conv2d,
+        bench_ann_forward,
+        bench_snn_step,
+        bench_conversion,
+        bench_sweep,
+        bench_histogram,
+        bench_batchnorm_fold
+);
+criterion_main!(kernels);

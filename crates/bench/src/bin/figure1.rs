@@ -1,0 +1,127 @@
+//! Regenerates **Figure 1** of the paper: the distribution of ANN
+//! activations in the 2nd layer of VGG-16 over the whole test set, for the
+//! original (unclipped) network and the TCL-trained (clipped) network,
+//! plotted in log scale — together with the norm-factor markers the figure
+//! discusses (the layer maximum, the 99.9th percentile, and the trained λ).
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin figure1
+//! ```
+//!
+//! Output: an ASCII log-density plot, the marker values, both ANN
+//! accuracies (the paper's caption reports 92.64% vs 92.93%), and
+//! `results/figure1.csv` with the raw histogram series.
+
+use tcl_bench::{pct, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_core::{collect_activation_stats, collect_site_histogram, fold_batch_norm};
+use tcl_models::Architecture;
+use tcl_nn::evaluate;
+use tcl_tensor::Histogram;
+
+/// The activation site the paper plots: the 2nd convolution's output.
+const SITE: usize = 1;
+const BINS: usize = 48;
+
+fn ascii_log_plot(label: &str, hist: &Histogram) {
+    println!("  {label} (log-scale counts, {} values):", hist.total_count());
+    let max_log = hist
+        .counts()
+        .iter()
+        .map(|&c| (c as f64 + 1.0).ln())
+        .fold(0.0f64, f64::max);
+    for (i, &c) in hist.counts().iter().enumerate() {
+        if i % 2 == 1 {
+            continue; // halve the rows to keep the plot compact
+        }
+        let log = (c as f64 + 1.0).ln();
+        let width = if max_log > 0.0 {
+            ((log / max_log) * 60.0).round() as usize
+        } else {
+            0
+        };
+        println!(
+            "  {:>6.3} | {:<60} {}",
+            hist.bin_center(i),
+            "#".repeat(width),
+            c
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Figure 1 reproduction (scale: {}) ==", scale.name());
+    println!("activation distribution of the 2nd VGG-16 layer, original vs clipped\n");
+    let dataset = DatasetKind::Cifar;
+    let data = dataset.generate(scale);
+
+    let mut original = train_or_load(Architecture::Vgg16, dataset, &data, None, scale);
+    let mut clipped = train_or_load(
+        Architecture::Vgg16,
+        dataset,
+        &data,
+        Some(dataset.lambda0()),
+        scale,
+    );
+
+    let acc_original =
+        evaluate(&mut original, data.test.images(), data.test.labels(), 50).expect("ann eval");
+    let acc_clipped =
+        evaluate(&mut clipped, data.test.images(), data.test.labels(), 50).expect("ann eval");
+    println!(
+        "ANN accuracies: original {} | clipped {}  (paper: 92.64% vs 92.93%)\n",
+        pct(acc_original),
+        pct(acc_clipped)
+    );
+
+    // Histograms over the entire test set, on the BN-folded networks (the
+    // form the conversion actually normalizes).
+    let mut folded_original = fold_batch_norm(&original).expect("fold");
+    let mut folded_clipped = fold_batch_norm(&clipped).expect("fold");
+    let hist_original =
+        collect_site_histogram(&mut folded_original, data.test.images(), 50, SITE, BINS)
+            .expect("histogram");
+    let hist_clipped =
+        collect_site_histogram(&mut folded_clipped, data.test.images(), 50, SITE, BINS)
+            .expect("histogram");
+
+    // Norm-factor markers.
+    let mut stats =
+        collect_activation_stats(&mut folded_original, data.test.images(), 50).expect("stats");
+    let max_act = stats[SITE].max();
+    let p999 = stats[SITE].quantile(0.999);
+    let trained_lambda = clipped.clip_lambdas()[SITE];
+    println!("norm-factor markers for this layer:");
+    println!("  max activation (Diehl'15 norm-factor):   {max_act:.4}");
+    println!("  99.9th percentile (Rueckauer'17):        {p999:.4}");
+    println!("  trained clipping bound λ (TCL, ours):    {trained_lambda:.4}\n");
+
+    ascii_log_plot("original (no clipping)", &hist_original);
+    println!();
+    ascii_log_plot("with trainable clipping", &hist_clipped);
+
+    // CSV: bin centers on the original histogram's scale; the clipped
+    // histogram has its own (smaller) scale, so emit both axes.
+    let header = vec![
+        "bin_center_original".to_string(),
+        "count_original".to_string(),
+        "bin_center_clipped".to_string(),
+        "count_clipped".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = (0..BINS)
+        .map(|i| {
+            vec![
+                format!("{:.5}", hist_original.bin_center(i)),
+                hist_original.counts()[i].to_string(),
+                format!("{:.5}", hist_clipped.bin_center(i)),
+                hist_clipped.counts()[i].to_string(),
+            ]
+        })
+        .collect();
+    let csv = write_csv("figure1", &header, &rows);
+    println!("\ncsv: {}", csv.display());
+    println!(
+        "markers: max={max_act:.4} p99.9={p999:.4} lambda={trained_lambda:.4} \
+         ann_original={acc_original:.4} ann_clipped={acc_clipped:.4}"
+    );
+}

@@ -1,0 +1,95 @@
+//! **Ablation E** — PACT-style L2 decay on the clipping bound λ.
+//!
+//! TCL's gradient (Eq. 9) already pushes λ down whenever clipped positions
+//! carry positive gradient, but PACT (the quantization technique TCL
+//! descends from) additionally regularizes λ with weight decay. This
+//! harness sweeps the decay coefficient: stronger decay → smaller trained
+//! λ → higher firing rates → better accuracy at tiny T, at some ANN
+//! accuracy cost once the decay overwhelms the task gradient.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin lambda_decay
+//! ```
+
+use tcl_bench::{pct, render_table, write_csv, DatasetKind, Scale, MASTER_SEED};
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::{train, Sgd, StepSchedule, TrainConfig};
+use tcl_snn::{Readout, SimConfig};
+use tcl_tensor::SeededRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let dataset = DatasetKind::Cifar;
+    println!("== λ weight-decay (PACT-style) ablation (scale: {}) ==\n", scale.name());
+    let data = dataset.generate(scale);
+    let (c, h, w) = data.train.image_shape();
+    let (t_lo, t_hi) = match scale {
+        Scale::Quick => (10, 50),
+        _ => (15, 100),
+    };
+    let header: Vec<String> = [
+        "λ decay",
+        "mean trained λ",
+        "ANN",
+        &format!("SNN T={t_lo}"),
+        &format!("SNN T={t_hi}"),
+        "firing rate",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for decay in [0.0f32, 1e-4, 1e-3, 1e-2] {
+        let cfg = ModelConfig::new((c, h, w), data.train.classes())
+            .with_base_width(8)
+            .with_clip_lambda(Some(dataset.lambda0()));
+        let mut rng = SeededRng::new(MASTER_SEED);
+        let mut net = Architecture::Cnn6.build(&cfg, &mut rng).expect("build");
+        let train_cfg = TrainConfig {
+            epochs: scale.epochs(),
+            batch_size: 32,
+            schedule: StepSchedule::new(0.05, &scale.milestones(), 0.1).expect("schedule"),
+            optimizer: Sgd::new(0.05)
+                .with_momentum(0.9)
+                .with_weight_decay(5e-4)
+                .with_lambda_decay(decay),
+            shuffle_seed: MASTER_SEED,
+            verbose: false,
+            augment: None,
+        };
+        train(
+            &mut net,
+            data.train.images(),
+            data.train.labels(),
+            None,
+            &train_cfg,
+        )
+        .expect("train");
+        let lambdas = net.clip_lambdas();
+        let mean_lambda = lambdas.iter().sum::<f32>() / lambdas.len() as f32;
+        let sim = SimConfig::new(vec![t_lo, t_hi], 50, Readout::SpikeCount).expect("sim");
+        let eval_set = data.test.take(scale.eval_subset());
+        let report = convert_and_evaluate(
+            &mut net,
+            data.train.take(200).images(),
+            eval_set.images(),
+            eval_set.labels(),
+            &Converter::new(NormStrategy::TrainedClip),
+            &sim,
+        )
+        .expect("convert");
+        eprintln!("[done] decay={decay}");
+        rows.push(vec![
+            format!("{decay}"),
+            format!("{mean_lambda:.3}"),
+            pct(report.ann_accuracy),
+            pct(report.sweep.accuracy_at(t_lo).unwrap_or(0.0)),
+            pct(report.sweep.accuracy_at(t_hi).unwrap_or(0.0)),
+            format!("{:.4}", report.sweep.mean_firing_rate),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    let csv = write_csv("lambda_decay", &header, &rows);
+    println!("csv: {}", csv.display());
+}

@@ -1,0 +1,84 @@
+//! **Ablation B** — sensitivity to the initial clipping bound λ₀
+//! (Section 6 sets λ₀ = 2.0 for Cifar-10 and 4.0 for Imagenet without
+//! justification; this harness maps the neighbourhood).
+//!
+//! For each λ₀ the "4Conv, 2Linear" network is trained from scratch; we
+//! report the final trained λ range, the ANN accuracy, and the SNN
+//! accuracy at two latency budgets.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin lambda_init
+//! ```
+
+use tcl_bench::{pct, render_table, write_csv, DatasetKind, Scale, MASTER_SEED};
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::{train, TrainConfig};
+use tcl_snn::{Readout, SimConfig};
+use tcl_tensor::SeededRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let dataset = DatasetKind::Cifar;
+    println!("== λ₀ sensitivity ablation (scale: {}) ==\n", scale.name());
+    let data = dataset.generate(scale);
+    let (c, h, w) = data.train.image_shape();
+    let (t_lo, t_hi) = match scale {
+        Scale::Quick => (25, 100),
+        _ => (50, 200),
+    };
+    let header: Vec<String> = [
+        "lambda0",
+        "trained λ min",
+        "trained λ max",
+        "ANN",
+        &format!("SNN T={t_lo}"),
+        &format!("SNN T={t_hi}"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for lambda0 in [0.5f32, 1.0, 2.0, 4.0, 8.0] {
+        let cfg = ModelConfig::new((c, h, w), data.train.classes())
+            .with_base_width(8)
+            .with_clip_lambda(Some(lambda0));
+        let mut rng = SeededRng::new(MASTER_SEED);
+        let mut net = Architecture::Cnn6.build(&cfg, &mut rng).expect("build");
+        let train_cfg =
+            TrainConfig::standard(scale.epochs(), 32, 0.05, &scale.milestones()).expect("config");
+        train(
+            &mut net,
+            data.train.images(),
+            data.train.labels(),
+            None,
+            &train_cfg,
+        )
+        .expect("train");
+        let lambdas = net.clip_lambdas();
+        let lam_min = lambdas.iter().copied().fold(f32::INFINITY, f32::min);
+        let lam_max = lambdas.iter().copied().fold(0.0f32, f32::max);
+        let sim = SimConfig::new(vec![t_lo, t_hi], 50, Readout::SpikeCount).expect("sim");
+        let report = convert_and_evaluate(
+            &mut net,
+            data.train.take(200).images(),
+            data.test.take(scale.eval_subset()).images(),
+            data.test.take(scale.eval_subset()).labels(),
+            &Converter::new(NormStrategy::TrainedClip),
+            &sim,
+        )
+        .expect("convert");
+        eprintln!("[done] λ₀={lambda0}");
+        rows.push(vec![
+            format!("{lambda0}"),
+            format!("{lam_min:.3}"),
+            format!("{lam_max:.3}"),
+            pct(report.ann_accuracy),
+            pct(report.sweep.accuracy_at(t_lo).unwrap_or(0.0)),
+            pct(report.sweep.accuracy_at(t_hi).unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    let csv = write_csv("lambda_init", &header, &rows);
+    println!("csv: {}", csv.display());
+}

@@ -1,0 +1,75 @@
+//! **Ablation A** — the accuracy/latency trade-off curve behind the paper's
+//! motivation (Sections 1 and 7): dense accuracy-vs-T sweeps for all three
+//! norm-factor strategies on the same trained networks, plus the firing
+//! rate (an energy proxy) at each strategy's operating point.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin latency_curve
+//! ```
+//!
+//! Output: one curve table per architecture plus
+//! `results/latency_curve_<arch>.csv`.
+
+use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_models::Architecture;
+use tcl_snn::{Readout, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let dataset = DatasetKind::Cifar;
+    let checkpoints: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2, 5, 10, 20, 40, 80],
+        _ => vec![1, 2, 5, 10, 15, 20, 30, 50, 75, 100, 150, 200, 250, 300],
+    };
+    println!("== latency-accuracy trade-off (scale: {}) ==\n", scale.name());
+    let data = dataset.generate(scale);
+    for arch in [Architecture::Cnn6, Architecture::Vgg16] {
+        let tcl_net = train_or_load(arch, dataset, &data, Some(dataset.lambda0()), scale);
+        let base_net = train_or_load(arch, dataset, &data, None, scale);
+        let calibration = data.train.take(200);
+        let eval_set = data.test.take(scale.eval_subset());
+        let sim = SimConfig::new(checkpoints.clone(), 50, Readout::SpikeCount)
+            .expect("valid checkpoints");
+        let mut header = vec!["Method".to_string(), "ANN".to_string()];
+        header.extend(checkpoints.iter().map(|t| format!("T={t}")));
+        header.push("rate".to_string());
+        let mut rows = Vec::new();
+        for (label, strategy) in [
+            ("tcl", NormStrategy::TrainedClip),
+            ("max-norm", NormStrategy::MaxActivation),
+            ("p99.9", NormStrategy::percentile_999()),
+            ("spike-norm", NormStrategy::SpikeNorm),
+        ] {
+            let mut net = if strategy == NormStrategy::TrainedClip {
+                tcl_net.clone()
+            } else {
+                base_net.clone()
+            };
+            let report = convert_and_evaluate(
+                &mut net,
+                calibration.images(),
+                eval_set.images(),
+                eval_set.labels(),
+                &Converter::new(strategy),
+                &sim,
+            )
+            .expect("conversion succeeds");
+            let mut row = vec![label.to_string(), pct(report.ann_accuracy)];
+            row.extend(report.sweep.accuracies.iter().map(|(_, a)| pct(*a)));
+            row.push(format!("{:.4}", report.sweep.mean_firing_rate));
+            rows.push(row);
+        }
+        println!("--- {} ---", arch.name());
+        println!("{}", render_table(&header, &rows));
+        let csv = write_csv(
+            &format!(
+                "latency_curve_{}",
+                arch.name().to_lowercase().replace([',', ' '], "")
+            ),
+            &header,
+            &rows,
+        );
+        println!("csv: {}\n", csv.display());
+    }
+}

@@ -1,0 +1,56 @@
+//! **Ablation C** — reset-by-subtraction vs reset-to-zero (Section 2).
+//!
+//! The paper adopts reset-by-subtraction because reset-to-zero "suffers
+//! from considerable information loss" (citing Rueckauer et al. 2017); this
+//! harness quantifies that loss on the same converted network.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin reset_mode
+//! ```
+
+use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_models::Architecture;
+use tcl_snn::{Readout, ResetMode, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let dataset = DatasetKind::Cifar;
+    println!("== reset-mode ablation (scale: {}) ==\n", scale.name());
+    let data = dataset.generate(scale);
+    let net = train_or_load(
+        Architecture::Cnn6,
+        dataset,
+        &data,
+        Some(dataset.lambda0()),
+        scale,
+    );
+    let checkpoints = scale.checkpoints();
+    let mut header = vec!["Reset mode".to_string(), "ANN".to_string()];
+    header.extend(checkpoints.iter().map(|t| format!("T={t}")));
+    header.push("rate".to_string());
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("subtract (paper)", ResetMode::Subtract),
+        ("to-zero", ResetMode::Zero),
+    ] {
+        let mut net = net.clone();
+        let sim = SimConfig::new(checkpoints.clone(), 50, Readout::SpikeCount).expect("sim");
+        let report = convert_and_evaluate(
+            &mut net,
+            data.train.take(200).images(),
+            data.test.take(scale.eval_subset()).images(),
+            data.test.take(scale.eval_subset()).labels(),
+            &Converter::new(NormStrategy::TrainedClip).with_reset_mode(mode),
+            &sim,
+        )
+        .expect("convert");
+        let mut row = vec![label.to_string(), pct(report.ann_accuracy)];
+        row.extend(report.sweep.accuracies.iter().map(|(_, a)| pct(*a)));
+        row.push(format!("{:.4}", report.sweep.mean_firing_rate));
+        rows.push(row);
+    }
+    println!("{}", render_table(&header, &rows));
+    let csv = write_csv("reset_mode", &header, &rows);
+    println!("csv: {}", csv.display());
+}

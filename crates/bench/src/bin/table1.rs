@@ -1,0 +1,109 @@
+//! Regenerates **Table 1** of the paper: ANN vs SNN accuracy across
+//! latency budgets, for every network/dataset pair the paper evaluates,
+//! with the three norm-factor strategies:
+//!
+//! * `tcl` — this paper (trained clipping bounds), on the TCL-trained ANN;
+//! * `max-norm` — Diehl et al. 2015 baseline, on the unconstrained ANN;
+//! * `p99.9%` — Rueckauer et al. 2017 baseline, on the unconstrained ANN.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin table1 [-- --dataset cifar|imagenet|all]
+//! TCL_SCALE=quick|standard|full  controls experiment size.
+//! ```
+//!
+//! Output: one aligned table per dataset block (mirroring the paper's
+//! layout) plus `results/table1_<dataset>.csv`.
+
+use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_snn::{Readout, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset_arg = args
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let datasets: Vec<DatasetKind> = match dataset_arg {
+        "cifar" => vec![DatasetKind::Cifar],
+        "imagenet" => vec![DatasetKind::Imagenet],
+        "all" => vec![DatasetKind::Cifar, DatasetKind::Imagenet],
+        other => {
+            eprintln!("unknown dataset {other:?}; use cifar|imagenet|all");
+            std::process::exit(2);
+        }
+    };
+    let scale = Scale::from_env();
+    let checkpoints = scale.checkpoints();
+    println!("== Table 1 reproduction (scale: {}) ==", scale.name());
+    println!(
+        "strategies: tcl (ours) vs max-norm (Diehl'15) vs p99.9% (Rueckauer'17)\n"
+    );
+
+    for dataset in datasets {
+        let data = dataset.generate(scale);
+        println!(
+            "--- {} | {} train / {} test / {} classes ---",
+            dataset.title(),
+            data.train.len(),
+            data.test.len(),
+            data.train.classes()
+        );
+        let mut header = vec!["Network".to_string(), "Method".to_string(), "ANN".to_string()];
+        header.extend(checkpoints.iter().map(|t| format!("T={t}")));
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for arch in dataset.architectures() {
+            let tcl_net = train_or_load(arch, dataset, &data, Some(dataset.lambda0()), scale);
+            let base_net = train_or_load(arch, dataset, &data, None, scale);
+            let calibration = data.train.take(200);
+            let eval_set = data.test.take(scale.eval_subset());
+            let sim = SimConfig::new(checkpoints.clone(), 50, Readout::SpikeCount)
+                .expect("valid checkpoints");
+            let cases: Vec<(&str, NormStrategy)> = vec![
+                ("Ours (TCL)", NormStrategy::TrainedClip),
+                ("Diehl'15 max-norm", NormStrategy::MaxActivation),
+                ("Rueckauer'17 p99.9", NormStrategy::percentile_999()),
+            ];
+            for (label, strategy) in cases {
+                let mut net = if strategy == NormStrategy::TrainedClip {
+                    tcl_net.clone()
+                } else {
+                    base_net.clone()
+                };
+                let report = convert_and_evaluate(
+                    &mut net,
+                    calibration.images(),
+                    eval_set.images(),
+                    eval_set.labels(),
+                    &Converter::new(strategy),
+                    &sim,
+                )
+                .expect("conversion succeeds on preset networks");
+                let mut row = vec![
+                    arch.name().to_string(),
+                    label.to_string(),
+                    pct(report.ann_accuracy),
+                ];
+                row.extend(
+                    report
+                        .sweep
+                        .accuracies
+                        .iter()
+                        .map(|(_, acc)| pct(*acc)),
+                );
+                eprintln!(
+                    "[done] {} / {} (firing rate {:.4})",
+                    arch.name(),
+                    label,
+                    report.sweep.mean_firing_rate
+                );
+                rows.push(row);
+            }
+        }
+        println!("{}", render_table(&header, &rows));
+        let csv = write_csv(&format!("table1_{}", dataset.name()), &header, &rows);
+        println!("csv: {}\n", csv.display());
+    }
+}

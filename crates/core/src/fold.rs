@@ -1,0 +1,230 @@
+//! Batch-norm folding (Eq. 7 of the paper).
+//!
+//! Batch normalization has no spiking implementation, so after training it
+//! is removed by absorbing it into the preceding convolution:
+//!
+//! ```text
+//! W̃ᵢⱼ = (γᵢ/σᵢ)·Wᵢⱼ          b̃ᵢ = (γᵢ/σᵢ)·(bᵢ − µᵢ) + βᵢ
+//! ```
+//!
+//! with `σᵢ = sqrt(running_varᵢ + ε)`. The fold is exact in evaluation mode
+//! (a property-tested invariant): the folded network produces identical
+//! outputs to the original.
+
+use crate::error::{ConvertError, Result};
+use tcl_nn::layers::{BatchNorm2d, Conv2d, ResidualBlock, Shortcut};
+use tcl_nn::{Layer, Network};
+use tcl_tensor::Tensor;
+
+/// Folds `bn` into `conv`, returning a new bias-carrying convolution.
+fn fold_conv_bn(conv: &Conv2d, bn: &BatchNorm2d) -> Result<Conv2d> {
+    let (out_c, in_c, kh, kw) = conv.weight.value.shape().as_nchw()?;
+    if bn.channels() != out_c {
+        return Err(ConvertError::Unsupported {
+            detail: format!(
+                "batch-norm over {} channels follows a convolution with {out_c} outputs",
+                bn.channels()
+            ),
+        });
+    }
+    let mut weight = conv.weight.value.clone();
+    let mut bias = match &conv.bias {
+        Some(b) => b.value.clone(),
+        None => Tensor::zeros([out_c]),
+    };
+    let kernel = in_c * kh * kw;
+    for oc in 0..out_c {
+        let sigma = (bn.running_var.at(oc) + bn.eps).sqrt();
+        let scale = bn.gamma.value.at(oc) / sigma;
+        for v in weight.data_mut()[oc * kernel..(oc + 1) * kernel].iter_mut() {
+            *v *= scale;
+        }
+        let b = bias.at(oc);
+        bias.data_mut()[oc] = scale * (b - bn.running_mean.at(oc)) + bn.beta.value.at(oc);
+    }
+    Ok(Conv2d::from_parts(weight, Some(bias), conv.geom)?)
+}
+
+/// Folds the batch-norms inside a residual block.
+fn fold_residual(block: &ResidualBlock) -> Result<ResidualBlock> {
+    let conv1 = match &block.bn1 {
+        Some(bn) => fold_conv_bn(&block.conv1, bn)?,
+        None => block.conv1.clone(),
+    };
+    let conv2 = match &block.bn2 {
+        Some(bn) => fold_conv_bn(&block.conv2, bn)?,
+        None => block.conv2.clone(),
+    };
+    let shortcut = match &block.shortcut {
+        Shortcut::Identity => Shortcut::Identity,
+        Shortcut::Projection { conv, bn } => Shortcut::Projection {
+            conv: match bn {
+                Some(bn) => fold_conv_bn(conv, bn)?,
+                None => conv.clone(),
+            },
+            bn: None,
+        },
+    };
+    Ok(ResidualBlock::from_parts(
+        conv1,
+        None,
+        block.clip1.clone(),
+        conv2,
+        None,
+        shortcut,
+        block.clip_out.clone(),
+    ))
+}
+
+/// Produces a copy of `net` with every batch normalization folded into its
+/// preceding convolution (Eq. 7). Residual blocks are folded internally.
+///
+/// # Errors
+///
+/// Returns [`ConvertError::Unsupported`] if a batch-norm does not
+/// immediately follow a convolution (the only placement the paper's models
+/// use) or channel counts disagree.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_core::fold_batch_norm;
+/// use tcl_models::{Architecture, ModelConfig};
+/// use tcl_tensor::SeededRng;
+///
+/// let cfg = ModelConfig::new((3, 8, 8), 4).with_base_width(2);
+/// let mut rng = SeededRng::new(0);
+/// let net = Architecture::Cnn6.build(&cfg, &mut rng)?;
+/// let folded = fold_batch_norm(&net)?;
+/// assert!(folded.layers().iter().all(|l| l.kind_name() != "batchnorm2d"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fold_batch_norm(net: &Network) -> Result<Network> {
+    let mut out: Vec<Layer> = Vec::with_capacity(net.len());
+    for layer in net.layers() {
+        match layer {
+            Layer::BatchNorm2d(bn) => match out.pop() {
+                Some(Layer::Conv2d(conv)) => {
+                    out.push(Layer::Conv2d(fold_conv_bn(&conv, bn)?));
+                }
+                other => {
+                    return Err(ConvertError::Unsupported {
+                        detail: format!(
+                            "batch-norm must follow a convolution, found after {}",
+                            other.map_or("nothing", |l| l.kind_name())
+                        ),
+                    });
+                }
+            },
+            Layer::Residual(block) => out.push(Layer::Residual(fold_residual(block)?)),
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(Network::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcl_models::{Architecture, ModelConfig};
+    use tcl_nn::Mode;
+    use tcl_tensor::SeededRng;
+
+    /// Trains BN statistics a little so folding is non-trivial.
+    fn warm_up(net: &mut Network, rng: &mut SeededRng) {
+        let x = rng.uniform_tensor([8, 3, 8, 8], -1.0, 1.0);
+        for _ in 0..5 {
+            net.forward(&x, Mode::Train).unwrap();
+        }
+    }
+
+    #[test]
+    fn folding_removes_all_batch_norms() {
+        let mut rng = SeededRng::new(0);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        for arch in [
+            Architecture::Cnn6,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+        ] {
+            let mut net = arch.build(&cfg, &mut rng).unwrap();
+            warm_up(&mut net, &mut rng);
+            let folded = fold_batch_norm(&net).unwrap();
+            assert!(
+                folded
+                    .layers()
+                    .iter()
+                    .all(|l| l.kind_name() != "batchnorm2d"),
+                "{arch}"
+            );
+            // Residual blocks must also be BN-free.
+            for l in folded.layers() {
+                if let Layer::Residual(b) = l {
+                    assert!(b.bn1.is_none() && b.bn2.is_none());
+                    if let Shortcut::Projection { bn, .. } = &b.shortcut {
+                        assert!(bn.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folding_preserves_eval_outputs() {
+        let mut rng = SeededRng::new(1);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        for arch in [
+            Architecture::Cnn6,
+            Architecture::Vgg16,
+            Architecture::ResNet20,
+        ] {
+            let mut net = arch.build(&cfg, &mut rng).unwrap();
+            warm_up(&mut net, &mut rng);
+            let x = rng.uniform_tensor([4, 3, 8, 8], -1.0, 1.0);
+            let original = net.forward(&x, Mode::Eval).unwrap();
+            let mut folded = fold_batch_norm(&net).unwrap();
+            let after = folded.forward(&x, Mode::Eval).unwrap();
+            let diff = original.max_abs_diff(&after).unwrap();
+            assert!(diff < 1e-3, "{arch}: max diff {diff}");
+        }
+    }
+
+    #[test]
+    fn folding_without_bn_is_identity() {
+        let mut rng = SeededRng::new(2);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_batch_norm(false);
+        let mut net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+        let x = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+        let original = net.forward(&x, Mode::Eval).unwrap();
+        let mut folded = fold_batch_norm(&net).unwrap();
+        let after = folded.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(net.len(), folded.len());
+        assert!(original.max_abs_diff(&after).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn orphan_batch_norm_is_rejected() {
+        let net = Network::new(vec![Layer::BatchNorm2d(BatchNorm2d::new(3).unwrap())]);
+        assert!(matches!(
+            fold_batch_norm(&net),
+            Err(ConvertError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn bn_after_relu_is_rejected() {
+        use tcl_nn::layers::Relu;
+        let net = Network::new(vec![
+            Layer::Relu(Relu::new()),
+            Layer::BatchNorm2d(BatchNorm2d::new(3).unwrap()),
+        ]);
+        let err = fold_batch_norm(&net).unwrap_err();
+        assert!(err.to_string().contains("relu"));
+    }
+}

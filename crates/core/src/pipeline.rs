@@ -1,0 +1,122 @@
+//! End-to-end convenience pipeline: ANN accuracy + conversion + latency
+//! sweep, packaged for the examples and the benchmark harnesses.
+
+use crate::convert::{Conversion, Converter};
+use crate::error::Result;
+use serde::{Deserialize, Serialize};
+use tcl_nn::{evaluate as ann_evaluate, Network};
+use tcl_snn::{evaluate as snn_evaluate, SimConfig, SweepResult};
+use tcl_tensor::Tensor;
+
+/// Outcome of converting one trained ANN and sweeping its SNN over a
+/// latency grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConversionReport {
+    /// Test accuracy of the source ANN (evaluation mode).
+    pub ann_accuracy: f32,
+    /// SNN accuracy at each latency checkpoint plus spike activity.
+    pub sweep: SweepResult,
+    /// Resolved norm-factors (one per activation site; last is the output
+    /// site).
+    pub lambdas: Vec<f32>,
+    /// Human-readable name of the norm strategy used.
+    pub strategy_name: String,
+}
+
+impl ConversionReport {
+    /// The SNN-vs-ANN accuracy gap at latency `t` (positive = SNN worse),
+    /// if `t` was a checkpoint.
+    pub fn gap_at(&self, t: usize) -> Option<f32> {
+        self.sweep.accuracy_at(t).map(|a| self.ann_accuracy - a)
+    }
+}
+
+/// Converts `net` with `converter` and evaluates both the ANN and the SNN
+/// on `(test_images, test_labels)`, using `calibration` for activation
+/// statistics.
+///
+/// # Errors
+///
+/// Propagates conversion, evaluation, and shape errors.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+/// use tcl_models::{Architecture, ModelConfig};
+/// use tcl_snn::{Readout, SimConfig};
+/// use tcl_tensor::SeededRng;
+///
+/// let mut rng = SeededRng::new(0);
+/// let cfg = ModelConfig::new((3, 8, 8), 4)
+///     .with_base_width(2)
+///     .with_clip_lambda(Some(2.0));
+/// let mut net = Architecture::Cnn6.build(&cfg, &mut rng)?;
+/// let images = rng.uniform_tensor([8, 3, 8, 8], -1.0, 1.0);
+/// let labels = vec![0, 1, 2, 3, 0, 1, 2, 3];
+/// let sim = SimConfig::new(vec![10], 4, Readout::SpikeCount)?;
+/// let report = convert_and_evaluate(
+///     &mut net,
+///     &images,
+///     &images,
+///     &labels,
+///     &Converter::new(NormStrategy::TrainedClip),
+///     &sim,
+/// )?;
+/// assert_eq!(report.sweep.accuracies.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn convert_and_evaluate(
+    net: &mut Network,
+    calibration: &Tensor,
+    test_images: &Tensor,
+    test_labels: &[usize],
+    converter: &Converter,
+    sim: &SimConfig,
+) -> Result<ConversionReport> {
+    let ann_accuracy = ann_evaluate(net, test_images, test_labels, sim.batch_size)?;
+    let Conversion {
+        mut snn, lambdas, ..
+    } = converter.convert(net, calibration)?;
+    let sweep = snn_evaluate(&mut snn, test_images, test_labels, sim)?;
+    Ok(ConversionReport {
+        ann_accuracy,
+        sweep,
+        lambdas,
+        strategy_name: converter.strategy.name(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::NormStrategy;
+    use tcl_models::{Architecture, ModelConfig};
+    use tcl_snn::Readout;
+    use tcl_tensor::SeededRng;
+
+    #[test]
+    fn report_exposes_gap() {
+        let mut rng = SeededRng::new(0);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        let mut net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+        let images = rng.uniform_tensor([8, 3, 8, 8], -1.0, 1.0);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let sim = SimConfig::new(vec![5, 20], 4, Readout::SpikeCount).unwrap();
+        let report = convert_and_evaluate(
+            &mut net,
+            &images,
+            &images,
+            &labels,
+            &Converter::new(NormStrategy::TrainedClip),
+            &sim,
+        )
+        .unwrap();
+        assert!(report.gap_at(5).is_some());
+        assert!(report.gap_at(7).is_none());
+        assert_eq!(report.strategy_name, "tcl");
+        assert_eq!(report.lambdas.len(), 6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Labeled image datasets.
+
+use serde::{Deserialize, Serialize};
+use tcl_tensor::{Tensor, TensorError};
+
+/// A labeled image classification dataset: images as one `[N, C, H, W]`
+/// tensor plus integer labels.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_data::Dataset;
+/// use tcl_tensor::Tensor;
+///
+/// let images = Tensor::zeros([4, 3, 8, 8]);
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2)?;
+/// assert_eq!(ds.len(), 4);
+/// assert_eq!(ds.classes(), 2);
+/// # Ok::<(), tcl_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that image count, label count, and
+    /// label range agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] if `images` is not rank 4, the label count
+    /// differs from the batch dimension, or any label is `>= classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Result<Self, TensorError> {
+        let (n, _, _, _) = images.shape().as_nchw()?;
+        if labels.len() != n {
+            return Err(TensorError::LengthMismatch {
+                expected: n,
+                actual: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(TensorError::InvalidArgument {
+                detail: format!("label {bad} out of range for {classes} classes"),
+            });
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            classes,
+        })
+    }
+
+    /// The image tensor, `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of distinct classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image geometry as `(channels, height, width)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        let d = self.images.dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// A dataset containing only the first `n` samples (or all of them when
+    /// `n >= len`). Useful for cheap calibration subsets, mirroring the
+    /// paper's baselines that evaluate on ImageNet subsets.
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        let (_, c, h, w) = self.images.shape().as_nchw().expect("dataset is rank 4");
+        let item = c * h * w;
+        let images = Tensor::from_vec(
+            [n, c, h, w],
+            self.images.data()[..n * item].to_vec(),
+        )
+        .expect("length consistent by construction");
+        Dataset {
+            images,
+            labels: self.labels[..n].to_vec(),
+            classes: self.classes,
+        }
+    }
+
+    /// Applies an affine normalization `x ↦ (x - mean) / std` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std` is not strictly positive.
+    pub fn normalize(&mut self, mean: f32, std: f32) {
+        assert!(std > 0.0, "std must be strictly positive");
+        let inv = 1.0 / std;
+        self.images.map_inplace(|v| (v - mean) * inv);
+    }
+
+    /// Mean and standard deviation of all pixels (population estimator).
+    pub fn pixel_stats(&self) -> (f32, f32) {
+        let mean = self.images.mean();
+        let var = self
+            .images
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / self.images.len().max(1) as f32;
+        (mean, var.sqrt())
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_fn([4, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_labels() {
+        let images = Tensor::zeros([2, 1, 2, 2]);
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn take_truncates() {
+        let ds = tiny();
+        let sub = ds.take(2);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[0, 1]);
+        assert_eq!(sub.images().dims(), &[2, 1, 2, 2]);
+        // Oversized take returns everything.
+        assert_eq!(ds.take(100).len(), 4);
+    }
+
+    #[test]
+    fn normalize_centers_pixels() {
+        let mut ds = tiny();
+        let (mean, std) = ds.pixel_stats();
+        ds.normalize(mean, std);
+        let (m2, s2) = ds.pixel_stats();
+        assert!(m2.abs() < 1e-5);
+        assert!((s2 - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn class_counts_tally_labels() {
+        let ds = tiny();
+        assert_eq!(ds.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn image_shape_reports_chw() {
+        assert_eq!(tiny().image_shape(), (1, 2, 2));
+    }
+}

@@ -1,0 +1,34 @@
+//! # tcl-data
+//!
+//! Deterministic synthetic vision datasets for the TCL ANN-to-SNN
+//! reproduction (Ho & Chang, DAC 2021).
+//!
+//! The paper evaluates on CIFAR-10 and ImageNet. Neither is available to
+//! this reproduction, so [`SynthVision`] generates seeded procedural
+//! stand-ins ([`SynthSpec::cifar10_like`], [`SynthSpec::imagenet_like`])
+//! that preserve the property the paper's analysis depends on: post-ReLU
+//! activation distributions that are heavy-tailed with rare large outliers
+//! (the paper's Figure 1). The imagenet-like preset widens the distribution
+//! through frequent outlier gains — the regime where percentile norm-factors
+//! (Rueckauer et al. 2017) clip real signal and TCL's trained bounds do not.
+//!
+//! ## Example
+//!
+//! ```
+//! use tcl_data::{SynthSpec, SynthVision};
+//!
+//! let data = SynthVision::generate(&SynthSpec::tiny(), 42)?;
+//! assert_eq!(data.train.classes(), 2);
+//! let calibration = data.train.take(16); // small calibration subset
+//! assert_eq!(calibration.len(), 16);
+//! # Ok::<(), tcl_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod synth;
+
+pub use dataset::Dataset;
+pub use synth::{SynthSpec, SynthVision};

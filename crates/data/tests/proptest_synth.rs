@@ -1,0 +1,96 @@
+//! Property-based tests for the synthetic dataset generator.
+
+use proptest::prelude::*;
+use tcl_data::{SynthSpec, SynthVision};
+
+fn arbitrary_spec() -> impl Strategy<Value = SynthSpec> {
+    (
+        2usize..5,   // classes
+        1usize..4,   // channels
+        4usize..12,  // height
+        4usize..12,  // width
+        1usize..8,   // train per class
+        1usize..4,   // test per class
+        1usize..4,   // prototypes
+        0.0f32..0.5, // noise
+        0usize..3,   // shift
+    )
+        .prop_map(
+            |(classes, channels, height, width, train, test, protos, noise, shift)| SynthSpec {
+                classes,
+                channels,
+                height,
+                width,
+                train_per_class: train,
+                test_per_class: test,
+                prototypes_per_class: protos,
+                frequency_components: 3,
+                noise_std: noise,
+                max_shift: shift,
+                contrast_range: (0.9, 1.1),
+                outlier_prob: 0.05,
+                outlier_gain: (1.5, 2.0),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_data_is_finite_and_balanced(spec in arbitrary_spec(), seed in 0u64..1000) {
+        let data = SynthVision::generate(&spec, seed).unwrap();
+        prop_assert!(data.train.images().is_finite());
+        prop_assert!(data.test.images().is_finite());
+        prop_assert_eq!(data.train.len(), spec.classes * spec.train_per_class);
+        prop_assert_eq!(data.test.len(), spec.classes * spec.test_per_class);
+        let counts = data.train.class_counts();
+        prop_assert!(counts.iter().all(|&c| c == spec.train_per_class));
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_spec_and_seed(
+        spec in arbitrary_spec(),
+        seed in 0u64..1000,
+    ) {
+        let a = SynthVision::generate(&spec, seed).unwrap();
+        let b = SynthVision::generate(&spec, seed).unwrap();
+        prop_assert_eq!(a.train.images(), b.train.images());
+        prop_assert_eq!(a.test.images(), b.test.images());
+        prop_assert_eq!(a.norm_mean, b.norm_mean);
+    }
+
+    #[test]
+    fn train_and_test_splits_are_disjoint_draws(
+        spec in arbitrary_spec(),
+        seed in 0u64..1000,
+    ) {
+        // The splits come from independent RNG streams; identical images
+        // across splits would indicate stream reuse.
+        let data = SynthVision::generate(&spec, seed).unwrap();
+        prop_assume!(data.train.len() > 0 && data.test.len() > 0);
+        let (c, h, w) = data.train.image_shape();
+        let item = c * h * w;
+        let first_train = &data.train.images().data()[..item];
+        let first_test = &data.test.images().data()[..item];
+        prop_assert_ne!(first_train, first_test);
+    }
+
+    #[test]
+    fn take_keeps_class_interleaving(spec in arbitrary_spec(), seed in 0u64..1000) {
+        let data = SynthVision::generate(&spec, seed).unwrap();
+        // The generator interleaves classes, so the first `classes` samples
+        // cover every class exactly once.
+        let head = data.train.take(spec.classes);
+        let mut seen = head.labels().to_vec();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..spec.classes).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn normalization_stats_are_positive(spec in arbitrary_spec(), seed in 0u64..1000) {
+        let data = SynthVision::generate(&spec, seed).unwrap();
+        prop_assert!(data.norm_std > 0.0);
+        prop_assert!(data.norm_mean.is_finite());
+    }
+}

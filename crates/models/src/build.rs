@@ -1,0 +1,503 @@
+//! Architecture builders.
+//!
+//! Each builder reproduces the topology the paper evaluates (Section 6):
+//!
+//! * [`cnn6`] — the "4Conv, 2Linear" network;
+//! * [`vgg16`] — VGG-16 (13 convolutions + 3 fully connected layers),
+//!   pooling adapted to the input size (pools are inserted after stages
+//!   while spatial extent permits, so a 16×16 input gets 4 of the 5 pools);
+//! * [`resnet18`] / [`resnet34`] — ImageNet-style basic-block ResNets;
+//! * [`resnet20`] — the CIFAR-style 3-stage ResNet used by Sengupta et al.
+//!
+//! Channel counts scale with [`ModelConfig::base_width`]; depth/topology is
+//! faithful.
+
+use crate::config::{ModelConfig, Pooling};
+use serde::{Deserialize, Serialize};
+use tcl_nn::layers::{
+    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
+    Relu, ResidualBlock,
+};
+use tcl_nn::{Layer, Network, NnError, Result};
+use tcl_tensor::SeededRng;
+
+/// The architectures evaluated in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// "4Conv, 2Linear" (the paper's small Cifar-10 network).
+    Cnn6,
+    /// VGG-16.
+    Vgg16,
+    /// ResNet-18.
+    ResNet18,
+    /// ResNet-20 (CIFAR-style, used by the Sengupta et al. baseline rows).
+    ResNet20,
+    /// ResNet-34.
+    ResNet34,
+}
+
+impl Architecture {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::Cnn6 => "4Conv,2Linear",
+            Architecture::Vgg16 => "VGG-16",
+            Architecture::ResNet18 => "RESNET-18",
+            Architecture::ResNet20 => "RESNET-20",
+            Architecture::ResNet34 => "RESNET-34",
+        }
+    }
+
+    /// Builds the architecture with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction errors (zero widths, pooling that does
+    /// not fit the input, …).
+    pub fn build(&self, cfg: &ModelConfig, rng: &mut SeededRng) -> Result<Network> {
+        match self {
+            Architecture::Cnn6 => cnn6(cfg, rng),
+            Architecture::Vgg16 => vgg16(cfg, rng),
+            Architecture::ResNet18 => resnet18(cfg, rng),
+            Architecture::ResNet20 => resnet20(cfg, rng),
+            Architecture::ResNet34 => resnet34(cfg, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Appends `conv → [bn] → relu → [clip]` and returns the new channel count.
+fn push_conv_block(
+    layers: &mut Vec<Layer>,
+    in_c: usize,
+    out_c: usize,
+    stride: usize,
+    cfg: &ModelConfig,
+    rng: &mut SeededRng,
+) -> Result<usize> {
+    // Convolutions keep their bias only when batch-norm is absent (BN's β
+    // subsumes it), matching standard practice and keeping BN folding exact.
+    layers.push(Layer::Conv2d(Conv2d::new(
+        in_c,
+        out_c,
+        3,
+        stride,
+        1,
+        !cfg.batch_norm,
+        rng,
+    )?));
+    if cfg.batch_norm {
+        layers.push(Layer::BatchNorm2d(BatchNorm2d::new(out_c)?));
+    }
+    layers.push(Layer::Relu(Relu::new()));
+    if let Some(lambda) = cfg.clip_lambda {
+        layers.push(Layer::Clip(Clip::new(lambda)));
+    }
+    Ok(out_c)
+}
+
+/// Appends the configured 2×2 stride-2 pooling layer.
+fn push_pool(layers: &mut Vec<Layer>, cfg: &ModelConfig) -> Result<()> {
+    match cfg.pooling {
+        Pooling::Avg => layers.push(Layer::AvgPool2d(AvgPool2d::new(2, 2)?)),
+        Pooling::Max => layers.push(Layer::MaxPool2d(MaxPool2d::new(2, 2)?)),
+    }
+    Ok(())
+}
+
+/// Appends `linear → relu → [clip] → [dropout]`.
+fn push_linear_block(
+    layers: &mut Vec<Layer>,
+    in_f: usize,
+    out_f: usize,
+    cfg: &ModelConfig,
+    rng: &mut SeededRng,
+) -> Result<usize> {
+    layers.push(Layer::Linear(Linear::new(in_f, out_f, true, rng)?));
+    layers.push(Layer::Relu(Relu::new()));
+    if let Some(lambda) = cfg.clip_lambda {
+        layers.push(Layer::Clip(Clip::new(lambda)));
+    }
+    if let Some(p) = cfg.dropout {
+        // Derive a per-position seed so every dropout layer masks
+        // independently yet deterministically.
+        let seed = 0x0D0D_0000 ^ layers.len() as u64;
+        layers.push(Layer::Dropout(Dropout::new(p, seed)?));
+    }
+    Ok(out_f)
+}
+
+/// The paper's "4Conv, 2Linear" network: two width-`w` convolutions, pool,
+/// two width-`2w` convolutions, pool, then a hidden and an output linear
+/// layer.
+///
+/// # Errors
+///
+/// Returns an error if the input is too small for two pooling stages.
+pub fn cnn6(cfg: &ModelConfig, rng: &mut SeededRng) -> Result<Network> {
+    let (in_c, h, w) = cfg.input;
+    if h < 4 || w < 4 {
+        return Err(NnError::Graph {
+            detail: format!("cnn6 needs at least 4x4 input, got {h}x{w}"),
+        });
+    }
+    let w1 = cfg.base_width;
+    let w2 = 2 * cfg.base_width;
+    let hidden = 16 * cfg.base_width;
+    let mut layers = Vec::new();
+    let mut c = in_c;
+    c = push_conv_block(&mut layers, c, w1, 1, cfg, rng)?;
+    c = push_conv_block(&mut layers, c, w1, 1, cfg, rng)?;
+    push_pool(&mut layers, cfg)?;
+    c = push_conv_block(&mut layers, c, w2, 1, cfg, rng)?;
+    c = push_conv_block(&mut layers, c, w2, 1, cfg, rng)?;
+    push_pool(&mut layers, cfg)?;
+    layers.push(Layer::Flatten(Flatten::new()));
+    let feat = c * (h / 4) * (w / 4);
+    let f = push_linear_block(&mut layers, feat, hidden, cfg, rng)?;
+    layers.push(Layer::Linear(Linear::new(f, cfg.classes, true, rng)?));
+    Ok(Network::new(layers))
+}
+
+/// VGG-16: stages of [2, 2, 3, 3, 3] convolutions at widths
+/// [w, 2w, 4w, 8w, 8w], a 2×2 pool after each stage while the spatial extent
+/// allows, then three fully connected layers.
+///
+/// # Errors
+///
+/// Returns an error for degenerate inputs.
+pub fn vgg16(cfg: &ModelConfig, rng: &mut SeededRng) -> Result<Network> {
+    let (in_c, h, w) = cfg.input;
+    let wbase = cfg.base_width;
+    let stages: [(usize, usize); 5] = [
+        (2, wbase),
+        (2, 2 * wbase),
+        (3, 4 * wbase),
+        (3, 8 * wbase),
+        (3, 8 * wbase),
+    ];
+    let mut layers = Vec::new();
+    let mut c = in_c;
+    let (mut ch, mut cw) = (h, w);
+    for (convs, width) in stages {
+        for _ in 0..convs {
+            c = push_conv_block(&mut layers, c, width, 1, cfg, rng)?;
+        }
+        if ch >= 2 && cw >= 2 {
+            push_pool(&mut layers, cfg)?;
+            ch /= 2;
+            cw /= 2;
+        }
+    }
+    layers.push(Layer::Flatten(Flatten::new()));
+    let hidden = 16 * wbase;
+    let mut f = c * ch * cw;
+    f = push_linear_block(&mut layers, f, hidden, cfg, rng)?;
+    f = push_linear_block(&mut layers, f, hidden, cfg, rng)?;
+    layers.push(Layer::Linear(Linear::new(f, cfg.classes, true, rng)?));
+    Ok(Network::new(layers))
+}
+
+/// Appends a ResNet stage of `blocks` basic blocks, the first at `stride`.
+fn push_stage(
+    layers: &mut Vec<Layer>,
+    in_c: usize,
+    out_c: usize,
+    blocks: usize,
+    stride: usize,
+    cfg: &ModelConfig,
+    rng: &mut SeededRng,
+) -> Result<usize> {
+    let mut c = in_c;
+    for b in 0..blocks {
+        let s = if b == 0 { stride } else { 1 };
+        layers.push(Layer::Residual(ResidualBlock::new(
+            c,
+            out_c,
+            s,
+            cfg.batch_norm,
+            cfg.clip_lambda,
+            rng,
+        )?));
+        c = out_c;
+    }
+    Ok(c)
+}
+
+/// Shared ResNet scaffold: stem conv, the given stages, global average
+/// pooling, and a linear classifier.
+fn resnet(
+    cfg: &ModelConfig,
+    stages: &[(usize, usize, usize)], // (blocks, width, stride)
+    rng: &mut SeededRng,
+) -> Result<Network> {
+    let (in_c, _, _) = cfg.input;
+    let mut layers = Vec::new();
+    let mut c = push_conv_block(&mut layers, in_c, cfg.base_width, 1, cfg, rng)?;
+    for &(blocks, width, stride) in stages {
+        c = push_stage(&mut layers, c, width, blocks, stride, cfg, rng)?;
+    }
+    layers.push(Layer::GlobalAvgPool(GlobalAvgPool::new()));
+    layers.push(Layer::Flatten(Flatten::new()));
+    layers.push(Layer::Linear(Linear::new(c, cfg.classes, true, rng)?));
+    Ok(Network::new(layers))
+}
+
+/// ResNet-18: stages of [2, 2, 2, 2] basic blocks at widths [w, 2w, 4w, 8w].
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn resnet18(cfg: &ModelConfig, rng: &mut SeededRng) -> Result<Network> {
+    let w = cfg.base_width;
+    resnet(
+        cfg,
+        &[(2, w, 1), (2, 2 * w, 2), (2, 4 * w, 2), (2, 8 * w, 2)],
+        rng,
+    )
+}
+
+/// ResNet-34: stages of [3, 4, 6, 3] basic blocks at widths [w, 2w, 4w, 8w].
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn resnet34(cfg: &ModelConfig, rng: &mut SeededRng) -> Result<Network> {
+    let w = cfg.base_width;
+    resnet(
+        cfg,
+        &[(3, w, 1), (4, 2 * w, 2), (6, 4 * w, 2), (3, 8 * w, 2)],
+        rng,
+    )
+}
+
+/// ResNet-20 (CIFAR-style): three stages of three blocks at widths
+/// [w, 2w, 4w].
+///
+/// # Errors
+///
+/// Propagates layer-construction errors.
+pub fn resnet20(cfg: &ModelConfig, rng: &mut SeededRng) -> Result<Network> {
+    let w = cfg.base_width;
+    resnet(cfg, &[(3, w, 1), (3, 2 * w, 2), (3, 4 * w, 2)], rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcl_nn::Mode;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::new((3, 16, 16), 10)
+            .with_base_width(4)
+            .with_clip_lambda(Some(2.0))
+    }
+
+    fn forward_ok(net: &mut Network, classes: usize) {
+        let mut rng = SeededRng::new(99);
+        let x = rng.uniform_tensor([2, 3, 16, 16], -1.0, 1.0);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, classes]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn cnn6_shape_and_structure() {
+        let mut rng = SeededRng::new(0);
+        let mut net = cnn6(&cfg(), &mut rng).unwrap();
+        forward_ok(&mut net, 10);
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "conv2d")
+            .count();
+        let linears = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "linear")
+            .count();
+        assert_eq!(convs, 4, "4Conv");
+        assert_eq!(linears, 2, "2Linear");
+        // One clip per ReLU: 4 convs + 1 hidden linear.
+        assert_eq!(net.clip_lambdas().len(), 5);
+    }
+
+    #[test]
+    fn vgg16_has_thirteen_convs_and_three_linears() {
+        let mut rng = SeededRng::new(1);
+        let mut net = vgg16(&cfg(), &mut rng).unwrap();
+        forward_ok(&mut net, 10);
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "conv2d")
+            .count();
+        let linears = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "linear")
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(linears, 3);
+        // 16x16 input admits 4 of the 5 pools.
+        let pools = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "avgpool2d")
+            .count();
+        assert_eq!(pools, 4);
+        // 13 convs + 2 hidden linears each carry a clip.
+        assert_eq!(net.clip_lambdas().len(), 15);
+    }
+
+    #[test]
+    fn vgg16_on_32x32_gets_all_five_pools() {
+        let mut rng = SeededRng::new(2);
+        let c = ModelConfig::new((3, 32, 32), 10).with_base_width(2);
+        let net = vgg16(&c, &mut rng).unwrap();
+        let pools = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "avgpool2d")
+            .count();
+        assert_eq!(pools, 5);
+    }
+
+    #[test]
+    fn resnet18_block_count() {
+        let mut rng = SeededRng::new(3);
+        let mut net = resnet18(&cfg(), &mut rng).unwrap();
+        forward_ok(&mut net, 10);
+        let blocks = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "residual")
+            .count();
+        assert_eq!(blocks, 8);
+    }
+
+    #[test]
+    fn resnet34_block_count() {
+        let mut rng = SeededRng::new(4);
+        let mut net = resnet34(&cfg(), &mut rng).unwrap();
+        forward_ok(&mut net, 10);
+        let blocks = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "residual")
+            .count();
+        assert_eq!(blocks, 16);
+    }
+
+    #[test]
+    fn resnet20_block_count() {
+        let mut rng = SeededRng::new(5);
+        let mut net = resnet20(&cfg(), &mut rng).unwrap();
+        forward_ok(&mut net, 10);
+        let blocks = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "residual")
+            .count();
+        assert_eq!(blocks, 9);
+    }
+
+    #[test]
+    fn baseline_networks_have_no_clips() {
+        let mut rng = SeededRng::new(6);
+        let c = ModelConfig::new((3, 16, 16), 10)
+            .with_base_width(4)
+            .with_clip_lambda(None);
+        for arch in [
+            Architecture::Cnn6,
+            Architecture::Vgg16,
+            Architecture::ResNet18,
+        ] {
+            let net = arch.build(&c, &mut rng).unwrap();
+            assert!(net.clip_lambdas().is_empty(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn max_pooling_variant_builds_and_runs() {
+        let mut rng = SeededRng::new(7);
+        let c = cfg().with_pooling(Pooling::Max);
+        let mut net = cnn6(&c, &mut rng).unwrap();
+        forward_ok(&mut net, 10);
+        assert!(net
+            .layers()
+            .iter()
+            .any(|l| l.kind_name() == "maxpool2d"));
+    }
+
+    #[test]
+    fn architecture_names_match_paper() {
+        assert_eq!(Architecture::Cnn6.name(), "4Conv,2Linear");
+        assert_eq!(Architecture::Vgg16.to_string(), "VGG-16");
+        assert_eq!(Architecture::ResNet34.name(), "RESNET-34");
+    }
+
+    #[test]
+    fn cnn6_rejects_tiny_inputs() {
+        let mut rng = SeededRng::new(8);
+        let c = ModelConfig::new((1, 2, 2), 2);
+        assert!(cnn6(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn training_mode_backward_works_on_resnet() {
+        let mut rng = SeededRng::new(9);
+        let c = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        let mut net = resnet20(&c, &mut rng).unwrap();
+        let x = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let g = tcl_tensor::Tensor::ones(y.shape().clone());
+        let gi = net.backward(&g).unwrap();
+        assert_eq!(gi.dims(), x.dims());
+    }
+}
+
+#[cfg(test)]
+mod dropout_tests {
+    use super::*;
+    use tcl_nn::Mode;
+
+    #[test]
+    fn dropout_option_inserts_layers_in_classifier_head_only() {
+        let mut rng = SeededRng::new(20);
+        let cfg = ModelConfig::new((3, 16, 16), 10)
+            .with_base_width(4)
+            .with_clip_lambda(Some(2.0))
+            .with_dropout(Some(0.5));
+        let net = vgg16(&cfg, &mut rng).unwrap();
+        let dropouts = net
+            .layers()
+            .iter()
+            .filter(|l| l.kind_name() == "dropout")
+            .count();
+        // Two hidden classifier blocks → two dropout layers.
+        assert_eq!(dropouts, 2);
+    }
+
+    #[test]
+    fn dropout_model_trains_and_evaluates() {
+        let mut rng = SeededRng::new(21);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_dropout(Some(0.3));
+        let mut net = cnn6(&cfg, &mut rng).unwrap();
+        let x = rng.uniform_tensor([4, 3, 8, 8], -1.0, 1.0);
+        let y_train = net.forward(&x, Mode::Train).unwrap();
+        let g = tcl_tensor::Tensor::ones(y_train.shape().clone());
+        net.backward(&g).unwrap();
+        let y_eval = net.forward(&x, Mode::Eval).unwrap();
+        assert!(y_eval.is_finite());
+    }
+}

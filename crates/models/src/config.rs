@@ -1,0 +1,133 @@
+//! Shared configuration for architecture builders.
+
+use serde::{Deserialize, Serialize};
+
+/// Which spatial down-sampling operator a model uses.
+///
+/// The conversion pipeline requires average pooling (a max over spike trains
+/// has no spiking implementation — Section 3.1 of the paper); max pooling is
+/// provided for unconstrained-ANN comparisons only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pooling {
+    /// Average pooling (spike-compatible; the paper's choice).
+    Avg,
+    /// Max pooling (ANN baseline only; conversion will reject it).
+    Max,
+}
+
+/// Configuration shared by every architecture builder.
+///
+/// `base_width` scales all channel counts; the paper's full-width networks
+/// correspond to `base_width = 64`, while this reproduction defaults to
+/// narrow variants (8–16) that train in minutes on one CPU core. Depth and
+/// topology — the properties that stress ANN-to-SNN conversion — are kept
+/// faithful to the originals.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_models::{ModelConfig, Pooling};
+///
+/// let cfg = ModelConfig::new((3, 16, 16), 10)
+///     .with_base_width(8)
+///     .with_clip_lambda(Some(2.0));
+/// assert_eq!(cfg.classes, 10);
+/// assert_eq!(cfg.pooling, Pooling::Avg);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Input geometry `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Number of output classes.
+    pub classes: usize,
+    /// Channel count of the first stage; later stages scale multiples of it.
+    pub base_width: usize,
+    /// Insert batch normalization after convolutions.
+    pub batch_norm: bool,
+    /// `Some(λ₀)` inserts a trainable clipping layer (initial bound λ₀)
+    /// after every ReLU — the paper's TCL. `None` builds the unconstrained
+    /// baseline ANN used by the max-norm/percentile conversion baselines.
+    pub clip_lambda: Option<f32>,
+    /// Down-sampling operator.
+    pub pooling: Pooling,
+    /// `Some(p)` inserts inverted dropout with probability `p` after each
+    /// hidden classifier activation (the standard VGG regularizer). The
+    /// converter skips dropout (identity at inference).
+    pub dropout: Option<f32>,
+}
+
+impl ModelConfig {
+    /// Creates a configuration with the reproduction defaults: width 8,
+    /// batch-norm on, average pooling, no clipping.
+    pub fn new(input: (usize, usize, usize), classes: usize) -> Self {
+        ModelConfig {
+            input,
+            classes,
+            base_width: 8,
+            batch_norm: true,
+            clip_lambda: None,
+            pooling: Pooling::Avg,
+            dropout: None,
+        }
+    }
+
+    /// Sets the base channel width.
+    pub fn with_base_width(mut self, base_width: usize) -> Self {
+        self.base_width = base_width;
+        self
+    }
+
+    /// Enables or disables batch normalization.
+    pub fn with_batch_norm(mut self, batch_norm: bool) -> Self {
+        self.batch_norm = batch_norm;
+        self
+    }
+
+    /// Sets the TCL initial clipping bound (`None` disables clipping).
+    ///
+    /// The paper initializes λ to 2.0 for Cifar-10 and 4.0 for Imagenet
+    /// (Section 6).
+    pub fn with_clip_lambda(mut self, clip_lambda: Option<f32>) -> Self {
+        self.clip_lambda = clip_lambda;
+        self
+    }
+
+    /// Sets the pooling operator.
+    pub fn with_pooling(mut self, pooling: Pooling) -> Self {
+        self.pooling = pooling;
+        self
+    }
+
+    /// Sets classifier-head dropout (`None` disables it).
+    pub fn with_dropout(mut self, dropout: Option<f32>) -> Self {
+        self.dropout = dropout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain_sets_fields() {
+        let cfg = ModelConfig::new((1, 8, 8), 2)
+            .with_base_width(4)
+            .with_batch_norm(false)
+            .with_clip_lambda(Some(4.0))
+            .with_pooling(Pooling::Max);
+        assert_eq!(cfg.base_width, 4);
+        assert!(!cfg.batch_norm);
+        assert_eq!(cfg.clip_lambda, Some(4.0));
+        assert_eq!(cfg.pooling, Pooling::Max);
+    }
+
+    #[test]
+    fn defaults_match_documentation() {
+        let cfg = ModelConfig::new((3, 16, 16), 10);
+        assert_eq!(cfg.base_width, 8);
+        assert!(cfg.batch_norm);
+        assert!(cfg.clip_lambda.is_none());
+        assert_eq!(cfg.pooling, Pooling::Avg);
+    }
+}

@@ -1,0 +1,31 @@
+//! # tcl-models
+//!
+//! Architecture builders for the TCL ANN-to-SNN reproduction (Ho & Chang,
+//! DAC 2021): the paper's "4Conv, 2Linear" network, VGG-16, and the
+//! ResNet-18/20/34 family, all parameterized by a [`ModelConfig`] that
+//! controls width scaling, batch normalization, pooling, and — crucially —
+//! whether trainable clipping layers (TCL) follow every ReLU.
+//!
+//! ## Example
+//!
+//! ```
+//! use tcl_models::{Architecture, ModelConfig};
+//! use tcl_tensor::SeededRng;
+//!
+//! let cfg = ModelConfig::new((3, 16, 16), 10)
+//!     .with_base_width(4)
+//!     .with_clip_lambda(Some(2.0)); // paper's λ₀ for Cifar-10
+//! let mut rng = SeededRng::new(0);
+//! let net = Architecture::Vgg16.build(&cfg, &mut rng)?;
+//! assert_eq!(net.clip_lambdas().len(), 15); // one per ReLU
+//! # Ok::<(), tcl_nn::NnError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod build;
+mod config;
+
+pub use build::{cnn6, resnet18, resnet20, resnet34, vgg16, Architecture};
+pub use config::{ModelConfig, Pooling};

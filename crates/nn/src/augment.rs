@@ -1,0 +1,191 @@
+//! Training-time image augmentation.
+//!
+//! The reference CIFAR recipes the paper trains with use random horizontal
+//! flips and small translations. Augmentation operates on `[N, C, H, W]`
+//! batches just before the forward pass; it never touches evaluation data.
+
+use crate::error::{NnError, Result};
+use serde::{Deserialize, Serialize};
+use tcl_tensor::{SeededRng, Tensor};
+
+/// Configuration for batch augmentation.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::{augment_batch, AugmentConfig};
+/// use tcl_tensor::{SeededRng, Tensor};
+///
+/// let cfg = AugmentConfig {
+///     horizontal_flip: true,
+///     max_shift: 1,
+/// };
+/// let batch = Tensor::from_fn([2, 1, 4, 4], |i| i as f32);
+/// let mut rng = SeededRng::new(0);
+/// let out = augment_batch(&batch, &cfg, &mut rng)?;
+/// assert_eq!(out.dims(), batch.dims());
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Flip each image left-right with probability ½.
+    pub horizontal_flip: bool,
+    /// Translate each image by up to ±`max_shift` pixels in each direction
+    /// (zero padding fills the exposed border).
+    pub max_shift: usize,
+}
+
+impl AugmentConfig {
+    /// The standard CIFAR recipe: flips plus ±2-pixel shifts.
+    pub fn standard() -> Self {
+        AugmentConfig {
+            horizontal_flip: true,
+            max_shift: 2,
+        }
+    }
+}
+
+/// Applies random flips/shifts to every image of a `[N, C, H, W]` batch.
+///
+/// Each image draws its own flip and shift; draws are consumed from `rng`
+/// in a fixed order, so augmented training runs remain reproducible.
+///
+/// # Errors
+///
+/// Returns an error if `batch` is not rank 4.
+pub fn augment_batch(batch: &Tensor, config: &AugmentConfig, rng: &mut SeededRng) -> Result<Tensor> {
+    let (n, c, h, w) = batch.shape().as_nchw().map_err(NnError::from)?;
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let span = 2 * config.max_shift + 1;
+    for ni in 0..n {
+        let flip = config.horizontal_flip && rng.uniform(0.0, 1.0) < 0.5;
+        let dy = if config.max_shift > 0 {
+            rng.below(span) as isize - config.max_shift as isize
+        } else {
+            0
+        };
+        let dx = if config.max_shift > 0 {
+            rng.below(span) as isize - config.max_shift as isize
+        } else {
+            0
+        };
+        for ci in 0..c {
+            for y in 0..h {
+                let sy = y as isize - dy;
+                if sy < 0 || sy >= h as isize {
+                    continue; // zero padding
+                }
+                for x in 0..w {
+                    let sx_pre = x as isize - dx;
+                    if sx_pre < 0 || sx_pre >= w as isize {
+                        continue;
+                    }
+                    let sx = if flip {
+                        w - 1 - sx_pre as usize
+                    } else {
+                        sx_pre as usize
+                    };
+                    out.set4(ni, ci, y, x, batch.at4(ni, ci, sy as usize, sx));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img() -> Tensor {
+        Tensor::from_fn([1, 1, 3, 3], |i| i as f32)
+    }
+
+    #[test]
+    fn no_op_config_is_identity() {
+        let cfg = AugmentConfig {
+            horizontal_flip: false,
+            max_shift: 0,
+        };
+        let mut rng = SeededRng::new(0);
+        let x = img();
+        let y = augment_batch(&x, &cfg, &mut rng).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn flip_reverses_rows_when_it_triggers() {
+        let cfg = AugmentConfig {
+            horizontal_flip: true,
+            max_shift: 0,
+        };
+        let x = img();
+        // Find a seed whose first draw triggers the flip.
+        for seed in 0..64 {
+            let mut probe = SeededRng::new(seed);
+            if probe.uniform(0.0, 1.0) < 0.5 {
+                let mut rng = SeededRng::new(seed);
+                let y = augment_batch(&x, &cfg, &mut rng).unwrap();
+                assert_eq!(
+                    y.data(),
+                    &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0, 8.0, 7.0, 6.0]
+                );
+                return;
+            }
+        }
+        panic!("no flipping seed found in 64 tries");
+    }
+
+    #[test]
+    fn shifts_zero_pad_the_border() {
+        let cfg = AugmentConfig {
+            horizontal_flip: false,
+            max_shift: 2,
+        };
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let mut rng = SeededRng::new(7);
+        let y = augment_batch(&x, &cfg, &mut rng).unwrap();
+        // Total mass can only shrink (pixels shifted out are dropped).
+        assert!(y.sum() <= x.sum() + 1e-6);
+        assert!(y.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn augmentation_is_reproducible() {
+        let cfg = AugmentConfig::standard();
+        let x = Tensor::from_fn([4, 2, 5, 5], |i| (i as f32 * 0.37).sin());
+        let a = augment_batch(&x, &cfg, &mut SeededRng::new(3)).unwrap();
+        let b = augment_batch(&x, &cfg, &mut SeededRng::new(3)).unwrap();
+        assert_eq!(a, b);
+        let c = augment_batch(&x, &cfg, &mut SeededRng::new(4)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn each_image_draws_independently() {
+        let cfg = AugmentConfig {
+            horizontal_flip: false,
+            max_shift: 1,
+        };
+        // Two identical images in the batch: with shifts enabled they will
+        // usually transform differently.
+        let one = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let batch = Tensor::cat_batch(&[one.clone(), one]).unwrap();
+        let mut diff = false;
+        for seed in 0..16 {
+            let y = augment_batch(&batch, &cfg, &mut SeededRng::new(seed)).unwrap();
+            if y.batch_item(0) != y.batch_item(1) {
+                diff = true;
+                break;
+            }
+        }
+        assert!(diff, "independent draws should eventually differ");
+    }
+
+    #[test]
+    fn non_rank4_input_is_rejected() {
+        let cfg = AugmentConfig::standard();
+        let x = Tensor::zeros([2, 3]);
+        assert!(augment_batch(&x, &cfg, &mut SeededRng::new(0)).is_err());
+    }
+}

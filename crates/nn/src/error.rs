@@ -1,0 +1,83 @@
+//! Error type for network construction and execution.
+
+use std::error::Error;
+use std::fmt;
+use tcl_tensor::TensorError;
+
+/// Error raised by layer execution, network construction, or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor kernel failed (shape/rank/argument problems).
+    Tensor(TensorError),
+    /// The network graph is malformed for the requested operation (e.g.
+    /// backward before forward, or a residual block without a shortcut where
+    /// channel counts change).
+    Graph {
+        /// Human-readable description of the structural problem.
+        detail: String,
+    },
+    /// A training-time argument is invalid (empty dataset, zero batch size…).
+    Training {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Graph { detail } => write!(f, "graph error: {detail}"),
+            NnError::Training { detail } => write!(f, "training error: {detail}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::RankMismatch {
+            expected: 4,
+            actual: 2,
+        };
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+    }
+
+    #[test]
+    fn source_chains_to_tensor_error() {
+        let ne = NnError::Tensor(TensorError::InvalidArgument {
+            detail: "x".into(),
+        });
+        assert!(ne.source().is_some());
+        let g = NnError::Graph { detail: "y".into() };
+        assert!(g.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

@@ -1,0 +1,491 @@
+//! Compact binary serialization of trained networks.
+//!
+//! The benchmark harnesses train the same networks for several experiments
+//! (Table 1, Figure 1, the ablations); persisting trained models lets each
+//! harness reuse them. The format is a small explicit binary codec —
+//! little-endian, versioned, no external dependencies — rather than a
+//! generic serializer, so files stay stable across crate-internal
+//! refactors.
+//!
+//! Only parameter *values* and structural hyper-parameters are stored;
+//! gradients, momentum, and layer caches are reset on load.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::layers::{
+    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
+    Relu, ResidualBlock, Shortcut,
+};
+use crate::network::Network;
+use std::io::{Read, Write};
+use tcl_tensor::ops::ConvGeometry;
+use tcl_tensor::{Shape, Tensor};
+
+const MAGIC: &[u8; 4] = b"TCLN";
+const VERSION: u32 = 1;
+
+fn io_err(e: std::io::Error) -> NnError {
+    NnError::Graph {
+        detail: format!("model io: {e}"),
+    }
+}
+
+fn format_err(detail: impl Into<String>) -> NnError {
+    NnError::Graph {
+        detail: format!("model format: {}", detail.into()),
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_f32<W: Write>(w: &mut W, v: f32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_u8<W: Write>(w: &mut W, v: u8) -> Result<()> {
+    w.write_all(&[v]).map_err(io_err)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(b[0])
+}
+
+fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<()> {
+    write_u32(w, t.shape().rank() as u32)?;
+    for &d in t.dims() {
+        write_u32(w, d as u32)?;
+    }
+    for &v in t.data() {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor> {
+    let rank = read_u32(r)? as usize;
+    if rank > 8 {
+        return Err(format_err(format!("implausible tensor rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(read_u32(r)? as usize);
+    }
+    let shape = Shape::new(dims);
+    let len = shape.len();
+    if len > 256 * 1024 * 1024 {
+        return Err(format_err(format!("implausible tensor size {len}")));
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(read_f32(r)?);
+    }
+    Ok(Tensor::from_vec(shape, data)?)
+}
+
+fn write_opt_tensor<W: Write>(w: &mut W, t: Option<&Tensor>) -> Result<()> {
+    match t {
+        Some(t) => {
+            write_u8(w, 1)?;
+            write_tensor(w, t)
+        }
+        None => write_u8(w, 0),
+    }
+}
+
+fn read_opt_tensor<R: Read>(r: &mut R) -> Result<Option<Tensor>> {
+    Ok(match read_u8(r)? {
+        0 => None,
+        1 => Some(read_tensor(r)?),
+        other => return Err(format_err(format!("bad option tag {other}"))),
+    })
+}
+
+fn write_conv<W: Write>(w: &mut W, conv: &Conv2d) -> Result<()> {
+    write_tensor(w, &conv.weight.value)?;
+    write_opt_tensor(w, conv.bias.as_ref().map(|b| &b.value))?;
+    write_u32(w, conv.geom.kernel_h as u32)?;
+    write_u32(w, conv.geom.kernel_w as u32)?;
+    write_u32(w, conv.geom.stride as u32)?;
+    write_u32(w, conv.geom.padding as u32)
+}
+
+fn read_conv<R: Read>(r: &mut R) -> Result<Conv2d> {
+    let weight = read_tensor(r)?;
+    let bias = read_opt_tensor(r)?;
+    let kh = read_u32(r)? as usize;
+    let kw = read_u32(r)? as usize;
+    let stride = read_u32(r)? as usize;
+    let padding = read_u32(r)? as usize;
+    let geom = ConvGeometry::new(kh, kw, stride, padding)?;
+    Conv2d::from_parts(weight, bias, geom)
+}
+
+fn write_bn<W: Write>(w: &mut W, bn: &BatchNorm2d) -> Result<()> {
+    write_tensor(w, &bn.gamma.value)?;
+    write_tensor(w, &bn.beta.value)?;
+    write_tensor(w, &bn.running_mean)?;
+    write_tensor(w, &bn.running_var)?;
+    write_f32(w, bn.eps)?;
+    write_f32(w, bn.momentum)
+}
+
+fn read_bn<R: Read>(r: &mut R) -> Result<BatchNorm2d> {
+    let gamma = read_tensor(r)?;
+    let beta = read_tensor(r)?;
+    let mean = read_tensor(r)?;
+    let var = read_tensor(r)?;
+    let eps = read_f32(r)?;
+    let momentum = read_f32(r)?;
+    let mut bn = BatchNorm2d::new(gamma.len())?;
+    bn.gamma.value = gamma;
+    bn.beta.value = beta;
+    bn.running_mean = mean;
+    bn.running_var = var;
+    bn.eps = eps;
+    bn.momentum = momentum;
+    Ok(bn)
+}
+
+fn write_opt_bn<W: Write>(w: &mut W, bn: Option<&BatchNorm2d>) -> Result<()> {
+    match bn {
+        Some(bn) => {
+            write_u8(w, 1)?;
+            write_bn(w, bn)
+        }
+        None => write_u8(w, 0),
+    }
+}
+
+fn read_opt_bn<R: Read>(r: &mut R) -> Result<Option<BatchNorm2d>> {
+    Ok(match read_u8(r)? {
+        0 => None,
+        1 => Some(read_bn(r)?),
+        other => return Err(format_err(format!("bad option tag {other}"))),
+    })
+}
+
+fn write_opt_clip<W: Write>(w: &mut W, clip: Option<&Clip>) -> Result<()> {
+    match clip {
+        Some(c) => {
+            write_u8(w, 1)?;
+            write_f32(w, c.lambda_value())
+        }
+        None => write_u8(w, 0),
+    }
+}
+
+fn read_opt_clip<R: Read>(r: &mut R) -> Result<Option<Clip>> {
+    Ok(match read_u8(r)? {
+        0 => None,
+        1 => {
+            let lam = read_f32(r)?;
+            if lam <= 0.0 {
+                return Err(format_err(format!("non-positive clip bound {lam}")));
+            }
+            Some(Clip::new(lam))
+        }
+        other => return Err(format_err(format!("bad option tag {other}"))),
+    })
+}
+
+/// Writes a network to any [`Write`] sink (a `&mut` reference works too).
+///
+/// # Errors
+///
+/// Returns a graph error wrapping any I/O failure.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::{save_network, load_network, Layer, Network};
+/// use tcl_nn::layers::Relu;
+///
+/// let net = Network::new(vec![Layer::Relu(Relu::new())]);
+/// let mut buf = Vec::new();
+/// save_network(&mut buf, &net)?;
+/// let back = load_network(&mut buf.as_slice())?;
+/// assert_eq!(back.len(), 1);
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+pub fn save_network<W: Write>(writer: &mut W, net: &Network) -> Result<()> {
+    writer.write_all(MAGIC).map_err(io_err)?;
+    write_u32(writer, VERSION)?;
+    write_u32(writer, net.len() as u32)?;
+    for layer in net.layers() {
+        match layer {
+            Layer::Conv2d(conv) => {
+                write_u8(writer, 0)?;
+                write_conv(writer, conv)?;
+            }
+            Layer::Linear(linear) => {
+                write_u8(writer, 1)?;
+                write_tensor(writer, &linear.weight.value)?;
+                write_opt_tensor(writer, linear.bias.as_ref().map(|b| &b.value))?;
+            }
+            Layer::BatchNorm2d(bn) => {
+                write_u8(writer, 2)?;
+                write_bn(writer, bn)?;
+            }
+            Layer::Relu(_) => write_u8(writer, 3)?,
+            Layer::Clip(c) => {
+                write_u8(writer, 4)?;
+                write_f32(writer, c.lambda_value())?;
+            }
+            Layer::AvgPool2d(p) => {
+                write_u8(writer, 5)?;
+                write_u32(writer, p.kernel as u32)?;
+                write_u32(writer, p.stride as u32)?;
+            }
+            Layer::MaxPool2d(p) => {
+                write_u8(writer, 6)?;
+                write_u32(writer, p.kernel as u32)?;
+                write_u32(writer, p.stride as u32)?;
+            }
+            Layer::GlobalAvgPool(_) => write_u8(writer, 7)?,
+            Layer::Flatten(_) => write_u8(writer, 8)?,
+            Layer::Dropout(d) => {
+                write_u8(writer, 10)?;
+                write_f32(writer, d.p)?;
+            }
+            Layer::Residual(block) => {
+                write_u8(writer, 9)?;
+                write_conv(writer, &block.conv1)?;
+                write_opt_bn(writer, block.bn1.as_ref())?;
+                write_opt_clip(writer, block.clip1.as_ref())?;
+                write_conv(writer, &block.conv2)?;
+                write_opt_bn(writer, block.bn2.as_ref())?;
+                match &block.shortcut {
+                    Shortcut::Identity => write_u8(writer, 0)?,
+                    Shortcut::Projection { conv, bn } => {
+                        write_u8(writer, 1)?;
+                        write_conv(writer, conv)?;
+                        write_opt_bn(writer, bn.as_ref())?;
+                    }
+                }
+                write_opt_clip(writer, block.clip_out.as_ref())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a network previously written by [`save_network`].
+///
+/// # Errors
+///
+/// Returns a graph error for I/O failures, a bad magic/version, or a
+/// malformed layer record.
+pub fn load_network<R: Read>(reader: &mut R) -> Result<Network> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(format_err("bad magic"));
+    }
+    let version = read_u32(reader)?;
+    if version != VERSION {
+        return Err(format_err(format!("unsupported version {version}")));
+    }
+    let count = read_u32(reader)? as usize;
+    if count > 100_000 {
+        return Err(format_err(format!("implausible layer count {count}")));
+    }
+    let mut layers = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = read_u8(reader)?;
+        let layer = match tag {
+            0 => Layer::Conv2d(read_conv(reader)?),
+            1 => {
+                let weight = read_tensor(reader)?;
+                let bias = read_opt_tensor(reader)?;
+                Layer::Linear(Linear::from_parts(weight, bias)?)
+            }
+            2 => Layer::BatchNorm2d(read_bn(reader)?),
+            3 => Layer::Relu(Relu::new()),
+            4 => {
+                let lam = read_f32(reader)?;
+                if lam <= 0.0 {
+                    return Err(format_err(format!("non-positive clip bound {lam}")));
+                }
+                Layer::Clip(Clip::new(lam))
+            }
+            5 => {
+                let kernel = read_u32(reader)? as usize;
+                let stride = read_u32(reader)? as usize;
+                Layer::AvgPool2d(AvgPool2d::new(kernel, stride)?)
+            }
+            6 => {
+                let kernel = read_u32(reader)? as usize;
+                let stride = read_u32(reader)? as usize;
+                Layer::MaxPool2d(MaxPool2d::new(kernel, stride)?)
+            }
+            7 => Layer::GlobalAvgPool(GlobalAvgPool::new()),
+            8 => Layer::Flatten(Flatten::new()),
+            9 => {
+                let conv1 = read_conv(reader)?;
+                let bn1 = read_opt_bn(reader)?;
+                let clip1 = read_opt_clip(reader)?;
+                let conv2 = read_conv(reader)?;
+                let bn2 = read_opt_bn(reader)?;
+                let shortcut = match read_u8(reader)? {
+                    0 => Shortcut::Identity,
+                    1 => {
+                        let conv = read_conv(reader)?;
+                        let bn = read_opt_bn(reader)?;
+                        Shortcut::Projection { conv, bn }
+                    }
+                    other => return Err(format_err(format!("bad shortcut tag {other}"))),
+                };
+                let clip_out = read_opt_clip(reader)?;
+                Layer::Residual(ResidualBlock::from_parts(
+                    conv1, bn1, clip1, conv2, bn2, shortcut, clip_out,
+                ))
+            }
+            10 => {
+                let p = read_f32(reader)?;
+                Layer::Dropout(Dropout::new(p, 0)?)
+            }
+            other => return Err(format_err(format!("unknown layer tag {other}"))),
+        };
+        layers.push(layer);
+    }
+    Ok(Network::new(layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use tcl_tensor::SeededRng;
+
+    fn roundtrip(net: &Network) -> Network {
+        let mut buf = Vec::new();
+        save_network(&mut buf, net).unwrap();
+        load_network(&mut buf.as_slice()).unwrap()
+    }
+
+    fn assert_same_function(a: &Network, b: &Network, input: &Tensor) {
+        let mut a = a.clone();
+        let mut b = b.clone();
+        let ya = a.forward(input, Mode::Eval).unwrap();
+        let yb = b.forward(input, Mode::Eval).unwrap();
+        assert!(ya.max_abs_diff(&yb).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrips_a_conv_classifier() {
+        let mut rng = SeededRng::new(0);
+        let net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(3, 4, 3, 1, 1, true, &mut rng).unwrap()),
+            Layer::BatchNorm2d(BatchNorm2d::new(4).unwrap()),
+            Layer::Relu(Relu::new()),
+            Layer::Clip(Clip::new(1.7)),
+            Layer::AvgPool2d(AvgPool2d::new(2, 2).unwrap()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(4 * 4 * 4, 5, true, &mut rng).unwrap()),
+        ]);
+        let back = roundtrip(&net);
+        assert_eq!(back.len(), net.len());
+        assert_eq!(back.clip_lambdas(), vec![1.7]);
+        let x = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+        assert_same_function(&net, &back, &x);
+    }
+
+    #[test]
+    fn roundtrips_residual_blocks_of_both_types() {
+        let mut rng = SeededRng::new(1);
+        let net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(3, 4, 3, 1, 1, false, &mut rng).unwrap()),
+            Layer::BatchNorm2d(BatchNorm2d::new(4).unwrap()),
+            Layer::Relu(Relu::new()),
+            Layer::Residual(ResidualBlock::new(4, 4, 1, true, Some(2.0), &mut rng).unwrap()),
+            Layer::Residual(ResidualBlock::new(4, 8, 2, true, Some(2.0), &mut rng).unwrap()),
+            Layer::GlobalAvgPool(GlobalAvgPool::new()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(8, 3, true, &mut rng).unwrap()),
+        ]);
+        let back = roundtrip(&net);
+        let x = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+        assert_same_function(&net, &back, &x);
+    }
+
+    #[test]
+    fn roundtrips_maxpool_variant() {
+        let mut rng = SeededRng::new(2);
+        let net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, true, &mut rng).unwrap()),
+            Layer::Relu(Relu::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2).unwrap()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(2 * 2 * 2, 2, true, &mut rng).unwrap()),
+        ]);
+        let back = roundtrip(&net);
+        let x = rng.uniform_tensor([1, 1, 4, 4], -1.0, 1.0);
+        assert_same_function(&net, &back, &x);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(load_network(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut rng = SeededRng::new(3);
+        let net = Network::new(vec![Layer::Linear(
+            Linear::new(4, 4, true, &mut rng).unwrap(),
+        )]);
+        let mut buf = Vec::new();
+        save_network(&mut buf, &net).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_network(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn unknown_layer_tag_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TCLN");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(200); // bogus tag
+        assert!(load_network(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn batch_norm_statistics_survive_roundtrip() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        bn.running_mean.data_mut()[0] = 3.5;
+        bn.running_var.data_mut()[1] = 0.25;
+        bn.gamma.value.data_mut()[0] = 2.0;
+        let net = Network::new(vec![
+            Layer::Conv2d(
+                Conv2d::new(2, 2, 1, 1, 0, false, &mut SeededRng::new(4)).unwrap(),
+            ),
+            Layer::BatchNorm2d(bn),
+        ]);
+        let back = roundtrip(&net);
+        if let Layer::BatchNorm2d(b) = &back.layers()[1] {
+            assert_eq!(b.running_mean.at(0), 3.5);
+            assert_eq!(b.running_var.at(1), 0.25);
+            assert_eq!(b.gamma.value.at(0), 2.0);
+        } else {
+            panic!("expected batch-norm layer");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The layer IR: a closed enum over every layer kind.
+//!
+//! The conversion pipeline in `tcl-core` is a whole-network rewrite — it
+//! folds batch-norms into convolutions, extracts trained clipping bounds,
+//! and splits residual blocks into spiking NS/OS layers. A closed `enum`
+//! makes those rewrites exhaustive `match`es the compiler checks, instead of
+//! downcast chains over `dyn` trait objects.
+
+use crate::error::Result;
+use crate::layers::{
+    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
+    Relu, ResidualBlock,
+};
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use tcl_tensor::Tensor;
+
+/// Whether a forward pass is part of training (cache intermediates, use
+/// batch statistics) or evaluation (no caching, running statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mode {
+    /// Training: layers cache what backward needs; batch-norm uses batch
+    /// statistics and updates running averages.
+    Train,
+    /// Inference: no caching; batch-norm uses running statistics.
+    Eval,
+}
+
+/// A network layer.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::{Layer, Mode};
+/// use tcl_nn::layers::Relu;
+/// use tcl_tensor::Tensor;
+///
+/// let mut layer = Layer::Relu(Relu::new());
+/// let y = layer.forward(&Tensor::from_slice(&[-1.0, 2.0]), Mode::Eval)?;
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+// Variant sizes intentionally differ: a network holds few layers and
+// boxing would complicate the converter's pattern matching.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Fully connected layer.
+    Linear(Linear),
+    /// Batch normalization.
+    BatchNorm2d(BatchNorm2d),
+    /// Rectified linear unit.
+    Relu(Relu),
+    /// Trainable clipping layer (TCL).
+    Clip(Clip),
+    /// Average pooling.
+    AvgPool2d(AvgPool2d),
+    /// Max pooling (baseline networks only; not spike-compatible).
+    MaxPool2d(MaxPool2d),
+    /// Global average pooling.
+    GlobalAvgPool(GlobalAvgPool),
+    /// Flatten to `[N, features]`.
+    Flatten(Flatten),
+    /// Inverted dropout (training-time regularizer; identity at inference,
+    /// skipped by the converter).
+    Dropout(Dropout),
+    /// Residual basic block.
+    Residual(ResidualBlock),
+}
+
+impl Layer {
+    /// Forward pass through whichever layer this is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wrapped layer's shape/graph errors.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        match self {
+            Layer::Conv2d(l) => l.forward(input, mode),
+            Layer::Linear(l) => l.forward(input, mode),
+            Layer::BatchNorm2d(l) => l.forward(input, mode),
+            Layer::Relu(l) => Ok(l.forward(input, mode)),
+            Layer::Clip(l) => Ok(l.forward(input, mode)),
+            Layer::AvgPool2d(l) => l.forward(input, mode),
+            Layer::MaxPool2d(l) => l.forward(input, mode),
+            Layer::GlobalAvgPool(l) => l.forward(input, mode),
+            Layer::Flatten(l) => l.forward(input, mode),
+            Layer::Dropout(l) => Ok(l.forward(input, mode)),
+            Layer::Residual(l) => l.forward(input, mode),
+        }
+    }
+
+    /// Backward pass through whichever layer this is.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if the layer has no cached training-mode
+    /// forward state.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        match self {
+            Layer::Conv2d(l) => l.backward(grad_output),
+            Layer::Linear(l) => l.backward(grad_output),
+            Layer::BatchNorm2d(l) => l.backward(grad_output),
+            Layer::Relu(l) => l.backward(grad_output),
+            Layer::Clip(l) => l.backward(grad_output),
+            Layer::AvgPool2d(l) => l.backward(grad_output),
+            Layer::MaxPool2d(l) => l.backward(grad_output),
+            Layer::GlobalAvgPool(l) => l.backward(grad_output),
+            Layer::Flatten(l) => l.backward(grad_output),
+            Layer::Dropout(l) => l.backward(grad_output),
+            Layer::Residual(l) => l.backward(grad_output),
+        }
+    }
+
+    /// Visits every trainable parameter of the layer.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Layer::Conv2d(l) => l.visit_params(f),
+            Layer::Linear(l) => l.visit_params(f),
+            Layer::BatchNorm2d(l) => l.visit_params(f),
+            Layer::Clip(l) => l.visit_params(f),
+            Layer::Residual(l) => l.visit_params(f),
+            Layer::Relu(_)
+            | Layer::AvgPool2d(_)
+            | Layer::MaxPool2d(_)
+            | Layer::GlobalAvgPool(_)
+            | Layer::Flatten(_)
+            | Layer::Dropout(_) => {}
+        }
+    }
+
+    /// Short lowercase kind name, for diagnostics and logging.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::Linear(_) => "linear",
+            Layer::BatchNorm2d(_) => "batchnorm2d",
+            Layer::Relu(_) => "relu",
+            Layer::Clip(_) => "clip",
+            Layer::AvgPool2d(_) => "avgpool2d",
+            Layer::MaxPool2d(_) => "maxpool2d",
+            Layer::GlobalAvgPool(_) => "globalavgpool",
+            Layer::Flatten(_) => "flatten",
+            Layer::Dropout(_) => "dropout",
+            Layer::Residual(_) => "residual",
+        }
+    }
+
+    /// Whether this layer is (or contains) a trainable clipping layer.
+    pub fn has_clip(&self) -> bool {
+        match self {
+            Layer::Clip(_) => true,
+            Layer::Residual(r) => r.clip1.is_some() || r.clip_out.is_some(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcl_tensor::SeededRng;
+
+    #[test]
+    fn kind_names_are_stable() {
+        let mut rng = SeededRng::new(0);
+        let layers = [
+            Layer::Conv2d(Conv2d::new(1, 1, 3, 1, 1, true, &mut rng).unwrap()),
+            Layer::Relu(Relu::new()),
+            Layer::Clip(Clip::new(2.0)),
+            Layer::Flatten(Flatten::new()),
+        ];
+        let names: Vec<&str> = layers.iter().map(|l| l.kind_name()).collect();
+        assert_eq!(names, vec!["conv2d", "relu", "clip", "flatten"]);
+    }
+
+    #[test]
+    fn has_clip_inspects_residual_blocks() {
+        let mut rng = SeededRng::new(0);
+        let with = ResidualBlock::new(2, 2, 1, true, Some(2.0), &mut rng).unwrap();
+        let without = ResidualBlock::new(2, 2, 1, true, None, &mut rng).unwrap();
+        assert!(Layer::Residual(with).has_clip());
+        assert!(!Layer::Residual(without).has_clip());
+        assert!(Layer::Clip(Clip::new(1.0)).has_clip());
+        assert!(!Layer::Relu(Relu::new()).has_clip());
+    }
+
+    #[test]
+    fn stateless_layers_have_no_params() {
+        let mut layer = Layer::Relu(Relu::new());
+        let mut n = 0;
+        layer.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 0);
+        let mut layer = Layer::Clip(Clip::new(1.0));
+        layer.visit_params(&mut |_| n += 1);
+        assert_eq!(n, 1);
+    }
+}

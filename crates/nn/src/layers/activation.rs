@@ -1,0 +1,256 @@
+//! Activation layers: ReLU and the paper's trainable clipping layer (TCL).
+
+use crate::error::{NnError, Result};
+use crate::param::{Param, ParamKind};
+use serde::{Deserialize, Serialize};
+use tcl_tensor::Tensor;
+
+/// Rectified linear unit: `y = max(0, x)` (Eq. 4 of the paper).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    // Mask of positions where the input was strictly positive.
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+
+    /// Forward pass; caches the positivity mask when training.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Tensor {
+        let out = input.map(|v| v.max(0.0));
+        self.mask = match mode {
+            crate::Mode::Train => Some(input.data().iter().map(|&v| v > 0.0).collect()),
+            crate::Mode::Eval => None,
+        };
+        out
+    }
+
+    /// Backward pass: passes gradient where the input was positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass
+    /// or with a gradient of the wrong length.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "relu backward called before training-mode forward".into(),
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::Graph {
+                detail: format!(
+                    "relu gradient length {} != cached mask length {}",
+                    grad_output.len(),
+                    mask.len()
+                ),
+            });
+        }
+        let mut out = grad_output.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The trainable clipping layer — the paper's core contribution (Section 4).
+///
+/// Forward (Eq. 8): `ā = min(a, λ)` with a single trainable scalar `λ` per
+/// layer. Backward (Eq. 9):
+///
+/// * `∂ā/∂a = 1` below the bound, `0` at or above it;
+/// * `∂ā/∂λ = 1` at or above the bound, `0` below it —
+///
+/// a straight-through estimator identical in spirit to PACT. After training,
+/// `λ` *is* the layer's norm-factor for the data-normalization of Eq. 5,
+/// which is what couples ANN training to SNN latency.
+///
+/// The paper initializes `λ` to 2.0 for Cifar-10 and 4.0 for Imagenet
+/// (Section 6); [`Clip::new`] takes the initial value explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::layers::Clip;
+/// use tcl_nn::Mode;
+/// use tcl_tensor::Tensor;
+///
+/// let mut clip = Clip::new(2.0);
+/// let x = Tensor::from_slice(&[0.5, 1.9, 2.0, 3.5]);
+/// let y = clip.forward(&x, Mode::Eval);
+/// assert_eq!(y.data(), &[0.5, 1.9, 2.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Clip {
+    /// The trainable clipping bound λ, stored as a one-element tensor.
+    pub lambda: Param,
+    // Mask of positions that were clipped (input >= λ).
+    clipped: Option<Vec<bool>>,
+}
+
+impl Clip {
+    /// Creates a clipping layer with initial bound `initial_lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_lambda` is not strictly positive — a non-positive
+    /// clipping bound zeroes the layer's output permanently.
+    pub fn new(initial_lambda: f32) -> Self {
+        assert!(
+            initial_lambda > 0.0,
+            "clipping bound must be strictly positive"
+        );
+        Clip {
+            lambda: Param::new(Tensor::from_slice(&[initial_lambda]), ParamKind::Lambda),
+            clipped: None,
+        }
+    }
+
+    /// Current clipping bound.
+    pub fn lambda_value(&self) -> f32 {
+        self.lambda.value.at(0)
+    }
+
+    /// Forward pass (Eq. 8); caches the clip mask when training.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Tensor {
+        let lam = self.lambda_value();
+        let out = input.map(|v| v.min(lam));
+        self.clipped = match mode {
+            crate::Mode::Train => Some(input.data().iter().map(|&v| v >= lam).collect()),
+            crate::Mode::Eval => None,
+        };
+        out
+    }
+
+    /// Backward pass (Eq. 9): zeroes gradients at clipped positions and
+    /// accumulates their sum into `∂L/∂λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass
+    /// or with a gradient of the wrong length.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.clipped.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "clip backward called before training-mode forward".into(),
+        })?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::Graph {
+                detail: format!(
+                    "clip gradient length {} != cached mask length {}",
+                    grad_output.len(),
+                    mask.len()
+                ),
+            });
+        }
+        let mut out = grad_output.clone();
+        let mut dlam = 0.0f32;
+        for (v, &m) in out.data_mut().iter_mut().zip(mask) {
+            if m {
+                dlam += *v;
+                *v = 0.0;
+            }
+        }
+        self.lambda.grad.data_mut()[0] += dlam;
+        Ok(out)
+    }
+
+    /// Visits the trainable λ.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.lambda);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    #[test]
+    fn relu_zeroes_negative_values() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = relu.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
+        relu.forward(&x, Mode::Train);
+        let g = Tensor::from_slice(&[10.0, 20.0, 30.0]);
+        let gi = relu.backward(&g).unwrap();
+        assert_eq!(gi.data(), &[0.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_bounds_activations_above_lambda() {
+        let mut clip = Clip::new(1.5);
+        let x = Tensor::from_slice(&[0.0, 1.0, 1.5, 2.0]);
+        let y = clip.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 1.0, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn clip_backward_implements_equation_nine() {
+        let mut clip = Clip::new(1.0);
+        let x = Tensor::from_slice(&[0.5, 1.0, 2.0, 0.9]);
+        clip.forward(&x, Mode::Train);
+        let g = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let gi = clip.backward(&g).unwrap();
+        // Positions 1 and 2 are at/above λ: input grad zeroed there,
+        // λ grad collects 2 + 3 = 5.
+        assert_eq!(gi.data(), &[1.0, 0.0, 0.0, 4.0]);
+        assert_eq!(clip.lambda.grad.at(0), 5.0);
+    }
+
+    #[test]
+    fn clip_lambda_gradient_matches_finite_differences() {
+        let x = Tensor::from_slice(&[0.2, 0.7, 1.3, 2.9, 0.05, 1.01]);
+        let w = [0.3f32, -0.1, 0.5, 0.2, -0.7, 0.9];
+        let loss = |lam: f32| -> f32 {
+            let mut c = Clip::new(lam);
+            let y = c.forward(&x, Mode::Eval);
+            y.data().iter().zip(&w).map(|(a, b)| a * b).sum()
+        };
+        let lam0 = 1.0f32;
+        let mut clip = Clip::new(lam0);
+        clip.forward(&x, Mode::Train);
+        let g = Tensor::from_slice(&w);
+        clip.backward(&g).unwrap();
+        let eps = 1e-3;
+        let fd = (loss(lam0 + eps) - loss(lam0 - eps)) / (2.0 * eps);
+        assert!(
+            (clip.lambda.grad.at(0) - fd).abs() < 1e-2,
+            "analytic {} vs fd {fd}",
+            clip.lambda.grad.at(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn clip_rejects_non_positive_lambda() {
+        let _ = Clip::new(0.0);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros([3])).is_err());
+        let mut clip = Clip::new(1.0);
+        assert!(clip.backward(&Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn relu_then_clip_is_clamp() {
+        let mut relu = Relu::new();
+        let mut clip = Clip::new(1.0);
+        let x = Tensor::from_slice(&[-3.0, 0.4, 5.0]);
+        let y = clip.forward(&relu.forward(&x, Mode::Eval), Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.4, 1.0]);
+    }
+}

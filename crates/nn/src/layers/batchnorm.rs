@@ -1,0 +1,321 @@
+//! Batch normalization over `[N, C, H, W]` tensors.
+//!
+//! Batch-norm cannot be expressed with spiking neurons, so the conversion
+//! pipeline removes it after training by folding it into the preceding
+//! convolution (Eq. 7 of the paper). This layer therefore exposes its
+//! per-channel running statistics and affine parameters publicly — the
+//! `tcl-core` folding pass reads them directly.
+
+use crate::error::{NnError, Result};
+use crate::param::{Param, ParamKind};
+use serde::{Deserialize, Serialize};
+use tcl_tensor::Tensor;
+
+/// Cached intermediates for the backward pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+/// Per-channel batch normalization for rank-4 activations.
+///
+/// Training mode normalizes with batch statistics and maintains exponential
+/// running averages; evaluation mode uses the running averages. The running
+/// variance uses the biased (population) estimator, which is also what the
+/// folding equation consumes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    /// Scale (γ), one per channel.
+    pub gamma: Param,
+    /// Shift (β), one per channel.
+    pub beta: Param,
+    /// Running mean (µ), one per channel.
+    pub running_mean: Tensor,
+    /// Running variance (σ²), one per channel.
+    pub running_var: Tensor,
+    /// Numerical-stability epsilon added to the variance.
+    pub eps: f32,
+    /// Exponential-average momentum for the running statistics.
+    pub momentum: f32,
+    cache: Option<BnCache>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with γ = 1,
+    /// β = 0, running mean 0 and running variance 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if `channels == 0`.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::Graph {
+                detail: "batch-norm needs at least one channel".into(),
+            });
+        }
+        Ok(BatchNorm2d {
+            gamma: Param::new(Tensor::ones([channels]), ParamKind::Gamma),
+            beta: Param::new(Tensor::zeros([channels]), ParamKind::Beta),
+            running_mean: Tensor::zeros([channels]),
+            running_var: Tensor::ones([channels]),
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank 4 or its channel count
+    /// disagrees with the layer.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let (n, c, h, w) = input.shape().as_nchw()?;
+        if c != self.channels() {
+            return Err(NnError::Graph {
+                detail: format!("batch-norm has {} channels, input has {c}", self.channels()),
+            });
+        }
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut out = Tensor::zeros(input.shape().clone());
+        match mode {
+            crate::Mode::Train => {
+                let mut xhat = Tensor::zeros(input.shape().clone());
+                let mut inv_stds = vec![0.0f32; c];
+                for ci in 0..c {
+                    // Batch statistics over N, H, W for channel ci.
+                    let mut mean = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        mean += input.data()[base..base + plane].iter().sum::<f32>();
+                    }
+                    mean /= m;
+                    let mut var = 0.0f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for &v in &input.data()[base..base + plane] {
+                            let d = v - mean;
+                            var += d * d;
+                        }
+                    }
+                    var /= m;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    inv_stds[ci] = inv_std;
+                    let g = self.gamma.value.at(ci);
+                    let b = self.beta.value.at(ci);
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for i in base..base + plane {
+                            let xh = (input.data()[i] - mean) * inv_std;
+                            xhat.data_mut()[i] = xh;
+                            out.data_mut()[i] = g * xh + b;
+                        }
+                    }
+                    let rm = self.running_mean.data_mut();
+                    rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+                    let rv = self.running_var.data_mut();
+                    rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var;
+                }
+                self.cache = Some(BnCache {
+                    xhat,
+                    inv_std: inv_stds,
+                });
+            }
+            crate::Mode::Eval => {
+                for ci in 0..c {
+                    let mean = self.running_mean.at(ci);
+                    let inv_std = 1.0 / (self.running_var.at(ci) + self.eps).sqrt();
+                    let g = self.gamma.value.at(ci);
+                    let b = self.beta.value.at(ci);
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for i in base..base + plane {
+                            out.data_mut()[i] = g * (input.data()[i] - mean) * inv_std + b;
+                        }
+                    }
+                }
+                self.cache = None;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass (training mode only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass,
+    /// or a shape error if `grad_output` disagrees with the cached batch.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "batch-norm backward called before training-mode forward".into(),
+        })?;
+        cache.xhat.expect_same_shape(grad_output)?;
+        let (n, c, h, w) = grad_output.shape().as_nchw()?;
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut grad_input = Tensor::zeros(grad_output.shape().clone());
+        for ci in 0..c {
+            let g = self.gamma.value.at(ci);
+            let inv_std = cache.inv_std[ci];
+            // Accumulate sums needed by the standard BN backward formula.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let dy = grad_output.data()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.xhat.data()[i];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            let k = g * inv_std / m;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let dy = grad_output.data()[i];
+                    let xh = cache.xhat.data()[i];
+                    grad_input.data_mut()[i] = k * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    /// Visits every trainable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use tcl_tensor::SeededRng;
+
+    #[test]
+    fn train_output_is_normalized_per_channel() {
+        let mut rng = SeededRng::new(0);
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        let x = rng.normal_tensor([4, 3, 5, 5], 3.0, 2.0);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let (n, c, h, w) = y.shape().as_nchw().unwrap();
+        let plane = h * w;
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                vals.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut rng = SeededRng::new(1);
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = rng.normal_tensor([8, 2, 4, 4], 5.0, 3.0);
+        for _ in 0..200 {
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        for ci in 0..2 {
+            assert!((bn.running_mean.at(ci) - 5.0).abs() < 0.5);
+            assert!((bn.running_var.at(ci) - 9.0).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        bn.running_mean.data_mut()[0] = 2.0;
+        bn.running_var.data_mut()[0] = 4.0;
+        bn.gamma.value.data_mut()[0] = 3.0;
+        bn.beta.value.data_mut()[0] = 1.0;
+        let x = Tensor::full([1, 1, 1, 1], 4.0);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // (4-2)/2 * 3 + 1 = 4 (up to eps).
+        assert!((y.at(0) - 4.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = SeededRng::new(2);
+        let x = rng.normal_tensor([2, 2, 3, 3], 0.0, 1.0);
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        bn.gamma.value.data_mut()[0] = 1.5;
+        bn.gamma.value.data_mut()[1] = 0.5;
+        bn.beta.value.data_mut()[0] = 0.3;
+        // Weighted-sum loss so gradients are non-uniform.
+        let wvec: Vec<f32> = (0..x.len()).map(|i| ((i % 7) as f32 - 3.0) * 0.2).collect();
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let gout = Tensor::from_vec(y.shape().clone(), wvec.clone()).unwrap();
+        let gin = bn.backward(&gout).unwrap();
+        let loss = |bn: &mut BatchNorm2d, xt: &Tensor| -> f32 {
+            bn.forward(xt, Mode::Train)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(&wvec)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&mut bn.clone(), &xp) - loss(&mut bn.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (gin.at(idx) - fd).abs() < 2e-2,
+                "idx {idx}: analytic {} vs fd {fd}",
+                gin.at(idx)
+            );
+        }
+        // Gamma/beta gradients.
+        for ci in 0..2 {
+            let mut p = bn.clone();
+            p.gamma.value.data_mut()[ci] += eps;
+            let mut mns = bn.clone();
+            mns.gamma.value.data_mut()[ci] -= eps;
+            let fd = (loss(&mut p, &x) - loss(&mut mns, &x)) / (2.0 * eps);
+            assert!((bn.gamma.grad.at(ci) - fd).abs() < 2e-2, "gamma {ci}");
+            let mut p = bn.clone();
+            p.beta.value.data_mut()[ci] += eps;
+            let mut mns = bn.clone();
+            mns.beta.value.data_mut()[ci] -= eps;
+            let fd = (loss(&mut p, &x) - loss(&mut mns, &x)) / (2.0 * eps);
+            assert!((bn.beta.grad.at(ci) - fd).abs() < 2e-2, "beta {ci}");
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_is_rejected() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = Tensor::zeros([1, 3, 2, 2]);
+        assert!(bn.forward(&x, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        assert!(bn.backward(&Tensor::zeros([1, 1, 2, 2])).is_err());
+    }
+}

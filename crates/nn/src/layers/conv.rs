@@ -1,0 +1,231 @@
+//! 2-D convolution layer.
+
+use crate::error::{NnError, Result};
+use crate::param::{Param, ParamKind};
+use serde::{Deserialize, Serialize};
+use tcl_tensor::ops::{self, ConvGeometry};
+use tcl_tensor::{SeededRng, Tensor};
+
+/// A 2-D convolution layer with optional bias.
+///
+/// Weights are stored `[out_channels, in_channels, kh, kw]` (OIHW), the same
+/// layout as the paper's PyTorch reference, so the conversion equations
+/// (Eq. 5, Eq. 7, and the residual algebra of Section 5) transcribe directly.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::layers::Conv2d;
+/// use tcl_nn::Mode;
+/// use tcl_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng)?;
+/// let x = rng.uniform_tensor([2, 3, 8, 8], 0.0, 1.0);
+/// let y = conv.forward(&x, Mode::Eval)?;
+/// assert_eq!(y.dims(), &[2, 8, 8, 8]);
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Kernel weights, `[out_c, in_c, kh, kw]`.
+    pub weight: Param,
+    /// Optional per-output-channel bias.
+    pub bias: Option<Param>,
+    /// Kernel/stride/padding geometry.
+    pub geom: ConvGeometry,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero kernel/stride (via [`ConvGeometry::new`])
+    /// or zero channel counts.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut SeededRng,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(NnError::Graph {
+                detail: "channel counts must be nonzero".into(),
+            });
+        }
+        let geom = ConvGeometry::square(kernel, stride, padding)?;
+        let fan_in = in_channels * kernel * kernel;
+        let weight = rng.kaiming_normal([out_channels, in_channels, kernel, kernel], fan_in);
+        let bias = bias.then(|| Param::new(Tensor::zeros([out_channels]), ParamKind::Bias));
+        Ok(Conv2d {
+            weight: Param::new(weight, ParamKind::Weight),
+            bias,
+            geom,
+            cached_input: None,
+        })
+    }
+
+    /// Builds a convolution from explicit parts (used by the converter when
+    /// folding batch-norm or materializing virtual shortcut convolutions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weight is not rank 4 or disagrees with the
+    /// geometry, or the bias length differs from the output channel count.
+    pub fn from_parts(weight: Tensor, bias: Option<Tensor>, geom: ConvGeometry) -> Result<Self> {
+        let (out_c, _, kh, kw) = weight.shape().as_nchw()?;
+        if kh != geom.kernel_h || kw != geom.kernel_w {
+            return Err(NnError::Graph {
+                detail: format!(
+                    "weight kernel {kh}x{kw} disagrees with geometry {}x{}",
+                    geom.kernel_h, geom.kernel_w
+                ),
+            });
+        }
+        if let Some(b) = &bias {
+            if b.len() != out_c {
+                return Err(NnError::Graph {
+                    detail: format!("bias length {} != out channels {out_c}", b.len()),
+                });
+            }
+        }
+        Ok(Conv2d {
+            weight: Param::new(weight, ParamKind::Weight),
+            bias: bias.map(|b| Param::new(b, ParamKind::Bias)),
+            geom,
+            cached_input: None,
+        })
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Forward pass; caches the input for backward when `mode` is
+    /// [`crate::Mode::Train`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the convolution kernel.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let out = ops::conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.geom,
+        )?;
+        self.cached_input = match mode {
+            crate::Mode::Train => Some(input.clone()),
+            crate::Mode::Eval => None,
+        };
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the input
+    /// gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self.cached_input.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "conv2d backward called before training-mode forward".into(),
+        })?;
+        let grads = ops::conv2d_backward(input, &self.weight.value, grad_output, self.geom)?;
+        self.weight.grad.add_assign(&grads.grad_weight)?;
+        if let Some(b) = &mut self.bias {
+            b.grad.add_assign(&grads.grad_bias)?;
+        }
+        Ok(grads.grad_input)
+    }
+
+    /// Visits every trainable parameter.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    #[test]
+    fn rejects_zero_channels() {
+        let mut rng = SeededRng::new(0);
+        assert!(Conv2d::new(0, 4, 3, 1, 1, true, &mut rng).is_err());
+        assert!(Conv2d::new(4, 0, 3, 1, 1, true, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forward_shape_is_correct() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::new(2, 5, 3, 2, 1, true, &mut rng).unwrap();
+        let x = rng.uniform_tensor([3, 2, 9, 9], -1.0, 1.0);
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[3, 5, 5, 5]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng).unwrap();
+        let g = Tensor::zeros([1, 1, 4, 4]);
+        assert!(conv.backward(&g).is_err());
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = SeededRng::new(3);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, false, &mut rng).unwrap();
+        let x = rng.uniform_tensor([1, 1, 4, 4], 0.0, 1.0);
+        conv.forward(&x, Mode::Eval).unwrap();
+        assert!(conv.backward(&Tensor::zeros([1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backward_calls() {
+        let mut rng = SeededRng::new(4);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, false, &mut rng).unwrap();
+        let x = Tensor::ones([1, 1, 2, 2]);
+        let g = Tensor::ones([1, 1, 2, 2]);
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        let first = conv.weight.grad.at(0);
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        assert!((conv.weight.grad.at(0) - 2.0 * first).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_parts_validates_geometry() {
+        let w = Tensor::zeros([2, 3, 3, 3]);
+        let g5 = ConvGeometry::square(5, 1, 0).unwrap();
+        assert!(Conv2d::from_parts(w.clone(), None, g5).is_err());
+        let g3 = ConvGeometry::square(3, 1, 1).unwrap();
+        assert!(Conv2d::from_parts(w.clone(), Some(Tensor::zeros([5])), g3).is_err());
+        assert!(Conv2d::from_parts(w, Some(Tensor::zeros([2])), g3).is_ok());
+    }
+
+    #[test]
+    fn channel_accessors() {
+        let mut rng = SeededRng::new(5);
+        let conv = Conv2d::new(3, 7, 3, 1, 1, true, &mut rng).unwrap();
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.out_channels(), 7);
+    }
+}

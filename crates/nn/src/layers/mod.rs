@@ -1,0 +1,17 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod linear;
+mod pool;
+mod residual;
+
+pub use activation::{Clip, Relu};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, Flatten, GlobalAvgPool, MaxPool2d};
+pub use residual::{ResidualBlock, Shortcut};

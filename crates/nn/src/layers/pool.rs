@@ -1,0 +1,277 @@
+//! Pooling layers and the flatten adapter.
+
+use crate::error::{NnError, Result};
+use serde::{Deserialize, Serialize};
+use tcl_tensor::ops;
+use tcl_tensor::{Shape, Tensor};
+
+/// Average pooling layer (spike-compatible; used by convertible networks).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AvgPool2d {
+    /// Pooling window extent.
+    pub kernel: usize,
+    /// Stride between windows.
+    pub stride: usize,
+    cached_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for zero kernel or stride.
+    pub fn new(kernel: usize, stride: usize) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(NnError::Graph {
+                detail: "pooling kernel and stride must be nonzero".into(),
+            });
+        }
+        Ok(AvgPool2d {
+            kernel,
+            stride,
+            cached_shape: None,
+        })
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from the pooling kernel.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let out = ops::avg_pool2d(input, self.kernel, self.stride)?;
+        self.cached_shape = match mode {
+            crate::Mode::Train => Some(input.shape().clone()),
+            crate::Mode::Eval => None,
+        };
+        Ok(out)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "avg-pool backward called before training-mode forward".into(),
+        })?;
+        Ok(ops::avg_pool2d_backward(
+            shape,
+            grad_output,
+            self.kernel,
+            self.stride,
+        )?)
+    }
+}
+
+/// Max pooling layer.
+///
+/// Present for the unconstrained ANN baselines; convertible networks use
+/// [`AvgPool2d`] because a maximum over spike trains has no spiking
+/// implementation (Section 3.1 of the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    /// Pooling window extent.
+    pub kernel: usize,
+    /// Stride between windows.
+    pub stride: usize,
+    cached: Option<(Shape, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for zero kernel or stride.
+    pub fn new(kernel: usize, stride: usize) -> Result<Self> {
+        if kernel == 0 || stride == 0 {
+            return Err(NnError::Graph {
+                detail: "pooling kernel and stride must be nonzero".into(),
+            });
+        }
+        Ok(MaxPool2d {
+            kernel,
+            stride,
+            cached: None,
+        })
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from the pooling kernel.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let fwd = ops::max_pool2d(input, self.kernel, self.stride)?;
+        self.cached = match mode {
+            crate::Mode::Train => Some((input.shape().clone(), fwd.argmax)),
+            crate::Mode::Eval => None,
+        };
+        Ok(fwd.output)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let (shape, argmax) = self.cached.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "max-pool backward called before training-mode forward".into(),
+        })?;
+        Ok(ops::max_pool2d_backward(shape, grad_output, argmax)?)
+    }
+}
+
+/// Global average pooling: collapses each feature map to its mean.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_shape: None }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-rank-4 input.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let out = ops::global_avg_pool(input)?;
+        self.cached_shape = match mode {
+            crate::Mode::Train => Some(input.shape().clone()),
+            crate::Mode::Eval => None,
+        };
+        Ok(out)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "global-avg-pool backward called before training-mode forward".into(),
+        })?;
+        Ok(ops::global_avg_pool_backward(shape, grad_output)?)
+    }
+}
+
+/// Flattens `[N, C, H, W]` activations into `[N, C·H·W]` rows for the
+/// classifier head.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_shape: None }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error for non-rank-4 input.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let (n, c, h, w) = input.shape().as_nchw()?;
+        self.cached_shape = match mode {
+            crate::Mode::Train => Some(input.shape().clone()),
+            crate::Mode::Eval => None,
+        };
+        Ok(input.reshape([n, c * h * w])?)
+    }
+
+    /// Backward pass: restores the cached rank-4 shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self.cached_shape.as_ref().ok_or_else(|| NnError::Graph {
+            detail: "flatten backward called before training-mode forward".into(),
+        })?;
+        Ok(grad_output.reshape(shape.clone())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    #[test]
+    fn avg_pool_roundtrip_gradient_mass() {
+        let mut pool = AvgPool2d::new(2, 2).unwrap();
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.shape().clone());
+        let gi = pool.backward(&g).unwrap();
+        assert!((gi.sum() - g.sum()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[9.0]);
+        let gi = pool
+            .backward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0]).unwrap())
+            .unwrap();
+        assert_eq!(gi.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = fl.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let back = fl.backward(&y).unwrap();
+        assert_eq!(back.dims(), x.dims());
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn global_avg_pool_layer_works() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_fn([1, 2, 2, 2], |i| i as f32);
+        let y = gap.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 1, 1]);
+        assert!((y.at(0) - 1.5).abs() < 1e-6);
+        let gi = gap
+            .backward(&Tensor::from_vec([1, 2, 1, 1], vec![4.0, 8.0]).unwrap())
+            .unwrap();
+        assert!((gi.sum() - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constructors_validate_arguments() {
+        assert!(AvgPool2d::new(0, 1).is_err());
+        assert!(AvgPool2d::new(2, 0).is_err());
+        assert!(MaxPool2d::new(0, 2).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut a = AvgPool2d::new(2, 2).unwrap();
+        assert!(a.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+        let mut m = MaxPool2d::new(2, 2).unwrap();
+        assert!(m.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros([1, 4])).is_err());
+        let mut g = GlobalAvgPool::new();
+        assert!(g.backward(&Tensor::zeros([1, 1, 1, 1])).is_err());
+    }
+}

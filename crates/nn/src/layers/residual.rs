@@ -1,0 +1,357 @@
+//! The residual basic block (He et al. 2016) with optional TCL clipping.
+//!
+//! Section 5 of the paper distinguishes two block types:
+//!
+//! * **Type A** — identity shortcut (input and output channel counts match);
+//! * **Type B** — projection shortcut (a 1×1 "ConvSh", used when the block
+//!   changes channel count or stride).
+//!
+//! The conversion pass in `tcl-core` turns either into a spiking block with
+//! a non-identity spiking layer (NS) and an output spiking layer (OS); for
+//! type A it materializes a *virtual* 1×1 convolution with unit weights so
+//! both types share the same OS algebra. To make that rewrite possible the
+//! block's internals are public.
+
+use crate::error::{NnError, Result};
+use crate::layers::activation::{Clip, Relu};
+use crate::layers::batchnorm::BatchNorm2d;
+use crate::layers::conv::Conv2d;
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use tcl_tensor::{SeededRng, Tensor};
+
+/// The shortcut path of a residual block.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Shortcut {
+    /// Direct connection (type-A block).
+    Identity,
+    /// 1×1 projection convolution, optionally batch-normalized (type-B).
+    Projection {
+        /// The 1×1 shortcut convolution (`ConvSh` in the paper's Figure 3).
+        conv: Conv2d,
+        /// Optional batch-norm after the projection.
+        bn: Option<BatchNorm2d>,
+    },
+}
+
+impl Shortcut {
+    /// Whether this is an identity (type-A) shortcut.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, Shortcut::Identity)
+    }
+}
+
+/// A residual basic block:
+/// `out = clip(relu(bn2(conv2(clip(relu(bn1(conv1(x)))))) + shortcut(x)))`.
+///
+/// Clipping layers are optional — baseline (non-TCL) networks omit them.
+/// Batch-norms are optional so that the converter can re-express a folded
+/// block with the same type.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResidualBlock {
+    /// First convolution of the non-identity path.
+    pub conv1: Conv2d,
+    /// Batch-norm after `conv1`.
+    pub bn1: Option<BatchNorm2d>,
+    relu1: Relu,
+    /// TCL clip after the first ReLU (`λ_c1` in Figure 3).
+    pub clip1: Option<Clip>,
+    /// Second convolution of the non-identity path.
+    pub conv2: Conv2d,
+    /// Batch-norm after `conv2`.
+    pub bn2: Option<BatchNorm2d>,
+    /// The shortcut path.
+    pub shortcut: Shortcut,
+    relu_out: Relu,
+    /// TCL clip after the output ReLU (`λ_out` in Figure 3).
+    pub clip_out: Option<Clip>,
+    cached_input: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a freshly initialized residual block.
+    ///
+    /// A projection shortcut is created automatically when `stride != 1` or
+    /// `in_channels != out_channels` (the standard ResNet rule); otherwise
+    /// the shortcut is the identity.
+    ///
+    /// `clip_lambda` of `Some(λ₀)` inserts trainable clipping layers after
+    /// both ReLUs with that initial bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero channel counts or stride.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        batch_norm: bool,
+        clip_lambda: Option<f32>,
+        rng: &mut SeededRng,
+    ) -> Result<Self> {
+        let conv1 = Conv2d::new(in_channels, out_channels, 3, stride, 1, !batch_norm, rng)?;
+        let conv2 = Conv2d::new(out_channels, out_channels, 3, 1, 1, !batch_norm, rng)?;
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            let conv = Conv2d::new(in_channels, out_channels, 1, stride, 0, !batch_norm, rng)?;
+            let bn = if batch_norm {
+                Some(BatchNorm2d::new(out_channels)?)
+            } else {
+                None
+            };
+            Shortcut::Projection { conv, bn }
+        } else {
+            Shortcut::Identity
+        };
+        Ok(ResidualBlock {
+            conv1,
+            bn1: batch_norm.then(|| BatchNorm2d::new(out_channels)).transpose()?,
+            relu1: Relu::new(),
+            clip1: clip_lambda.map(Clip::new),
+            conv2,
+            bn2: batch_norm.then(|| BatchNorm2d::new(out_channels)).transpose()?,
+            shortcut,
+            relu_out: Relu::new(),
+            clip_out: clip_lambda.map(Clip::new),
+            cached_input: None,
+        })
+    }
+
+    /// Builds a block from explicit components (used by the converter).
+    pub fn from_parts(
+        conv1: Conv2d,
+        bn1: Option<BatchNorm2d>,
+        clip1: Option<Clip>,
+        conv2: Conv2d,
+        bn2: Option<BatchNorm2d>,
+        shortcut: Shortcut,
+        clip_out: Option<Clip>,
+    ) -> Self {
+        ResidualBlock {
+            conv1,
+            bn1,
+            relu1: Relu::new(),
+            clip1,
+            conv2,
+            bn2,
+            shortcut,
+            relu_out: Relu::new(),
+            clip_out,
+            cached_input: None,
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the constituent layers; in particular an
+    /// identity shortcut with mismatched channel counts fails at the final
+    /// addition.
+    pub fn forward(&mut self, input: &Tensor, mode: crate::Mode) -> Result<Tensor> {
+        let mut h = self.conv1.forward(input, mode)?;
+        if let Some(bn) = &mut self.bn1 {
+            h = bn.forward(&h, mode)?;
+        }
+        h = self.relu1.forward(&h, mode);
+        if let Some(clip) = &mut self.clip1 {
+            h = clip.forward(&h, mode);
+        }
+        h = self.conv2.forward(&h, mode)?;
+        if let Some(bn) = &mut self.bn2 {
+            h = bn.forward(&h, mode)?;
+        }
+        let s = match &mut self.shortcut {
+            Shortcut::Identity => input.clone(),
+            Shortcut::Projection { conv, bn } => {
+                let mut s = conv.forward(input, mode)?;
+                if let Some(bn) = bn {
+                    s = bn.forward(&s, mode)?;
+                }
+                s
+            }
+        };
+        let mut y = h.add(&s).map_err(|e| NnError::Graph {
+            detail: format!(
+                "residual add failed ({e}); identity shortcuts require matching shapes"
+            ),
+        })?;
+        y = self.relu_out.forward(&y, mode);
+        if let Some(clip) = &mut self.clip_out {
+            y = clip.forward(&y, mode);
+        }
+        self.cached_input = match mode {
+            crate::Mode::Train => Some(input.clone()),
+            crate::Mode::Eval => None,
+        };
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates gradients in all constituent layers and
+    /// returns the gradient with respect to the block input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.cached_input.is_none() {
+            return Err(NnError::Graph {
+                detail: "residual backward called before training-mode forward".into(),
+            });
+        }
+        let mut g = grad_output.clone();
+        if let Some(clip) = &mut self.clip_out {
+            g = clip.backward(&g)?;
+        }
+        g = self.relu_out.backward(&g)?;
+        // The add fans the gradient out to both paths unchanged.
+        let mut g_main = g.clone();
+        if let Some(bn) = &mut self.bn2 {
+            g_main = bn.backward(&g_main)?;
+        }
+        g_main = self.conv2.backward(&g_main)?;
+        if let Some(clip) = &mut self.clip1 {
+            g_main = clip.backward(&g_main)?;
+        }
+        g_main = self.relu1.backward(&g_main)?;
+        if let Some(bn) = &mut self.bn1 {
+            g_main = bn.backward(&g_main)?;
+        }
+        g_main = self.conv1.backward(&g_main)?;
+        let g_short = match &mut self.shortcut {
+            Shortcut::Identity => g,
+            Shortcut::Projection { conv, bn } => {
+                let mut gs = g;
+                if let Some(bn) = bn {
+                    gs = bn.backward(&gs)?;
+                }
+                conv.backward(&gs)?
+            }
+        };
+        Ok(g_main.add(&g_short)?)
+    }
+
+    /// Visits every trainable parameter in the block.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        if let Some(bn) = &mut self.bn1 {
+            bn.visit_params(f);
+        }
+        if let Some(clip) = &mut self.clip1 {
+            clip.visit_params(f);
+        }
+        self.conv2.visit_params(f);
+        if let Some(bn) = &mut self.bn2 {
+            bn.visit_params(f);
+        }
+        if let Shortcut::Projection { conv, bn } = &mut self.shortcut {
+            conv.visit_params(f);
+            if let Some(bn) = bn {
+                bn.visit_params(f);
+            }
+        }
+        if let Some(clip) = &mut self.clip_out {
+            clip.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    fn rng() -> SeededRng {
+        SeededRng::new(42)
+    }
+
+    #[test]
+    fn identity_block_preserves_shape() {
+        let mut r = rng();
+        let mut block = ResidualBlock::new(4, 4, 1, true, Some(2.0), &mut r).unwrap();
+        assert!(block.shortcut.is_identity());
+        let x = r.uniform_tensor([2, 4, 6, 6], -1.0, 1.0);
+        let y = block.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), x.dims());
+    }
+
+    #[test]
+    fn projection_block_changes_channels_and_stride() {
+        let mut r = rng();
+        let mut block = ResidualBlock::new(4, 8, 2, true, None, &mut r).unwrap();
+        assert!(!block.shortcut.is_identity());
+        let x = r.uniform_tensor([1, 4, 6, 6], -1.0, 1.0);
+        let y = block.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[1, 8, 3, 3]);
+    }
+
+    #[test]
+    fn outputs_are_non_negative_and_clipped() {
+        let mut r = rng();
+        let mut block = ResidualBlock::new(3, 3, 1, true, Some(1.0), &mut r).unwrap();
+        let x = r.uniform_tensor([2, 3, 5, 5], -2.0, 2.0);
+        let y = block.forward(&x, Mode::Eval).unwrap();
+        assert!(y.min() >= 0.0);
+        assert!(y.max() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_on_input() {
+        let mut r = rng();
+        // No batch-norm: BN's batch coupling makes per-element finite
+        // differences noisy; conv gradients are exercised separately.
+        let mut block = ResidualBlock::new(2, 2, 1, false, Some(2.0), &mut r).unwrap();
+        let x = r.uniform_tensor([1, 2, 4, 4], -1.0, 1.0);
+        block.forward(&x, Mode::Train).unwrap();
+        let w: Vec<f32> = (0..32).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect();
+        let gout = Tensor::from_vec([1, 2, 4, 4], w.clone()).unwrap();
+        let gin = block.backward(&gout).unwrap();
+        let mut loss = |xt: &Tensor| -> f32 {
+            block
+                .forward(xt, Mode::Eval)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for idx in [0usize, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (gin.at(idx) - fd).abs() < 3e-2,
+                "idx {idx}: analytic {} vs fd {fd}",
+                gin.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn visit_params_counts_expected_parameters() {
+        let mut r = rng();
+        // BN block: conv1 w, bn1 (γ, β), clip1 λ, conv2 w, bn2 (γ, β),
+        // projection conv w + bn (γ, β), clip_out λ  => 11 params.
+        let mut block = ResidualBlock::new(2, 4, 2, true, Some(2.0), &mut r).unwrap();
+        let mut count = 0;
+        block.visit_params(&mut |_| count += 1);
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn identity_mismatch_is_a_graph_error() {
+        let mut r = rng();
+        let mut block = ResidualBlock::new(2, 2, 1, false, None, &mut r).unwrap();
+        // Force a channel mismatch by swapping conv1 for one with more
+        // output channels.
+        block.conv1 = Conv2d::new(2, 3, 3, 1, 1, true, &mut r).unwrap();
+        block.conv2 = Conv2d::new(3, 3, 3, 1, 1, true, &mut r).unwrap();
+        let x = r.uniform_tensor([1, 2, 4, 4], 0.0, 1.0);
+        let err = block.forward(&x, Mode::Eval).unwrap_err();
+        assert!(matches!(err, NnError::Graph { .. }));
+    }
+}

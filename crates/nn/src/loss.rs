@@ -1,0 +1,144 @@
+//! Loss functions.
+
+use crate::error::{NnError, Result};
+use tcl_tensor::ops;
+use tcl_tensor::Tensor;
+
+/// Result of a loss evaluation: the scalar loss and the gradient with
+/// respect to the logits, ready to feed into [`crate::Network::backward`].
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `∂loss/∂logits`, shape `[batch, classes]`.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy over `[batch, classes]` logits with integer labels.
+///
+/// Computed in log-space (`loss = logsumexp(z) - z[label]`) for numerical
+/// stability; the gradient is the classic `softmax(z) - onehot(label)`,
+/// scaled by `1/batch`.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank 2, `labels` has the wrong
+/// length, or any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::softmax_cross_entropy;
+/// use tcl_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec([1, 3], vec![5.0, -5.0, -5.0])?;
+/// let out = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(out.loss < 0.01); // confident and correct => tiny loss
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    let (batch, classes) = logits.shape().as_matrix()?;
+    if labels.len() != batch {
+        return Err(NnError::Training {
+            detail: format!("{} labels for a batch of {batch}", labels.len()),
+        });
+    }
+    if batch == 0 {
+        return Err(NnError::Training {
+            detail: "empty batch".into(),
+        });
+    }
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= classes {
+            return Err(NnError::Training {
+                detail: format!("label {l} at row {i} out of range for {classes} classes"),
+            });
+        }
+    }
+    let lse = ops::logsumexp_rows(logits)?;
+    let probs = ops::softmax_rows(logits)?;
+    let inv_batch = 1.0 / batch as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs;
+    for (r, (&label, lse_r)) in labels.iter().zip(&lse).enumerate() {
+        loss += lse_r - logits.at2(r, label);
+        let g = &mut grad.data_mut()[r * classes..(r + 1) * classes];
+        g[label] -= 1.0;
+        for v in g.iter_mut() {
+            *v *= inv_batch;
+        }
+    }
+    Ok(LossOutput {
+        loss: loss * inv_batch,
+        grad,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcl_tensor::SeededRng;
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros([2, 4]);
+        let out = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = SeededRng::new(0);
+        let logits = rng.uniform_tensor([3, 5], -2.0, 2.0);
+        let out = softmax_cross_entropy(&logits, &[1, 4, 0]).unwrap();
+        for r in 0..3 {
+            let s: f32 = out.grad.data()[r * 5..(r + 1) * 5].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = SeededRng::new(1);
+        let logits = rng.uniform_tensor([2, 3], -1.0, 1.0);
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut p = logits.clone();
+            p.data_mut()[idx] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[idx] -= eps;
+            let fp = softmax_cross_entropy(&p, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&m, &labels).unwrap().loss;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (out.grad.at(idx) - fd).abs() < 1e-3,
+                "idx {idx}: {} vs {fd}",
+                out.grad.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn validates_labels() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn loss_decreases_with_confidence_in_correct_class() {
+        let weak = Tensor::from_vec([1, 2], vec![0.5, 0.0]).unwrap();
+        let strong = Tensor::from_vec([1, 2], vec![5.0, 0.0]).unwrap();
+        let lw = softmax_cross_entropy(&weak, &[0]).unwrap().loss;
+        let ls = softmax_cross_entropy(&strong, &[0]).unwrap().loss;
+        assert!(ls < lw);
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let logits = Tensor::zeros([0, 3]);
+        assert!(softmax_cross_entropy(&logits, &[]).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Stochastic gradient descent with momentum and per-kind weight decay,
+//! plus the step learning-rate schedule the paper trains with (Section 6).
+
+use crate::error::{NnError, Result};
+use crate::network::Network;
+use crate::param::ParamKind;
+use serde::{Deserialize, Serialize};
+
+/// Smallest value the clipping bound λ may take after an update.
+///
+/// A λ that reaches zero silences its layer permanently (the clipped output
+/// is identically zero and Eq. 9 routes *all* gradient to λ, none to the
+/// activations), so updates clamp λ to this floor.
+pub const LAMBDA_FLOOR: f32 = 1e-3;
+
+/// SGD with momentum and decoupled per-kind L2 regularization.
+///
+/// * `weight_decay` applies to [`ParamKind::Weight`] (the usual L2 on
+///   conv/linear weights; biases and batch-norm affine parameters are
+///   exempt, matching common practice and the paper's PyTorch recipe).
+/// * `lambda_decay` applies to [`ParamKind::Lambda`] — the PACT-style pull
+///   on the clipping bound. The paper's TCL needs no explicit λ decay (the
+///   clip mask itself provides downward pressure), so it defaults to 0, but
+///   the ablation harness exposes it.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::Sgd;
+///
+/// let opt = Sgd::new(0.1).with_momentum(0.9).with_weight_decay(5e-4);
+/// assert_eq!(opt.learning_rate(), 0.1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    lambda_decay: f32,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate (no momentum/decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            lambda_decay: 0.0,
+        }
+    }
+
+    /// Sets the momentum coefficient (classic heavy-ball).
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets L2 decay on weights.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Sets L2 decay on clipping bounds (PACT-style; defaults to 0).
+    pub fn with_lambda_decay(mut self, lambda_decay: f32) -> Self {
+        self.lambda_decay = lambda_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (used by schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one SGD step to every parameter of `net` using the gradients
+    /// accumulated since the last [`Network::zero_grad`].
+    ///
+    /// Clipping bounds are clamped to [`LAMBDA_FLOOR`] after the update.
+    pub fn step(&self, net: &mut Network) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let ld = self.lambda_decay;
+        net.visit_params(&mut |p| {
+            let decay = match p.kind {
+                ParamKind::Weight => wd,
+                ParamKind::Lambda => ld,
+                ParamKind::Bias | ParamKind::Gamma | ParamKind::Beta => 0.0,
+            };
+            let value = p.value.data_mut();
+            let grad = p.grad.data();
+            let mom = p.momentum.data_mut();
+            for ((v, &g), m) in value.iter_mut().zip(grad).zip(mom.iter_mut()) {
+                let g_total = g + decay * *v;
+                *m = momentum * *m + g_total;
+                *v -= lr * *m;
+            }
+            if p.kind == ParamKind::Lambda {
+                for v in p.value.data_mut() {
+                    if *v < LAMBDA_FLOOR {
+                        *v = LAMBDA_FLOOR;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Step learning-rate schedule: multiply the rate by `gamma` at each
+/// milestone epoch.
+///
+/// The paper scales by 0.1 at epochs [100, 150] for Cifar-10 and
+/// [30, 60, 90] for Imagenet (Section 6).
+///
+/// # Examples
+///
+/// ```
+/// use tcl_nn::StepSchedule;
+///
+/// let sched = StepSchedule::new(0.1, &[2, 4], 0.1)?;
+/// assert_eq!(sched.rate_at(0), 0.1);
+/// assert!((sched.rate_at(2) - 0.01).abs() < 1e-9);
+/// assert!((sched.rate_at(4) - 0.001).abs() < 1e-9);
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepSchedule {
+    initial: f32,
+    milestones: Vec<usize>,
+    gamma: f32,
+}
+
+impl StepSchedule {
+    /// Creates a schedule from the initial rate, milestone epochs, and decay
+    /// factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a training error if the initial rate or gamma is not
+    /// strictly positive, or milestones are not strictly increasing.
+    pub fn new(initial: f32, milestones: &[usize], gamma: f32) -> Result<Self> {
+        if initial <= 0.0 || gamma <= 0.0 {
+            return Err(NnError::Training {
+                detail: "learning rate and gamma must be positive".into(),
+            });
+        }
+        if milestones.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NnError::Training {
+                detail: "milestones must be strictly increasing".into(),
+            });
+        }
+        Ok(StepSchedule {
+            initial,
+            milestones: milestones.to_vec(),
+            gamma,
+        })
+    }
+
+    /// Constant learning rate (no milestones).
+    ///
+    /// # Errors
+    ///
+    /// Returns a training error if `rate` is not strictly positive.
+    pub fn constant(rate: f32) -> Result<Self> {
+        Self::new(rate, &[], 0.1)
+    }
+
+    /// Learning rate in effect during `epoch` (0-based).
+    pub fn rate_at(&self, epoch: usize) -> f32 {
+        let passed = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.initial * self.gamma.powi(passed as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Mode};
+    use crate::layers::{Clip, Linear, Relu};
+    use crate::loss::softmax_cross_entropy;
+    use tcl_tensor::{SeededRng, Tensor};
+
+    fn toy_problem() -> (Network, Tensor, Vec<usize>) {
+        let mut rng = SeededRng::new(0);
+        let net = Network::new(vec![
+            Layer::Linear(Linear::new(2, 8, true, &mut rng).unwrap()),
+            Layer::Relu(Relu::new()),
+            Layer::Clip(Clip::new(2.0)),
+            Layer::Linear(Linear::new(8, 2, true, &mut rng).unwrap()),
+        ]);
+        // Linearly separable points.
+        let x = Tensor::from_vec(
+            [4, 2],
+            vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -0.7, -1.3],
+        )
+        .unwrap();
+        let labels = vec![0, 0, 1, 1];
+        (net, x, labels)
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_toy_problem() {
+        let (mut net, x, labels) = toy_problem();
+        let opt = Sgd::new(0.1).with_momentum(0.9);
+        let initial = {
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            softmax_cross_entropy(&logits, &labels).unwrap().loss
+        };
+        let mut last = initial;
+        for _ in 0..50 {
+            net.zero_grad();
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            let out = softmax_cross_entropy(&logits, &labels).unwrap();
+            net.backward(&out.grad).unwrap();
+            opt.step(&mut net);
+            last = out.loss;
+        }
+        assert!(last < initial * 0.2, "loss {initial} -> {last}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut rng = SeededRng::new(1);
+        let mut net = Network::new(vec![Layer::Linear(
+            Linear::new(3, 3, true, &mut rng).unwrap(),
+        )]);
+        let mut before = 0.0;
+        net.visit_params(&mut |p| {
+            if p.kind == ParamKind::Weight {
+                before += p.value.data().iter().map(|v| v * v).sum::<f32>();
+            }
+        });
+        let opt = Sgd::new(0.1).with_weight_decay(0.1);
+        net.zero_grad();
+        opt.step(&mut net);
+        let mut after = 0.0;
+        net.visit_params(&mut |p| {
+            if p.kind == ParamKind::Weight {
+                after += p.value.data().iter().map(|v| v * v).sum::<f32>();
+            }
+        });
+        assert!(after < before);
+    }
+
+    #[test]
+    fn lambda_decay_applies_only_to_lambda() {
+        let mut net = Network::new(vec![Layer::Clip(Clip::new(2.0))]);
+        let opt = Sgd::new(0.1).with_lambda_decay(0.5);
+        net.zero_grad();
+        opt.step(&mut net);
+        // λ -= lr * decay * λ = 2.0 - 0.1*0.5*2.0 = 1.9.
+        assert!((net.clip_lambdas()[0] - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_is_clamped_at_floor() {
+        let mut net = Network::new(vec![Layer::Clip(Clip::new(0.01))]);
+        let opt = Sgd::new(10.0).with_lambda_decay(10.0);
+        for _ in 0..5 {
+            net.zero_grad();
+            opt.step(&mut net);
+        }
+        assert!(net.clip_lambdas()[0] >= LAMBDA_FLOOR);
+    }
+
+    #[test]
+    fn schedule_decays_at_milestones() {
+        let s = StepSchedule::new(1.0, &[10, 20], 0.5).unwrap();
+        assert_eq!(s.rate_at(9), 1.0);
+        assert_eq!(s.rate_at(10), 0.5);
+        assert_eq!(s.rate_at(19), 0.5);
+        assert_eq!(s.rate_at(20), 0.25);
+        assert_eq!(s.rate_at(100), 0.25);
+    }
+
+    #[test]
+    fn schedule_validates_arguments() {
+        assert!(StepSchedule::new(0.0, &[], 0.1).is_err());
+        assert!(StepSchedule::new(0.1, &[5, 5], 0.1).is_err());
+        assert!(StepSchedule::new(0.1, &[7, 3], 0.1).is_err());
+        assert!(StepSchedule::constant(0.05).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

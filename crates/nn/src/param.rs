@@ -1,0 +1,99 @@
+//! Trainable parameters and their metadata.
+
+use serde::{Deserialize, Serialize};
+use tcl_tensor::Tensor;
+
+/// Semantic role of a parameter, used by the optimizer to apply different
+/// regularization to different parameter classes.
+///
+/// The paper's TCL layer introduces a new trainable scalar — the clipping
+/// bound `λ` — whose regularization behaviour differs from ordinary weights
+/// (PACT-style L2 decay on `λ` pulls the clipping range down, trading ANN
+/// accuracy for SNN latency). Tagging parameters lets
+/// [`crate::Sgd`] apply `weight_decay` to weights and `lambda_decay` to
+/// clipping bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Convolution or linear weight matrix.
+    Weight,
+    /// Additive bias vector.
+    Bias,
+    /// Batch-normalization scale (γ).
+    Gamma,
+    /// Batch-normalization shift (β).
+    Beta,
+    /// TCL clipping bound (λ) — Eq. 8 of the paper.
+    Lambda,
+}
+
+/// A trainable tensor with its gradient accumulator and momentum buffer.
+///
+/// Layers own their `Param`s; the optimizer visits them through
+/// [`crate::Network::visit_params`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+    /// SGD momentum buffer (same shape as `value`).
+    pub momentum: Tensor,
+    /// Semantic role (drives per-kind regularization).
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Wraps an initial value as a trainable parameter of the given kind.
+    pub fn new(value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        let momentum = Tensor::zeros(value.shape().clone());
+        Param {
+            value,
+            grad,
+            momentum,
+            kind,
+        }
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zeroed_state() {
+        let p = Param::new(Tensor::ones([2, 2]), ParamKind::Weight);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.momentum.sum(), 0.0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulator() {
+        let mut p = Param::new(Tensor::ones([3]), ParamKind::Bias);
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn kinds_are_distinguishable() {
+        assert_ne!(ParamKind::Weight, ParamKind::Lambda);
+        assert_eq!(ParamKind::Lambda, ParamKind::Lambda);
+    }
+}

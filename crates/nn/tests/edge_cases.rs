@@ -1,0 +1,210 @@
+//! Edge-case integration tests for the NN framework: optimizer/parameter
+//! interplay, batch-norm train/eval consistency, and trainer boundaries.
+
+use tcl_nn::layers::{BatchNorm2d, Clip, Conv2d, Flatten, Linear, Relu};
+use tcl_nn::{
+    evaluate, softmax_cross_entropy, train, Layer, Mode, Network, ParamKind, Sgd, StepSchedule,
+    TrainConfig,
+};
+use tcl_tensor::{SeededRng, Tensor};
+
+#[test]
+fn bn_affine_params_are_exempt_from_weight_decay() {
+    let mut net = Network::new(vec![Layer::BatchNorm2d(BatchNorm2d::new(3).unwrap())]);
+    let opt = Sgd::new(0.1).with_weight_decay(0.5);
+    net.zero_grad();
+    opt.step(&mut net);
+    // γ must remain exactly 1 (no decay applied).
+    net.visit_params(&mut |p| {
+        if p.kind == ParamKind::Gamma {
+            assert!(p.value.data().iter().all(|&v| v == 1.0));
+        }
+    });
+}
+
+#[test]
+fn batchnorm_eval_approximates_train_after_convergence() {
+    let mut rng = SeededRng::new(0);
+    let mut bn = BatchNorm2d::new(2).unwrap();
+    let x = rng.normal_tensor([16, 2, 4, 4], 1.0, 2.0);
+    for _ in 0..300 {
+        bn.forward(&x, Mode::Train).unwrap();
+    }
+    let train_out = bn.forward(&x, Mode::Train).unwrap();
+    let eval_out = bn.forward(&x, Mode::Eval).unwrap();
+    // Running statistics have converged to the (fixed) batch statistics up
+    // to the biased/EMA mismatch.
+    assert!(
+        train_out.max_abs_diff(&eval_out).unwrap() < 0.1,
+        "train/eval divergence {}",
+        train_out.max_abs_diff(&eval_out).unwrap()
+    );
+}
+
+#[test]
+fn training_a_conv_classifier_on_trivial_data_succeeds() {
+    // Images of all ones vs all minus-ones; a conv net must solve this.
+    let mut rng = SeededRng::new(1);
+    let n = 16;
+    let mut images = Tensor::zeros([n, 1, 4, 4]);
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+        for j in 0..16 {
+            images.data_mut()[i * 16 + j] = v;
+        }
+        labels.push(i % 2);
+    }
+    let mut net = Network::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Clip(Clip::new(2.0)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(32, 2, true, &mut rng).unwrap()),
+    ]);
+    let cfg = TrainConfig::standard(10, 4, 0.05, &[]).unwrap();
+    train(&mut net, &images, &labels, None, &cfg).unwrap();
+    let acc = evaluate(&mut net, &images, &labels, 8).unwrap();
+    assert_eq!(acc, 1.0, "trivial task not solved: {acc}");
+}
+
+#[test]
+fn evaluate_handles_batch_larger_than_dataset() {
+    let mut rng = SeededRng::new(2);
+    let mut net = Network::new(vec![Layer::Linear(
+        Linear::new(3, 2, true, &mut rng).unwrap(),
+    )]);
+    let x = rng.uniform_tensor([3, 3], -1.0, 1.0);
+    let acc = evaluate(&mut net, &x, &[0, 1, 0], 100).unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn schedule_with_no_milestones_is_constant() {
+    let s = StepSchedule::constant(0.07).unwrap();
+    for epoch in [0, 5, 100, 10_000] {
+        assert_eq!(s.rate_at(epoch), 0.07);
+    }
+}
+
+#[test]
+fn loss_gradient_is_zero_for_perfect_one_hot_prediction() {
+    // Extremely confident correct logits: gradient ≈ 0.
+    let logits = Tensor::from_vec([1, 3], vec![50.0, -50.0, -50.0]).unwrap();
+    let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+    assert!(out.loss < 1e-6);
+    assert!(out.grad.data().iter().all(|v| v.abs() < 1e-6));
+}
+
+#[test]
+fn single_sample_batches_train_without_panicking() {
+    let mut rng = SeededRng::new(3);
+    let mut net = Network::new(vec![
+        Layer::Linear(Linear::new(2, 4, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Linear(Linear::new(4, 2, true, &mut rng).unwrap()),
+    ]);
+    let x = rng.uniform_tensor([5, 2], -1.0, 1.0);
+    let labels = vec![0, 1, 0, 1, 0];
+    let cfg = TrainConfig::standard(2, 1, 0.01, &[]).unwrap();
+    let report = train(&mut net, &x, &labels, Some((&x, &labels)), &cfg).unwrap();
+    assert_eq!(report.epochs.len(), 2);
+    assert!(report.final_eval_accuracy().is_some());
+}
+
+#[test]
+fn clip_lambda_can_grow_when_clipping_hurts() {
+    // A regression target well above the clip bound forces λ upward: the
+    // gradient through clipped positions is negative (increase output), so
+    // SGD raises λ. (This is the adaptive behaviour Section 4 relies on.)
+    let mut net = Network::new(vec![Layer::Clip(Clip::new(1.0))]);
+    let x = Tensor::from_vec([1], vec![5.0]).unwrap();
+    let opt = Sgd::new(0.05);
+    for _ in 0..50 {
+        net.zero_grad();
+        let y = net.forward(&x, Mode::Train).unwrap();
+        // L = (y - 4)², dL/dy = 2(y - 4) — negative while y < 4.
+        let grad = Tensor::from_vec([1], vec![2.0 * (y.at(0) - 4.0)]).unwrap();
+        net.backward(&grad).unwrap();
+        opt.step(&mut net);
+    }
+    let lam = net.clip_lambdas()[0];
+    assert!(lam > 3.5, "λ should have grown toward 4, got {lam}");
+}
+
+#[test]
+fn momentum_accelerates_along_consistent_gradients() {
+    // With a constant gradient, momentum SGD moves farther than plain SGD
+    // after a few steps.
+    let run = |momentum: f32| -> f32 {
+        let mut net = Network::new(vec![Layer::Linear(
+            Linear::from_parts(Tensor::from_vec([1, 1], vec![0.0]).unwrap(), None).unwrap(),
+        )]);
+        let opt = Sgd::new(0.1).with_momentum(momentum);
+        for _ in 0..5 {
+            net.zero_grad();
+            net.visit_params(&mut |p| p.grad.fill(1.0));
+            opt.step(&mut net);
+        }
+        let mut w = 0.0;
+        net.visit_params(&mut |p| w = p.value.at(0));
+        w
+    };
+    assert!(run(0.9) < run(0.0), "momentum should travel farther downhill");
+}
+
+#[test]
+fn augmented_training_still_learns() {
+    use tcl_nn::AugmentConfig;
+    // Same trivial task as above, but with flips and shifts enabled; the
+    // task is augmentation-invariant, so accuracy must stay perfect.
+    let mut rng = SeededRng::new(9);
+    let n = 16;
+    let mut images = Tensor::zeros([n, 1, 4, 4]);
+    let mut labels = Vec::new();
+    for i in 0..n {
+        let v = if i % 2 == 0 { 1.0 } else { -1.0 };
+        for j in 0..16 {
+            images.data_mut()[i * 16 + j] = v;
+        }
+        labels.push(i % 2);
+    }
+    let mut net = Network::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(32, 2, true, &mut rng).unwrap()),
+    ]);
+    let cfg = TrainConfig {
+        augment: Some(AugmentConfig {
+            horizontal_flip: true,
+            max_shift: 1,
+        }),
+        ..TrainConfig::standard(12, 4, 0.05, &[]).unwrap()
+    };
+    train(&mut net, &images, &labels, None, &cfg).unwrap();
+    let acc = evaluate(&mut net, &images, &labels, 8).unwrap();
+    assert!(acc >= 0.95, "augmented training failed: {acc}");
+}
+
+#[test]
+fn dropout_networks_reach_parity_on_eval() {
+    use tcl_nn::layers::Dropout;
+    // Dropout trains stochastically but evaluates deterministically: two
+    // eval passes agree exactly.
+    let mut rng = SeededRng::new(10);
+    let mut net = Network::new(vec![
+        Layer::Linear(Linear::new(4, 8, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Dropout(Dropout::new(0.5, 3).unwrap()),
+        Layer::Linear(Linear::new(8, 2, true, &mut rng).unwrap()),
+    ]);
+    let x = rng.uniform_tensor([3, 4], -1.0, 1.0);
+    let a = net.forward(&x, Mode::Eval).unwrap();
+    let b = net.forward(&x, Mode::Eval).unwrap();
+    assert_eq!(a, b);
+    // Training passes differ thanks to fresh masks.
+    let t1 = net.forward(&x, Mode::Train).unwrap();
+    let t2 = net.forward(&x, Mode::Train).unwrap();
+    assert_ne!(t1, t2);
+}

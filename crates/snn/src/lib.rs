@@ -1,0 +1,57 @@
+//! # tcl-snn
+//!
+//! An integrate-and-fire spiking neural network simulator, built as the
+//! execution substrate for the TCL ANN-to-SNN reproduction (Ho & Chang,
+//! DAC 2021).
+//!
+//! The model is exactly the paper's Section 2: IF neurons (Eqs. 1–2) with
+//! reset-by-subtraction (Eq. 3, [`ResetMode::Subtract`]; reset-to-zero is
+//! provided for the information-loss ablation), analog "real-coded" input at
+//! the first layer, average pooling applied directly to spike trains, and a
+//! spike-count classification readout ([`Readout::SpikeCount`]).
+//!
+//! Networks are built from [`SpikingNode`]s — ordinary spiking layers,
+//! stateless pooling/flatten transforms, and the converted residual block
+//! [`SpikingResidual`] with its NS/OS dual-input structure (the paper's
+//! Figure 3C). The `tcl-core` crate produces [`SpikingNetwork`]s from
+//! trained ANNs; [`evaluate`] sweeps them over latency checkpoints.
+//!
+//! ## Example: rate coding in one layer
+//!
+//! ```
+//! use tcl_snn::{evaluate, IfNeurons, Readout, ResetMode, SimConfig,
+//!               SpikingLayer, SpikingNetwork, SpikingNode, SynapticOp};
+//! use tcl_tensor::Tensor;
+//!
+//! // One identity layer: spike rates mirror the analog inputs.
+//! let layer = SpikingLayer::new(
+//!     SynapticOp::Linear {
+//!         weight: Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0])?,
+//!         bias: None,
+//!     },
+//!     IfNeurons::new(1.0, ResetMode::Subtract),
+//! );
+//! let mut net = SpikingNetwork::new(vec![SpikingNode::Spiking(layer)]);
+//! let images = Tensor::from_vec([2, 2], vec![0.9, 0.1, 0.1, 0.9])?;
+//! let cfg = SimConfig::new(vec![50], 2, Readout::SpikeCount)?;
+//! let sweep = evaluate(&mut net, &images, &[0, 1], &cfg)?;
+//! assert_eq!(sweep.final_accuracy(), 1.0);
+//! # Ok::<(), tcl_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod network;
+mod neuron;
+mod node;
+mod sim;
+mod synop;
+mod trace;
+
+pub use network::SpikingNetwork;
+pub use neuron::{IfNeurons, ResetMode};
+pub use node::{SpikingLayer, SpikingNode, SpikingResidual};
+pub use sim::{evaluate, InputCoding, Readout, SimConfig, SweepResult};
+pub use synop::SynapticOp;
+pub use trace::{trace_activity, ActivityTrace};

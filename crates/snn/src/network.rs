@@ -1,0 +1,193 @@
+//! The spiking network container.
+
+use crate::node::SpikingNode;
+use serde::{Deserialize, Serialize};
+use tcl_tensor::{Result, Tensor, TensorError};
+
+/// A feed-forward spiking network produced by ANN-to-SNN conversion.
+///
+/// The first node receives the **analog** stimulus unchanged every timestep
+/// ("real coding", Section 3.1): the input image acts as a constant input
+/// current rather than being converted to a Poisson spike train, exactly as
+/// in Rueckauer et al. 2017 and the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpikingNetwork {
+    nodes: Vec<SpikingNode>,
+}
+
+impl SpikingNetwork {
+    /// Creates a network from nodes in forward order.
+    pub fn new(nodes: Vec<SpikingNode>) -> Self {
+        SpikingNetwork { nodes }
+    }
+
+    /// The nodes, in forward order.
+    pub fn nodes(&self) -> &[SpikingNode] {
+        &self.nodes
+    }
+
+    /// Mutable access to the nodes, for harnesses that drive the network
+    /// node-by-node (e.g. to measure per-layer spike traffic).
+    pub fn nodes_mut(&mut self) -> &mut [SpikingNode] {
+        &mut self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Resets all neuron state (call between stimulus presentations).
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            node.reset();
+        }
+    }
+
+    /// Advances the whole network one timestep with the analog stimulus
+    /// `input`, returning the output layer's spikes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors, annotated with the failing node.
+    pub fn step(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            x = node.step(&x).map_err(|e| TensorError::InvalidArgument {
+                detail: format!("node {i} ({}): {e}", node.kind_name()),
+            })?;
+        }
+        Ok(x)
+    }
+
+    /// The final node's membrane potentials (used by the membrane readout),
+    /// if the final node has neurons and at least one step has run.
+    pub fn output_potential(&self) -> Option<&Tensor> {
+        match self.nodes.last()? {
+            SpikingNode::Spiking(l) => l.neurons.potential(),
+            SpikingNode::Residual(b) => b.os_neurons.potential(),
+            _ => None,
+        }
+    }
+
+    /// The final node's firing threshold, if it has neurons.
+    pub fn output_threshold(&self) -> Option<f32> {
+        match self.nodes.last()? {
+            SpikingNode::Spiking(l) => Some(l.neurons.threshold()),
+            SpikingNode::Residual(b) => Some(b.os_neurons.threshold()),
+            _ => None,
+        }
+    }
+
+    /// Per-node spike counts since the last reset.
+    pub fn spikes_per_node(&self) -> Vec<u64> {
+        self.nodes.iter().map(SpikingNode::spikes_emitted).collect()
+    }
+
+    /// Per-node neuron counts (0 for stateless nodes or before shaping).
+    pub fn neurons_per_node(&self) -> Vec<usize> {
+        self.nodes.iter().map(SpikingNode::neuron_count).collect()
+    }
+
+    /// Total spikes since the last reset.
+    pub fn total_spikes(&self) -> u64 {
+        self.spikes_per_node().iter().sum()
+    }
+}
+
+impl FromIterator<SpikingNode> for SpikingNetwork {
+    fn from_iter<I: IntoIterator<Item = SpikingNode>>(iter: I) -> Self {
+        SpikingNetwork::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::{IfNeurons, ResetMode};
+    use crate::node::SpikingLayer;
+    use crate::synop::SynapticOp;
+
+    fn two_layer_net() -> SpikingNetwork {
+        // Layer 1: identity 2→2; layer 2: sums both inputs into one output.
+        let l1 = SpikingLayer::new(
+            SynapticOp::Linear {
+                weight: Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+                bias: None,
+            },
+            IfNeurons::new(1.0, ResetMode::Subtract),
+        );
+        let l2 = SpikingLayer::new(
+            SynapticOp::Linear {
+                weight: Tensor::from_vec([1, 2], vec![0.5, 0.5]).unwrap(),
+                bias: None,
+            },
+            IfNeurons::new(1.0, ResetMode::Subtract),
+        );
+        SpikingNetwork::new(vec![
+            SpikingNode::Spiking(l1),
+            SpikingNode::Spiking(l2),
+        ])
+    }
+
+    #[test]
+    fn step_propagates_through_all_nodes() {
+        let mut net = two_layer_net();
+        let x = Tensor::from_vec([1, 2], vec![0.8, 0.8]).unwrap();
+        let mut count = 0.0;
+        for _ in 0..100 {
+            count += net.step(&x).unwrap().at(0);
+        }
+        // Layer 1 fires at rate ~0.8 on both neurons; layer 2 input ≈ 0.8.
+        assert!((count - 80.0).abs() <= 3.0, "count {count}");
+    }
+
+    #[test]
+    fn reset_between_presentations_clears_state() {
+        let mut net = two_layer_net();
+        let x = Tensor::from_vec([1, 2], vec![0.9, 0.9]).unwrap();
+        for _ in 0..10 {
+            net.step(&x).unwrap();
+        }
+        assert!(net.total_spikes() > 0);
+        net.reset();
+        assert_eq!(net.total_spikes(), 0);
+        assert!(net.output_potential().is_none());
+    }
+
+    #[test]
+    fn output_accessors_describe_final_layer() {
+        let mut net = two_layer_net();
+        assert_eq!(net.output_threshold(), Some(1.0));
+        let x = Tensor::from_vec([1, 2], vec![0.5, 0.5]).unwrap();
+        net.step(&x).unwrap();
+        assert_eq!(net.output_potential().unwrap().dims(), &[1, 1]);
+    }
+
+    #[test]
+    fn step_error_names_the_node() {
+        let mut net = two_layer_net();
+        let bad = Tensor::from_vec([1, 3], vec![0.0; 3]).unwrap();
+        let err = net.step(&bad).unwrap_err();
+        assert!(err.to_string().contains("node 0"), "{err}");
+    }
+
+    #[test]
+    fn spike_accounting_is_per_node() {
+        let mut net = two_layer_net();
+        let x = Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap();
+        for _ in 0..5 {
+            net.step(&x).unwrap();
+        }
+        let per_node = net.spikes_per_node();
+        assert_eq!(per_node.len(), 2);
+        assert_eq!(per_node[0], 10); // 2 neurons × 5 steps at saturation
+        assert_eq!(per_node[1], 5);
+        assert_eq!(net.neurons_per_node(), vec![2, 1]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Synaptic operators: the weighted connections between spiking layers.
+
+use serde::{Deserialize, Serialize};
+use tcl_tensor::ops::{self, ConvGeometry};
+use tcl_tensor::{Result, Tensor, TensorError};
+
+/// A linear synaptic operator applied to spike (or analog, for the first
+/// layer) tensors each timestep — the `Σ W·Θ + b` of Eq. 1.
+///
+/// Biases are injected as a constant current every step, which is why the
+/// data-normalization of Eq. 5 divides them by the layer's own norm-factor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SynapticOp {
+    /// Convolutional connectivity.
+    Conv {
+        /// Kernel, `[out_c, in_c, kh, kw]`.
+        weight: Tensor,
+        /// Optional per-channel bias current.
+        bias: Option<Tensor>,
+        /// Convolution geometry.
+        geom: ConvGeometry,
+    },
+    /// Fully connected connectivity.
+    Linear {
+        /// Weight matrix, `[out_f, in_f]`.
+        weight: Tensor,
+        /// Optional bias current.
+        bias: Option<Tensor>,
+    },
+}
+
+impl SynapticOp {
+    /// Applies the operator to an input tensor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying kernel.
+    pub fn apply(&self, input: &Tensor) -> Result<Tensor> {
+        match self {
+            SynapticOp::Conv { weight, bias, geom } => {
+                ops::conv2d(input, weight, bias.as_ref(), *geom)
+            }
+            SynapticOp::Linear { weight, bias } => {
+                let mut out = ops::matmul_nt(input, weight)?;
+                if let Some(b) = bias {
+                    let (rows, cols) = out.shape().as_matrix()?;
+                    if b.len() != cols {
+                        return Err(TensorError::LengthMismatch {
+                            expected: cols,
+                            actual: b.len(),
+                        });
+                    }
+                    for r in 0..rows {
+                        for (v, &bv) in out.data_mut()[r * cols..(r + 1) * cols]
+                            .iter_mut()
+                            .zip(b.data())
+                        {
+                            *v += bv;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Number of synaptic weights (a cost/energy proxy).
+    pub fn weight_count(&self) -> usize {
+        match self {
+            SynapticOp::Conv { weight, .. } | SynapticOp::Linear { weight, .. } => weight.len(),
+        }
+    }
+
+    /// Scales all weights in place (used by conversion tests).
+    pub fn scale_weights(&mut self, factor: f32) {
+        match self {
+            SynapticOp::Conv { weight, .. } | SynapticOp::Linear { weight, .. } => {
+                weight.scale_inplace(factor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_op_applies_weight_and_bias() {
+        let op = SynapticOp::Linear {
+            weight: Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 2.0]).unwrap(),
+            bias: Some(Tensor::from_slice(&[0.5, -0.5])),
+        };
+        let x = Tensor::from_vec([1, 2], vec![3.0, 4.0]).unwrap();
+        let y = op.apply(&x).unwrap();
+        assert_eq!(y.data(), &[3.5, 7.5]);
+    }
+
+    #[test]
+    fn conv_op_applies_geometry() {
+        let op = SynapticOp::Conv {
+            weight: Tensor::ones([1, 1, 2, 2]),
+            bias: None,
+            geom: ConvGeometry::square(2, 2, 0).unwrap(),
+        };
+        let x = Tensor::from_fn([1, 1, 2, 2], |i| i as f32);
+        let y = op.apply(&x).unwrap();
+        assert_eq!(y.data(), &[6.0]);
+    }
+
+    #[test]
+    fn linear_bias_length_is_validated() {
+        let op = SynapticOp::Linear {
+            weight: Tensor::zeros([2, 2]),
+            bias: Some(Tensor::zeros([3])),
+        };
+        assert!(op.apply(&Tensor::zeros([1, 2])).is_err());
+    }
+
+    #[test]
+    fn weight_count_and_scaling() {
+        let mut op = SynapticOp::Linear {
+            weight: Tensor::ones([2, 3]),
+            bias: None,
+        };
+        assert_eq!(op.weight_count(), 6);
+        op.scale_weights(0.5);
+        let y = op.apply(&Tensor::ones([1, 3])).unwrap();
+        assert_eq!(y.data(), &[1.5, 1.5]);
+    }
+}

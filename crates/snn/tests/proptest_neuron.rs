@@ -1,0 +1,126 @@
+//! Property-based tests of the IF neuron's rate-coding contract.
+
+use proptest::prelude::*;
+use tcl_snn::{IfNeurons, ResetMode, SpikingLayer, SpikingNetwork, SpikingNode, SynapticOp};
+use tcl_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn subtract_reset_spike_count_tracks_rate_within_one(
+        z in 0.0f32..1.0,
+        thr in 0.2f32..3.0,
+        steps in 10usize..300,
+    ) {
+        // For constant current 0 ≤ z, spikes after T steps must be within
+        // ±1 of z·T/thr (clamped to T) — the rate-coding identity the whole
+        // conversion rests on.
+        let mut bank = IfNeurons::new(thr, ResetMode::Subtract);
+        let current = Tensor::from_slice(&[z]);
+        let mut count = 0.0f32;
+        for _ in 0..steps {
+            count += bank.step(&current).unwrap().at(0);
+        }
+        let expected = (z * steps as f32 / thr).min(steps as f32);
+        prop_assert!((count - expected).abs() <= 1.0,
+            "z={} thr={} T={}: count {} vs expected {}", z, thr, steps, count, expected);
+    }
+
+    #[test]
+    fn zero_reset_never_outfires_subtract_reset(
+        z in 0.0f32..2.0,
+        steps in 10usize..200,
+    ) {
+        let current = Tensor::from_slice(&[z]);
+        let mut sub = IfNeurons::new(1.0, ResetMode::Subtract);
+        let mut zero = IfNeurons::new(1.0, ResetMode::Zero);
+        let (mut cs, mut cz) = (0.0f32, 0.0f32);
+        for _ in 0..steps {
+            cs += sub.step(&current).unwrap().at(0);
+            cz += zero.step(&current).unwrap().at(0);
+        }
+        prop_assert!(cz <= cs + 1e-6, "zero-reset fired more: {} vs {}", cz, cs);
+    }
+
+    #[test]
+    fn spikes_are_binary_and_counted_exactly(
+        values in prop::collection::vec(-2.0f32..2.0, 1..32),
+        steps in 1usize..50,
+    ) {
+        let mut bank = IfNeurons::new(1.0, ResetMode::Subtract);
+        let current = Tensor::from_slice(&values);
+        let mut manual = 0u64;
+        for _ in 0..steps {
+            let s = bank.step(&current).unwrap();
+            for &v in s.data() {
+                prop_assert!(v == 0.0 || v == 1.0);
+                manual += v as u64;
+            }
+        }
+        prop_assert_eq!(bank.spikes_emitted(), manual);
+        prop_assert_eq!(bank.steps(), steps as u64);
+    }
+
+    #[test]
+    fn neurons_process_batch_elements_independently(
+        a in 0.0f32..1.0,
+        b in 0.0f32..1.0,
+        steps in 5usize..100,
+    ) {
+        // Running [a, b] together equals running a and b separately.
+        let mut joint = IfNeurons::new(1.0, ResetMode::Subtract);
+        let mut only_a = IfNeurons::new(1.0, ResetMode::Subtract);
+        let mut only_b = IfNeurons::new(1.0, ResetMode::Subtract);
+        let (mut ja, mut jb, mut sa, mut sb) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..steps {
+            let s = joint.step(&Tensor::from_slice(&[a, b])).unwrap();
+            ja += s.at(0);
+            jb += s.at(1);
+            sa += only_a.step(&Tensor::from_slice(&[a])).unwrap().at(0);
+            sb += only_b.step(&Tensor::from_slice(&[b])).unwrap().at(0);
+        }
+        prop_assert_eq!(ja, sa);
+        prop_assert_eq!(jb, sb);
+    }
+
+    #[test]
+    fn network_total_spikes_equals_sum_of_nodes(
+        w in 0.1f32..1.0,
+        steps in 1usize..60,
+    ) {
+        let layer = |weight: f32| SpikingNode::Spiking(SpikingLayer::new(
+            SynapticOp::Linear {
+                weight: Tensor::from_vec([1, 1], vec![weight]).unwrap(),
+                bias: None,
+            },
+            IfNeurons::new(1.0, ResetMode::Subtract),
+        ));
+        let mut net = SpikingNetwork::new(vec![layer(w), layer(1.0)]);
+        let x = Tensor::from_vec([1, 1], vec![0.8]).unwrap();
+        for _ in 0..steps {
+            net.step(&x).unwrap();
+        }
+        let total: u64 = net.spikes_per_node().iter().sum();
+        prop_assert_eq!(net.total_spikes(), total);
+    }
+
+    #[test]
+    fn reset_makes_presentations_independent(
+        z in 0.0f32..1.0,
+        steps in 5usize..60,
+    ) {
+        let current = Tensor::from_slice(&[z]);
+        let mut bank = IfNeurons::new(1.0, ResetMode::Subtract);
+        let mut first = 0.0f32;
+        for _ in 0..steps {
+            first += bank.step(&current).unwrap().at(0);
+        }
+        bank.reset();
+        let mut second = 0.0f32;
+        for _ in 0..steps {
+            second += bank.step(&current).unwrap().at(0);
+        }
+        prop_assert_eq!(first, second);
+    }
+}

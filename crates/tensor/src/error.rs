@@ -1,0 +1,129 @@
+//! Error types for tensor construction and kernel invocation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when tensor shapes or arguments are inconsistent.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, TensorError>`; panicking variants are reserved for internal
+/// invariants that cannot be triggered through the public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the provided
+    /// data buffer length.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A tensor has the wrong rank for the requested operation.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor that was provided.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// A convolution/pooling window does not fit the padded input.
+    WindowDoesNotFit {
+        /// Human-readable description of the offending geometry.
+        detail: String,
+    },
+    /// An argument is outside its valid domain (e.g. `stride == 0`).
+    InvalidArgument {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, found rank {actual}")
+            }
+            TensorError::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            TensorError::WindowDoesNotFit { detail } => {
+                write!(f, "window does not fit input: {detail}")
+            }
+            TensorError::InvalidArgument { detail } => {
+                write!(f, "invalid argument: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 12,
+            actual: 10,
+        };
+        let text = err.to_string();
+        assert!(text.contains("10"));
+        assert!(text.contains("12"));
+        assert!(text.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_reports_both_shapes() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("[2, 3]"));
+        assert!(text.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        let err: Box<dyn Error> = Box::new(TensorError::InvalidArgument {
+            detail: "stride must be nonzero".into(),
+        });
+        assert!(err.to_string().contains("stride"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Matrix multiplication and transpose kernels.
+//!
+//! These are the hot paths of both ANN training (via im2col convolution) and
+//! SNN simulation (synaptic current computation), so they are written with an
+//! `i-k-j` loop order that streams the output row while broadcasting a single
+//! left-hand element — the classic cache-friendly ordering for row-major
+//! operands — rather than the naive dot-product order.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Computes the matrix product `a @ b` of two rank-2 tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either input is not rank 2, or
+/// [`TensorError::MatmulDimMismatch`] if `a.cols != b.rows`.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_tensor::{ops, Tensor};
+///
+/// let a = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let identity = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0])?;
+/// assert_eq!(ops::matmul(&a, &identity)?, a);
+/// # Ok::<(), tcl_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// Computes `aᵀ @ b` without materializing the transpose.
+///
+/// `a` is `[k, m]`, `b` is `[k, n]`, and the result is `[m, n]`. Used by the
+/// convolution backward pass (weight gradients).
+///
+/// # Errors
+///
+/// Returns a rank or dimension mismatch error as in [`matmul`].
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = a.shape().as_matrix()?;
+    let (k2, n) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: m,
+            right_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    // out[i][j] = sum_p a[p][i] * b[p][j]  — accumulate rank-1 updates per p,
+    // streaming rows of both operands.
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `a @ bᵀ` without materializing the transpose.
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`, and the result is `[m, n]`. Used by the
+/// convolution backward pass (input gradients).
+///
+/// # Errors
+///
+/// Returns a rank or dimension mismatch error as in [`matmul`].
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    let (n, k2) = b.shape().as_matrix()?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            left_cols: k,
+            right_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Raw `[m,k] @ [k,n] -> [m,n]` kernel over contiguous slices.
+///
+/// `out` is accumulated into (callers must zero it first if they want a pure
+/// product). Exposed so the SNN simulator can reuse preallocated buffers.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the slice lengths are inconsistent with the
+/// stated dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                // Spike trains are mostly zeros; skipping zero multiplicands
+                // is a large win in SNN simulation and harmless elsewhere.
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if the input is not rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = a.shape().as_matrix()?;
+    let mut out = Tensor::zeros([n, m]);
+    let ad = a.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        for j in 0..n {
+            od[j * m + i] = ad[i * n + j];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec([rows, cols], v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn small_product_is_correct() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let id = t2(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+        assert_eq!(matmul(&id, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let a = t2(2, 3, &[0.0; 6]);
+        let b = t2(2, 3, &[0.0; 6]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let a = Tensor::zeros([2, 3, 1]);
+        let b = Tensor::zeros([3, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = t2(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 4, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let expected = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(matmul_tn(&a, &b).unwrap(), expected);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t2(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = t2(4, 3, &(0..12).map(|i| i as f32 - 4.0).collect::<Vec<_>>());
+        let expected = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        let got = matmul_nt(&a, &b).unwrap();
+        assert!(got.max_abs_diff(&expected).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(transpose(&transpose(&a).unwrap()).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_into_accumulates() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [1.0, 1.0, 1.0, 1.0];
+        matmul_into(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [6.0, 7.0, 8.0, 9.0]);
+    }
+}

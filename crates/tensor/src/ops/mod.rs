@@ -1,0 +1,20 @@
+//! Numeric kernels: matrix products, convolutions, pooling, and reductions.
+//!
+//! All kernels are pure functions over [`crate::Tensor`]; layers in the `nn`
+//! crate compose them and own the caching required for backpropagation.
+
+mod conv;
+mod matmul;
+mod pool;
+mod reduce;
+
+pub use conv::{
+    col2im_single, conv2d, conv2d_backward, conv2d_naive, im2col_single, Conv2dGradients,
+    ConvGeometry,
+};
+pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn, transpose};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolOutput,
+};
+pub use reduce::{accuracy, argmax_rows, logsumexp_rows, max_rows, softmax_rows, topk_accuracy};

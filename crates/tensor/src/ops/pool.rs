@@ -1,0 +1,309 @@
+//! Spatial pooling kernels.
+//!
+//! The conversion pipeline (Section 3.1 of the paper) replaces max-pooling by
+//! average-pooling, because an average of spike trains is itself a valid
+//! synaptic current while a max is not. Both are provided: max-pooling for
+//! the unconstrained ANN baselines, average pooling for convertible networks.
+
+use crate::error::{Result, TensorError};
+use crate::ops::conv::ConvGeometry;
+use crate::tensor::Tensor;
+
+/// Forward average pooling with window `kernel`, stride `stride`, no padding.
+///
+/// Input `[N, C, H, W]`, output `[N, C, H/stride-ish, W/stride-ish]` per the
+/// usual floor formula.
+///
+/// # Errors
+///
+/// Returns an error for rank mismatches or a window larger than the input.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_tensor::{ops, Tensor};
+///
+/// let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0])?;
+/// let y = ops::avg_pool2d(&x, 2, 2)?;
+/// assert_eq!(y.data(), &[4.0]);
+/// # Ok::<(), tcl_tensor::TensorError>(())
+/// ```
+pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let geom = ConvGeometry::square(kernel, stride, 0)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let inv = 1.0 / (kernel * kernel) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            acc += input.at4(ni, ci, y * stride + ky, x * stride + kx);
+                        }
+                    }
+                    out.set4(ni, ci, y, x, acc * inv);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward average pooling: spreads each output gradient uniformly over its
+/// window.
+///
+/// # Errors
+///
+/// Returns an error if `grad_output`'s shape disagrees with the forward
+/// geometry.
+pub fn avg_pool2d_backward(
+    input_shape: &crate::Shape,
+    grad_output: &Tensor,
+    kernel: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input_shape.as_nchw()?;
+    let geom = ConvGeometry::square(kernel, stride, 0)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let (gn, gc, gh, gw) = grad_output.shape().as_nchw()?;
+    if (gn, gc, gh, gw) != (n, c, oh, ow) {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, oh, ow],
+            right: grad_output.dims().to_vec(),
+        });
+    }
+    let mut grad_input = Tensor::zeros([n, c, h, w]);
+    let inv = 1.0 / (kernel * kernel) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let g = grad_output.at4(ni, ci, y, x) * inv;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let (iy, ix) = (y * stride + ky, x * stride + kx);
+                            let cur = grad_input.at4(ni, ci, iy, ix);
+                            grad_input.set4(ni, ci, iy, ix, cur + g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+/// Result of a max-pooling forward pass: the pooled tensor plus the flat
+/// input index of each window's winner (needed by the backward pass).
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled values, `[N, C, out_h, out_w]`.
+    pub output: Tensor,
+    /// For each output element, the flat index into the input buffer of the
+    /// element that won its window.
+    pub argmax: Vec<usize>,
+}
+
+/// Forward max pooling with window `kernel`, stride `stride`, no padding.
+///
+/// # Errors
+///
+/// Returns an error for rank mismatches or a window larger than the input.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<MaxPoolOutput> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let geom = ConvGeometry::square(kernel, stride, 0)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let mut oidx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..kernel {
+                        for kx in 0..kernel {
+                            let (iy, ix) = (y * stride + ky, x * stride + kx);
+                            let v = input.at4(ni, ci, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_idx = ((ni * c + ci) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.set4(ni, ci, y, x, best);
+                    argmax[oidx] = best_idx;
+                    oidx += 1;
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: out,
+        argmax,
+    })
+}
+
+/// Backward max pooling: routes each output gradient to its window's winner.
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` length disagrees with `argmax`.
+pub fn max_pool2d_backward(
+    input_shape: &crate::Shape,
+    grad_output: &Tensor,
+    argmax: &[usize],
+) -> Result<Tensor> {
+    if grad_output.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: argmax.len(),
+            actual: grad_output.len(),
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_shape.clone());
+    let gi = grad_input.data_mut();
+    for (g, &idx) in grad_output.data().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    Ok(grad_input)
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C, 1, 1]`.
+///
+/// Used as the final spatial reduction in the ResNet family; like average
+/// pooling it is spike-compatible.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = input.shape().as_nchw()?;
+    let mut out = Tensor::zeros([n, c, 1, 1]);
+    let plane = h * w;
+    let inv = 1.0 / plane as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let s: f32 = input.data()[base..base + plane].iter().sum();
+            out.data_mut()[ni * c + ci] = s * inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward of [`global_avg_pool`].
+///
+/// # Errors
+///
+/// Returns an error if `grad_output` is not `[N, C, 1, 1]` for the given
+/// input shape.
+pub fn global_avg_pool_backward(
+    input_shape: &crate::Shape,
+    grad_output: &Tensor,
+) -> Result<Tensor> {
+    let (n, c, h, w) = input_shape.as_nchw()?;
+    let (gn, gc, gh, gw) = grad_output.shape().as_nchw()?;
+    if (gn, gc, gh, gw) != (n, c, 1, 1) {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, 1, 1],
+            right: grad_output.dims().to_vec(),
+        });
+    }
+    let plane = h * w;
+    let inv = 1.0 / plane as f32;
+    let mut grad_input = Tensor::zeros([n, c, h, w]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = grad_output.data()[ni * c + ci] * inv;
+            let base = (ni * c + ci) * plane;
+            for v in grad_input.data_mut()[base..base + plane].iter_mut() {
+                *v = g;
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let y = avg_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let shape = Shape::new([1, 1, 4, 4]);
+        let gout = Tensor::from_vec([1, 1, 2, 2], vec![4.0, 8.0, 12.0, 16.0]).unwrap();
+        let gin = avg_pool2d_backward(&shape, &gout, 2, 2).unwrap();
+        assert_eq!(gin.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(gin.at4(0, 0, 0, 2), 2.0);
+        assert_eq!(gin.at4(0, 0, 3, 3), 4.0);
+        assert!((gin.sum() - gout.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_takes_window_maximum() {
+        let x = Tensor::from_vec(
+            [1, 1, 2, 4],
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0],
+        )
+        .unwrap();
+        let y = max_pool2d(&x, 2, 2).unwrap();
+        assert_eq!(y.output.data(), &[5.0, 9.0]);
+        assert_eq!(y.argmax, vec![1, 7]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_winner() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 5.0, 2.0, 0.0]).unwrap();
+        let fwd = max_pool2d(&x, 2, 2).unwrap();
+        let gout = Tensor::from_vec([1, 1, 1, 1], vec![3.0]).unwrap();
+        let gin = max_pool2d_backward(x.shape(), &gout, &fwd.argmax).unwrap();
+        assert_eq!(gin.data(), &[0.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_with_stride_one_overlaps() {
+        let x = Tensor::from_fn([1, 1, 3, 3], |i| i as f32);
+        let y = avg_pool2d(&x, 2, 1).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial_dims() {
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 1, 1]);
+        assert_eq!(y.data()[0], 1.5);
+        assert_eq!(y.data()[5], 21.5);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_conserves_gradient_mass() {
+        let shape = Shape::new([1, 2, 3, 3]);
+        let gout = Tensor::from_vec([1, 2, 1, 1], vec![9.0, 18.0]).unwrap();
+        let gin = global_avg_pool_backward(&shape, &gout).unwrap();
+        assert!((gin.sum() - 27.0).abs() < 1e-5);
+        assert!((gin.at4(0, 0, 1, 1) - 1.0).abs() < 1e-6);
+        assert!((gin.at4(0, 1, 2, 2) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_larger_than_input_is_rejected() {
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        assert!(avg_pool2d(&x, 3, 1).is_err());
+        assert!(max_pool2d(&x, 4, 1).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Row-wise reductions and the softmax family.
+//!
+//! These operate on rank-2 `[batch, features]` tensors — the shape of
+//! classifier logits — and back the loss layer and accuracy metrics.
+
+use crate::error::Result;
+use crate::tensor::Tensor;
+
+/// Row-wise argmax of a `[batch, classes]` tensor.
+///
+/// Ties resolve to the lowest index, so results are deterministic.
+///
+/// # Errors
+///
+/// Returns a rank error if the input is not rank 2.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_tensor::{ops, Tensor};
+///
+/// let logits = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 2.0, -1.0, 2.0])?;
+/// assert_eq!(ops::argmax_rows(&logits)?, vec![1, 0]);
+/// # Ok::<(), tcl_tensor::TensorError>(())
+/// ```
+pub fn argmax_rows(input: &Tensor) -> Result<Vec<usize>> {
+    let (rows, cols) = input.shape().as_matrix()?;
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &input.data()[r * cols..(r + 1) * cols];
+        let mut best = 0usize;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        out.push(best);
+        let _ = r;
+    }
+    Ok(out)
+}
+
+/// Row-wise maximum of a `[batch, features]` tensor.
+///
+/// # Errors
+///
+/// Returns a rank error if the input is not rank 2.
+pub fn max_rows(input: &Tensor) -> Result<Vec<f32>> {
+    let (rows, cols) = input.shape().as_matrix()?;
+    Ok((0..rows)
+        .map(|r| {
+            input.data()[r * cols..(r + 1) * cols]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
+        .collect())
+}
+
+/// Numerically stable row-wise softmax of a `[batch, classes]` tensor.
+///
+/// # Errors
+///
+/// Returns a rank error if the input is not rank 2.
+pub fn softmax_rows(input: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = input.shape().as_matrix()?;
+    let mut out = input.clone();
+    for r in 0..rows {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            z += *v;
+        }
+        let inv = 1.0 / z;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically stable row-wise log-sum-exp of a `[batch, classes]` tensor.
+///
+/// # Errors
+///
+/// Returns a rank error if the input is not rank 2.
+pub fn logsumexp_rows(input: &Tensor) -> Result<Vec<f32>> {
+    let (rows, cols) = input.shape().as_matrix()?;
+    Ok((0..rows)
+        .map(|r| {
+            let row = &input.data()[r * cols..(r + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let s: f32 = row.iter().map(|&v| (v - m).exp()).sum();
+            m + s.ln()
+        })
+        .collect())
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Errors
+///
+/// Returns a rank error if `logits` is not rank 2, or a length error if
+/// `labels` has the wrong length.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let predictions = argmax_rows(logits)?;
+    if predictions.len() != labels.len() {
+        return Err(crate::TensorError::LengthMismatch {
+            expected: predictions.len(),
+            actual: labels.len(),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_resolves_ties_to_lowest_index() {
+        let t = Tensor::from_vec([1, 4], vec![3.0, 5.0, 5.0, 1.0]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec([1, 3], vec![101.0, 102.0, 103.0]).unwrap();
+        let sa = softmax_rows(&a).unwrap();
+        let sb = softmax_rows(&b).unwrap();
+        assert!(sa.max_abs_diff(&sb).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_handles_large_logits_without_overflow() {
+        let t = Tensor::from_vec([1, 2], vec![1000.0, 999.0]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        assert!(s.is_finite());
+        assert!(s.at(0) > s.at(1));
+    }
+
+    #[test]
+    fn logsumexp_matches_direct_computation_when_safe() {
+        let t = Tensor::from_vec([1, 3], vec![0.1, 0.2, 0.3]).unwrap();
+        let direct = (0.1f32.exp() + 0.2f32.exp() + 0.3f32.exp()).ln();
+        assert!((logsumexp_rows(&t).unwrap()[0] - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits =
+            Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_validates_label_length() {
+        let logits = Tensor::zeros([2, 2]);
+        assert!(accuracy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn max_rows_returns_row_maxima() {
+        let t = Tensor::from_vec([2, 2], vec![-5.0, -1.0, 7.0, 3.0]).unwrap();
+        assert_eq!(max_rows(&t).unwrap(), vec![-1.0, 7.0]);
+    }
+}
+
+/// Fraction of rows whose label appears among the `k` largest logits
+/// (top-k accuracy; ImageNet results conventionally report top-1/top-5).
+///
+/// # Errors
+///
+/// Returns a rank error if `logits` is not rank 2, a length error for a
+/// label count mismatch, or an invalid-argument error for `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_tensor::{ops, Tensor};
+///
+/// let logits = Tensor::from_vec([1, 4], vec![0.1, 0.9, 0.5, 0.2])?;
+/// assert_eq!(ops::topk_accuracy(&logits, &[2], 1)?, 0.0);
+/// assert_eq!(ops::topk_accuracy(&logits, &[2], 2)?, 1.0);
+/// # Ok::<(), tcl_tensor::TensorError>(())
+/// ```
+pub fn topk_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> Result<f32> {
+    let (rows, cols) = logits.shape().as_matrix()?;
+    if k == 0 {
+        return Err(crate::TensorError::InvalidArgument {
+            detail: "top-k accuracy requires k >= 1".into(),
+        });
+    }
+    if labels.len() != rows {
+        return Err(crate::TensorError::LengthMismatch {
+            expected: rows,
+            actual: labels.len(),
+        });
+    }
+    if rows == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[r * cols..(r + 1) * cols];
+        if label >= cols {
+            return Err(crate::TensorError::InvalidArgument {
+                detail: format!("label {label} out of range for {cols} classes"),
+            });
+        }
+        // The label is in the top k iff fewer than k entries strictly
+        // exceed it (ties resolve in the label's favour only for earlier
+        // indices, matching argmax's lowest-index rule).
+        let target = row[label];
+        let better = row
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| v > target || (v == target && i < label))
+            .count();
+        if better < k {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / rows as f32)
+}
+
+#[cfg(test)]
+mod topk_tests {
+    use super::*;
+
+    #[test]
+    fn top1_matches_argmax_accuracy() {
+        let logits =
+            Tensor::from_vec([3, 3], vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0]).unwrap();
+        let labels = [0usize, 1, 0];
+        let top1 = topk_accuracy(&logits, &labels, 1).unwrap();
+        let arg = accuracy(&logits, &labels).unwrap();
+        assert_eq!(top1, arg);
+    }
+
+    #[test]
+    fn topk_is_monotone_in_k() {
+        let logits = Tensor::from_vec([2, 4], vec![0.4, 0.3, 0.2, 0.1, 0.1, 0.2, 0.3, 0.4]).unwrap();
+        let labels = [3usize, 0];
+        let mut prev = 0.0;
+        for k in 1..=4 {
+            let a = topk_accuracy(&logits, &labels, k).unwrap();
+            assert!(a >= prev);
+            prev = a;
+        }
+        assert_eq!(prev, 1.0);
+    }
+
+    #[test]
+    fn ties_respect_lowest_index_rule() {
+        let logits = Tensor::from_vec([1, 3], vec![1.0, 1.0, 1.0]).unwrap();
+        // Label 0 wins ties; labels 1 and 2 lose to earlier equal entries.
+        assert_eq!(topk_accuracy(&logits, &[0], 1).unwrap(), 1.0);
+        assert_eq!(topk_accuracy(&logits, &[1], 1).unwrap(), 0.0);
+        assert_eq!(topk_accuracy(&logits, &[1], 2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let logits = Tensor::zeros([2, 3]);
+        assert!(topk_accuracy(&logits, &[0, 1], 0).is_err());
+        assert!(topk_accuracy(&logits, &[0], 1).is_err());
+        assert!(topk_accuracy(&logits, &[0, 9], 1).is_err());
+    }
+}

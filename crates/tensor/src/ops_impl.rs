@@ -1,0 +1,103 @@
+//! Arithmetic operator overloads for [`Tensor`].
+//!
+//! References are used as operands (`&a + &b`) so arithmetic never
+//! implicitly consumes tensors. Shape mismatches panic — operators have no
+//! error channel; use [`Tensor::add`]/[`Tensor::sub`]/[`Tensor::mul`] for
+//! fallible elementwise arithmetic.
+
+use crate::tensor::Tensor;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs).expect("tensor shapes must match for +")
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs).expect("tensor shapes must match for -")
+    }
+}
+
+impl Mul<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs).expect("tensor shapes must match for *")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    /// Scalar scaling.
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise negation.
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[10.0, 20.0]);
+        assert_eq!(&a + &b, a.add(&b).unwrap());
+        assert_eq!(&b - &a, b.sub(&a).unwrap());
+        assert_eq!(&a * &b, a.mul(&b).unwrap());
+        assert_eq!(&a * 3.0, a.scale(3.0));
+        assert_eq!((-&a).data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_associative() {
+        let a = t(&[1.0, -2.0, 3.0]);
+        let b = t(&[0.5, 0.25, -1.0]);
+        let c = t(&[2.0, 2.0, 2.0]);
+        assert_eq!(&a + &b, &b + &a);
+        let left = &(&a + &b) + &c;
+        let right = &a + &(&b + &c);
+        assert!(left.max_abs_diff(&right).unwrap() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn mismatched_addition_panics() {
+        let _ = &t(&[1.0]) + &t(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Shapes and row-major stride arithmetic.
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension extents.
+///
+/// Shapes are row-major; the last dimension is contiguous in memory. The
+/// vision kernels in this crate interpret rank-4 shapes as `[N, C, H, W]`
+/// (batch, channels, height, width), matching the layout the paper's PyTorch
+/// reference implementation uses.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_tensor::Shape;
+///
+/// let s = Shape::new([2, 3, 4, 4]);
+/// assert_eq!(s.len(), 96);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.dims(), &[2, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from any collection of dimension extents.
+    pub fn new<I>(dims: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        Shape {
+            dims: dims.into_iter().collect(),
+        }
+    }
+
+    /// The dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for a rank-0 shape).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// ```
+    /// use tcl_tensor::Shape;
+    /// assert_eq!(Shape::new([2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Returns an error unless this shape has exactly `rank` dimensions.
+    pub fn expect_rank(&self, rank: usize) -> Result<()> {
+        if self.rank() == rank {
+            Ok(())
+        } else {
+            Err(TensorError::RankMismatch {
+                expected: rank,
+                actual: self.rank(),
+            })
+        }
+    }
+
+    /// Interprets this shape as `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the shape is not rank 4.
+    pub fn as_nchw(&self) -> Result<(usize, usize, usize, usize)> {
+        self.expect_rank(4)?;
+        Ok((self.dims[0], self.dims[1], self.dims[2], self.dims[3]))
+    }
+
+    /// Interprets this shape as a matrix `[rows, cols]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the shape is not rank 2.
+    pub fn as_matrix(&self) -> Result<(usize, usize)> {
+        self.expect_rank(2)?;
+        Ok((self.dims[0], self.dims[1]))
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new([2, 3, 5]).len(), 30);
+        assert_eq!(Shape::new([7]).len(), 7);
+        assert_eq!(Shape::new([]).len(), 1);
+    }
+
+    #[test]
+    fn zero_extent_dimension_yields_empty_shape() {
+        let s = Shape::new([3, 0, 2]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new([4, 2, 3]).strides(), vec![6, 3, 1]);
+        assert_eq!(Shape::new([5]).strides(), vec![1]);
+        assert!(Shape::new([]).strides().is_empty());
+    }
+
+    #[test]
+    fn as_nchw_accepts_only_rank_4() {
+        assert_eq!(Shape::new([1, 2, 3, 4]).as_nchw().unwrap(), (1, 2, 3, 4));
+        assert!(Shape::new([2, 3]).as_nchw().is_err());
+    }
+
+    #[test]
+    fn as_matrix_accepts_only_rank_2() {
+        assert_eq!(Shape::new([6, 9]).as_matrix().unwrap(), (6, 9));
+        assert!(Shape::new([6, 9, 1]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn display_uses_x_separator() {
+        assert_eq!(Shape::new([2, 3, 4]).to_string(), "[2x3x4]");
+        assert_eq!(Shape::new([]).to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions_from_arrays_and_slices() {
+        let a: Shape = [1, 2].into();
+        let b: Shape = vec![1, 2].into();
+        let c: Shape = (&[1usize, 2][..]).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,565 @@
+//! The dense `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// This is the single numeric container used by the whole TCL stack: ANN
+/// activations and parameters, spiking currents and membrane potentials. It
+/// deliberately owns its storage (no views/strides beyond row-major) — the
+/// kernels in [`crate::ops`] are written directly against contiguous slices,
+/// which keeps them auditable and fast enough for the width-scaled networks
+/// this reproduction trains.
+///
+/// # Examples
+///
+/// ```
+/// use tcl_tensor::Tensor;
+///
+/// let t = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(t.sum(), 10.0);
+/// let doubled = t.map(|v| v * 2.0);
+/// assert_eq!(doubled.data(), &[2.0, 4.0, 6.0, 8.0]);
+/// # Ok::<(), tcl_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full<S: Into<Shape>>(shape: S, value: f32) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones<S: Into<Shape>>(shape: S) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new([]),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` does not equal
+    /// the element count implied by `shape`.
+    pub fn from_vec<S: Into<Shape>>(shape: S, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.len() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new([data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn<S: Into<Shape>, F: FnMut(usize) -> f32>(shape: S, mut f: F) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(&mut f).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at flat index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn at(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Element at `[n, c, h, w]` of a rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or an index is out of bounds.
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        let (_, cc, hh, ww) = self.shape.as_nchw().expect("at4 requires a rank-4 tensor");
+        self.data[((n * cc + c) * hh + h) * ww + w]
+    }
+
+    /// Sets the element at `[n, c, h, w]` of a rank-4 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or an index is out of bounds.
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let (_, cc, hh, ww) = self.shape.as_nchw().expect("set4 requires a rank-4 tensor");
+        self.data[((n * cc + c) * hh + h) * ww + w] = value;
+    }
+
+    /// Element at `[r, c]` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or an index is out of bounds.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        let (_, cols) = self
+            .shape
+            .as_matrix()
+            .expect("at2 requires a rank-2 tensor");
+        self.data[r * cols + c]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn reshape<S: Into<Shape>>(&self, shape: S) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Like [`Tensor::reshape`] but consumes the tensor, avoiding a copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the element counts differ.
+    pub fn into_reshape<S: Into<Shape>>(self, shape: S) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip<F: FnMut(f32, f32) -> f32>(&self, other: &Tensor, mut f: F) -> Result<Tensor> {
+        self.expect_same_shape(other)?;
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.expect_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += scale * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, scale: f32) -> Result<()> {
+        self.expect_same_shape(other)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`, producing a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (`f32::NEG_INFINITY` for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`f32::INFINITY` for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Largest absolute difference to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        self.expect_same_shape(other)?;
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Whether all elements are finite (no NaN/inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Errors unless `other` has the same shape.
+    pub fn expect_same_shape(&self, other: &Tensor) -> Result<()> {
+        if self.shape == other.shape {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch {
+                left: self.shape.dims().to_vec(),
+                right: other.shape.dims().to_vec(),
+            })
+        }
+    }
+
+    /// Extracts batch item `n` of a rank-4 tensor as a `[1, C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or `n` is out of bounds.
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        let (nn, c, h, w) = self
+            .shape
+            .as_nchw()
+            .expect("batch_item requires a rank-4 tensor");
+        assert!(n < nn, "batch index {n} out of bounds for batch size {nn}");
+        let item = c * h * w;
+        Tensor {
+            shape: Shape::new([1, c, h, w]),
+            data: self.data[n * item..(n + 1) * item].to_vec(),
+        }
+    }
+
+    /// Concatenates rank-4 tensors along the batch dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty, any part is not rank 4, or the
+    /// non-batch dimensions disagree.
+    pub fn cat_batch(parts: &[Tensor]) -> Result<Tensor> {
+        let first = parts.first().ok_or_else(|| TensorError::InvalidArgument {
+            detail: "cat_batch requires at least one tensor".into(),
+        })?;
+        let (_, c, h, w) = first.shape.as_nchw()?;
+        let mut total_n = 0;
+        for p in parts {
+            let (pn, pc, ph, pw) = p.shape.as_nchw()?;
+            if (pc, ph, pw) != (c, h, w) {
+                return Err(TensorError::ShapeMismatch {
+                    left: first.shape.dims().to_vec(),
+                    right: p.shape.dims().to_vec(),
+                });
+            }
+            total_n += pn;
+        }
+        let mut data = Vec::with_capacity(total_n * c * h * w);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Ok(Tensor {
+            shape: Shape::new([total_n, c, h, w]),
+            data,
+        })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
+        write!(f, "[{}", preview.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec([2, 3], vec![0.0; 6]).is_ok());
+        let err = Tensor::from_vec([2, 3], vec![0.0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn zeros_ones_full_scalar() {
+        assert_eq!(Tensor::zeros([3]).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Tensor::ones([2]).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::full([2], 7.5).data(), &[7.5, 7.5]);
+        let s = Tensor::scalar(3.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.shape().rank(), 0);
+    }
+
+    #[test]
+    fn nchw_indexing_roundtrip() {
+        let mut t = Tensor::zeros([2, 3, 4, 5]);
+        t.set4(1, 2, 3, 4, 9.0);
+        assert_eq!(t.at4(1, 2, 3, 4), 9.0);
+        // Flat index: ((1*3+2)*4+3)*5+4 = 119.
+        assert_eq!(t.at(119), 9.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[11.0, 22.0, 33.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[9.0, 18.0, 27.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[10.0, 40.0, 90.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn add_scaled_assign_is_axpy() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 4.0]);
+        a.add_scaled_assign(&b, 0.5).unwrap();
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[-1.0, 4.0, 2.0, -5.0]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn batch_item_and_cat_batch_roundtrip() {
+        let t = Tensor::from_fn([3, 2, 2, 2], |i| i as f32);
+        let parts: Vec<Tensor> = (0..3).map(|n| t.batch_item(n)).collect();
+        let back = Tensor::cat_batch(&parts).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn cat_batch_rejects_mismatched_channels() {
+        let a = Tensor::zeros([1, 2, 2, 2]);
+        let b = Tensor::zeros([1, 3, 2, 2]);
+        assert!(Tensor::cat_batch(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_measures_distance() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[1.5, 1.0]);
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut t = Tensor::ones([2]);
+        assert!(t.is_finite());
+        t.data_mut()[1] = f32::NAN;
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn display_previews_elements() {
+        let t = Tensor::from_slice(&[1.0; 10]);
+        let s = t.to_string();
+        assert!(s.contains("…"));
+        assert!(s.starts_with("Tensor[10]"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: train a small TCL network on synthetic data, convert it to a
+//! spiking network, and sweep the SNN over a latency grid.
+//!
+//! ```text
+//! cargo run --release -p tcl-core --example quickstart
+//! ```
+//!
+//! This walks the paper's whole pipeline on the smallest model
+//! ("4Conv, 2Linear") and a scaled-down cifar10-like dataset. Expect the
+//! SNN to approach the ANN accuracy as the latency budget grows.
+
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_data::{SynthSpec, SynthVision};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::{train, TrainConfig};
+use tcl_snn::{Readout, SimConfig};
+use tcl_tensor::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 42;
+    println!("== TCL quickstart (seed {seed}) ==\n");
+
+    // 1. Synthetic CIFAR-10 stand-in (see DESIGN.md for the substitution).
+    let spec = SynthSpec::cifar10_like().scaled(0.5);
+    let data = SynthVision::generate(&spec, seed)?;
+    println!(
+        "dataset: {} train / {} test images, {} classes, {:?} pixels",
+        data.train.len(),
+        data.test.len(),
+        data.train.classes(),
+        data.train.image_shape()
+    );
+
+    // 2. Build the paper's "4Conv, 2Linear" network with trainable clipping
+    //    layers after every ReLU (λ₀ = 2.0, the paper's Cifar-10 setting).
+    let (c, h, w) = data.train.image_shape();
+    let cfg = ModelConfig::new((c, h, w), data.train.classes())
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let mut rng = SeededRng::new(seed);
+    let mut net = Architecture::Cnn6.build(&cfg, &mut rng)?;
+    println!("model: {} ({} parameters)\n", Architecture::Cnn6, net.num_parameters());
+
+    // 3. Train with SGD + momentum and a step learning-rate schedule.
+    let train_cfg = TrainConfig {
+        verbose: true,
+        ..TrainConfig::standard(15, 32, 0.05, &[10])?
+    };
+    let report = train(
+        &mut net,
+        data.train.images(),
+        data.train.labels(),
+        Some((data.test.images(), data.test.labels())),
+        &train_cfg,
+    )?;
+    println!(
+        "\ntrained λ per clipping layer: {:?}",
+        net.clip_lambdas()
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "final ANN accuracy: {:.2}%\n",
+        report.final_eval_accuracy().unwrap_or(0.0) * 100.0
+    );
+
+    // 4. Convert with the trained clipping bounds and sweep latencies.
+    let calibration = data.train.take(128);
+    let sim = SimConfig::new(vec![10, 25, 50, 100, 200], 50, Readout::SpikeCount)?;
+    let conv_report = convert_and_evaluate(
+        &mut net,
+        calibration.images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &sim,
+    )?;
+    println!("ANN accuracy (eval): {:.2}%", conv_report.ann_accuracy * 100.0);
+    println!("SNN accuracy by latency (spike-count readout):");
+    for (t, acc) in &conv_report.sweep.accuracies {
+        println!("  T = {t:4}  {:6.2}%", acc * 100.0);
+    }
+    println!(
+        "mean firing rate: {:.4} spikes/neuron/step",
+        conv_report.sweep.mean_firing_rate
+    );
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Converting residual networks — a walk through Section 5 of the paper.
+//!
+//! ```text
+//! cargo run --release -p tcl-core --example residual_conversion
+//! ```
+//!
+//! Trains a ResNet-18 with trainable clipping layers, folds its
+//! batch-norms, converts it — type-A blocks get the *virtual identity
+//! convolution* so they share the type-B NS/OS algebra — and prints the
+//! spiking network's structure and accuracy-vs-latency curve.
+
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_data::{SynthSpec, SynthVision};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::layers::Shortcut;
+use tcl_nn::{train, Layer, TrainConfig};
+use tcl_snn::{Readout, SimConfig};
+use tcl_tensor::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 3;
+    let spec = SynthSpec::cifar10_like().scaled(0.5);
+    let data = SynthVision::generate(&spec, seed)?;
+    let (c, h, w) = data.train.image_shape();
+    let cfg = ModelConfig::new((c, h, w), data.train.classes())
+        .with_base_width(8)
+        .with_clip_lambda(Some(2.0));
+    let mut rng = SeededRng::new(seed);
+    let mut net = Architecture::ResNet18.build(&cfg, &mut rng)?;
+
+    // Describe the ANN's residual structure.
+    let mut type_a = 0;
+    let mut type_b = 0;
+    for layer in net.layers() {
+        if let Layer::Residual(block) = layer {
+            match block.shortcut {
+                Shortcut::Identity => type_a += 1,
+                Shortcut::Projection { .. } => type_b += 1,
+            }
+        }
+    }
+    println!(
+        "ResNet-18: {type_a} type-A blocks (identity shortcut), \
+         {type_b} type-B blocks (projection shortcut)"
+    );
+    println!(
+        "type-A blocks will be converted through a virtual 1x1 identity \
+         convolution (Section 5)\n"
+    );
+
+    println!("training ({} images)…", data.train.len());
+    let train_cfg = TrainConfig {
+        verbose: true,
+        ..TrainConfig::standard(15, 32, 0.05, &[10])?
+    };
+    let report = train(
+        &mut net,
+        data.train.images(),
+        data.train.labels(),
+        Some((data.test.images(), data.test.labels())),
+        &train_cfg,
+    )?;
+    println!(
+        "\nANN accuracy: {:.2}%",
+        report.final_eval_accuracy().unwrap_or(0.0) * 100.0
+    );
+
+    // Convert and inspect the spiking structure.
+    let calibration = data.train.take(150);
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, calibration.images())?;
+    let kinds: Vec<&str> = conversion
+        .snn
+        .nodes()
+        .iter()
+        .map(|n| n.kind_name())
+        .collect();
+    println!("\nspiking network nodes: {kinds:?}");
+    println!(
+        "norm-factors (λ̂ per site, output last): {:?}",
+        conversion
+            .lambdas
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    // Latency sweep.
+    let sim = SimConfig::new(vec![25, 50, 100, 150, 200], 50, Readout::SpikeCount)?;
+    let full = convert_and_evaluate(
+        &mut net,
+        calibration.images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &sim,
+    )?;
+    println!("\nSNN accuracy by latency:");
+    for (t, acc) in &full.sweep.accuracies {
+        println!(
+            "  T = {t:4}  {:6.2}%   (gap to ANN: {:+.2}%)",
+            acc * 100.0,
+            (full.ann_accuracy - acc) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Watching the spike wavefront — why SNNs need latency at all.
+//!
+//! ```text
+//! cargo run --release -p tcl-core --example spike_wavefront
+//! ```
+//!
+//! Converts a small TCL network and traces each layer's firing rate over
+//! time for one stimulus. Deep layers are silent until spikes propagate to
+//! them; TCL's tight norm-factors shorten that transient relative to
+//! max-activation normalization, which is exactly the latency win the
+//! paper reports.
+
+use tcl_core::{Converter, NormStrategy};
+use tcl_data::{SynthSpec, SynthVision};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::{train, TrainConfig};
+use tcl_snn::trace_activity;
+use tcl_tensor::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 9;
+    let data = SynthVision::generate(&SynthSpec::cifar10_like().scaled(0.35), seed)?;
+    let (c, h, w) = data.train.image_shape();
+
+    // Train one TCL network and one unconstrained baseline.
+    let mut nets = Vec::new();
+    for clip in [Some(2.0f32), None] {
+        let cfg = ModelConfig::new((c, h, w), data.train.classes())
+            .with_base_width(8)
+            .with_clip_lambda(clip);
+        let mut rng = SeededRng::new(seed);
+        let mut net = Architecture::Cnn6.build(&cfg, &mut rng)?;
+        let train_cfg = TrainConfig::standard(12, 32, 0.05, &[8])?;
+        train(&mut net, data.train.images(), data.train.labels(), None, &train_cfg)?;
+        nets.push(net);
+    }
+    let (tcl_net, base_net) = (nets.remove(0), nets.remove(0));
+
+    let calibration = data.train.take(100);
+    let stimulus = data.test.images().batch_item(0);
+    let steps = 40;
+
+    for (label, net, strategy) in [
+        ("TCL (trained λ)", &tcl_net, NormStrategy::TrainedClip),
+        ("max-norm", &base_net, NormStrategy::MaxActivation),
+    ] {
+        let conversion = Converter::new(strategy).convert(net, calibration.images())?;
+        let mut snn = conversion.snn;
+        let trace = trace_activity(&mut snn, &stimulus, steps)?;
+        println!("== {label} ==");
+        println!("per-layer firing rates over the first {steps} timesteps:");
+        let spiking_nodes: Vec<usize> = trace
+            .node_kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| *k == "spiking" || *k == "residual")
+            .map(|(i, _)| i)
+            .collect();
+        for &n in &spiking_nodes {
+            let first = trace
+                .first_spike_step(n)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let bars: String = trace
+                .rates
+                .iter()
+                .map(|step| {
+                    let r = step[n];
+                    match (r * 5.0) as usize {
+                        0 if r == 0.0 => '·',
+                        0 => '▁',
+                        1 => '▂',
+                        2 => '▄',
+                        3 => '▆',
+                        _ => '█',
+                    }
+                })
+                .collect();
+            println!(
+                "  node {n:2} ({:<8}) first spike @t={first:<3} {bars}  mean {:.3}",
+                trace.node_kinds[n],
+                trace.mean_rate(n)
+            );
+        }
+        println!();
+    }
+    println!(
+        "note how every layer under max-norm fires far more sparsely (tiny\n\
+         rates) and later — the classifier sees almost no evidence until\n\
+         late timesteps, which is the latency cost TCL removes."
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+until grep -q TEST_RUN_DONE logs/finals.log 2>/dev/null; do sleep 10; done
+# Wait for the latency rerun too so the bench numbers aren't skewed by contention.
+while pgrep -x latency_curve > /dev/null; do sleep 10; done
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+echo BENCH_RUN_DONE >> /root/repo/logs/finals.log

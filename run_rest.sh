@@ -1,0 +1,11 @@
+#!/bin/bash
+# Wait for table1 to finish, then run the remaining harnesses sequentially.
+cd /root/repo
+while pgrep -x table1 > /dev/null; do sleep 10; done
+export TCL_SCALE=standard
+for bin in figure1 latency_curve reset_mode energy lambda_decay lambda_init; do
+  echo "=== starting $bin ===" 
+  ./target/release/$bin > logs/$bin.log 2>&1
+  echo "=== $bin exit $? ==="
+done
+echo "ALL_HARNESSES_DONE"

@@ -1,0 +1,170 @@
+//! End-to-end integration: train → convert → simulate, asserting the
+//! paper's qualitative results on a scaled-down workload.
+
+use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_data::{SynthSpec, SynthVision};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_nn::{train, TrainConfig};
+use tcl_snn::{Readout, SimConfig};
+use tcl_tensor::SeededRng;
+
+/// Shared scaled-down training setup: 10-class cifar-like data, "4Conv,
+/// 2Linear" at width 6, a dozen epochs.
+fn train_cnn6(clip: Option<f32>, seed: u64) -> (tcl_nn::Network, SynthVision) {
+    let spec = SynthSpec::cifar10_like().scaled(0.35);
+    let data = SynthVision::generate(&spec, seed).expect("generate data");
+    let (c, h, w) = data.train.image_shape();
+    let cfg = ModelConfig::new((c, h, w), data.train.classes())
+        .with_base_width(6)
+        .with_clip_lambda(clip);
+    let mut rng = SeededRng::new(seed);
+    let mut net = Architecture::Cnn6.build(&cfg, &mut rng).expect("build");
+    let train_cfg = TrainConfig::standard(12, 32, 0.05, &[8]).expect("config");
+    train(
+        &mut net,
+        data.train.images(),
+        data.train.labels(),
+        None,
+        &train_cfg,
+    )
+    .expect("train");
+    (net, data)
+}
+
+#[test]
+fn tcl_snn_tracks_its_ann_at_moderate_latency() {
+    let (mut net, data) = train_cnn6(Some(2.0), 7);
+    let sim = SimConfig::new(vec![25, 100, 200], 50, Readout::SpikeCount).unwrap();
+    let report = convert_and_evaluate(
+        &mut net,
+        data.train.take(100).images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &sim,
+    )
+    .unwrap();
+    let ann = report.ann_accuracy;
+    assert!(ann > 0.6, "ANN should learn the task, got {ann}");
+    let at_200 = report.sweep.accuracy_at(200).unwrap();
+    // Paper's headline: near-zero conversion loss at moderate latency.
+    assert!(
+        ann - at_200 < 0.05,
+        "TCL conversion gap too large: ANN {ann} vs SNN@200 {at_200}"
+    );
+    // Accuracy must grow (or hold) with latency overall.
+    let at_25 = report.sweep.accuracy_at(25).unwrap();
+    assert!(at_200 >= at_25 - 0.02, "latency curve regressed: {report:?}");
+}
+
+#[test]
+fn max_norm_needs_more_latency_than_tcl() {
+    // The paper's motivation (Section 3.2): max-activation norm-factors
+    // starve the network of spikes, so at small T the TCL conversion is
+    // far more accurate.
+    let (mut tcl_net, data) = train_cnn6(Some(2.0), 11);
+    let (mut base_net, _) = train_cnn6(None, 11);
+    let sim = SimConfig::new(vec![5, 10], 50, Readout::SpikeCount).unwrap();
+    let calibration = data.train.take(100);
+    let tcl = convert_and_evaluate(
+        &mut tcl_net,
+        calibration.images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &sim,
+    )
+    .unwrap();
+    let max_norm = convert_and_evaluate(
+        &mut base_net,
+        calibration.images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::MaxActivation),
+        &sim,
+    )
+    .unwrap();
+    // Aggregate over the low-latency checkpoints: max-norm rates are scaled
+    // down by the (much larger) maximum activations, so spikes barely reach
+    // the classifier this early while TCL is already accurate.
+    let tcl_low: f32 = tcl.sweep.accuracies.iter().map(|(_, a)| a).sum();
+    let max_low: f32 = max_norm.sweep.accuracies.iter().map(|(_, a)| a).sum();
+    assert!(
+        tcl_low > max_low + 0.1,
+        "at T≤10, TCL ({tcl_low}) should clearly beat max-norm ({max_low})"
+    );
+}
+
+#[test]
+fn trained_lambdas_are_tighter_than_percentile_factors() {
+    // Section 4: "the λ trained in our TCL tends to be lower compared to
+    // that of 99.9% used in Rueckauer et al." — compare per-site factors on
+    // the *baseline* network (percentile) vs the trained clips.
+    let (base_net, data) = train_cnn6(None, 13);
+    let (tcl_net, _) = train_cnn6(Some(2.0), 13);
+    let calibration = data.train.take(100);
+    let pct = Converter::new(NormStrategy::percentile_999())
+        .convert(&base_net, calibration.images())
+        .unwrap();
+    let lambdas_tcl = tcl_net.clip_lambdas();
+    // Compare the mean hidden-site norm-factor.
+    let hidden = pct.lambdas.len() - 1;
+    let mean_pct: f32 = pct.lambdas[..hidden].iter().sum::<f32>() / hidden as f32;
+    let mean_tcl: f32 = lambdas_tcl.iter().sum::<f32>() / lambdas_tcl.len() as f32;
+    assert!(
+        mean_tcl < mean_pct * 1.5,
+        "trained λ ({mean_tcl}) should be in the same range or tighter than \
+         percentile factors ({mean_pct})"
+    );
+}
+
+#[test]
+fn membrane_readout_converges_faster_than_spike_count() {
+    let (mut net, data) = train_cnn6(Some(2.0), 17);
+    let calibration = data.train.take(100);
+    let t_small = 15;
+    let spike_cfg = SimConfig::new(vec![t_small], 50, Readout::SpikeCount).unwrap();
+    let membrane_cfg = SimConfig::new(vec![t_small], 50, Readout::Membrane).unwrap();
+    let spike = convert_and_evaluate(
+        &mut net,
+        calibration.images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &spike_cfg,
+    )
+    .unwrap();
+    let membrane = convert_and_evaluate(
+        &mut net,
+        calibration.images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &membrane_cfg,
+    )
+    .unwrap();
+    let s = spike.sweep.accuracy_at(t_small).unwrap();
+    let m = membrane.sweep.accuracy_at(t_small).unwrap();
+    assert!(
+        m >= s - 0.02,
+        "membrane readout ({m}) should not trail spike counting ({s}) at tiny T"
+    );
+}
+
+#[test]
+fn firing_rates_are_plausible() {
+    let (mut net, data) = train_cnn6(Some(2.0), 19);
+    let sim = SimConfig::new(vec![50], 50, Readout::SpikeCount).unwrap();
+    let report = convert_and_evaluate(
+        &mut net,
+        data.train.take(100).images(),
+        data.test.images(),
+        data.test.labels(),
+        &Converter::new(NormStrategy::TrainedClip),
+        &sim,
+    )
+    .unwrap();
+    let rate = report.sweep.mean_firing_rate;
+    assert!(rate > 0.0 && rate < 1.0, "firing rate {rate} out of range");
+    assert!(report.sweep.total_spikes > 0);
+}

@@ -1,0 +1,127 @@
+//! Rate-coding fidelity: the converted SNN's spike rates must converge to
+//! the (normalized) ANN activations as the latency budget grows — the
+//! foundational premise of ANN-to-SNN conversion (Cao et al. 2015) that
+//! TCL's norm-factor choice optimizes.
+
+use tcl_core::{Converter, NormStrategy};
+use tcl_nn::layers::{Clip, Linear, Relu};
+use tcl_nn::{Layer, Mode, Network};
+use tcl_tensor::{SeededRng, Tensor};
+
+/// Builds a two-layer clipped MLP and returns it with its calibration set.
+fn clipped_mlp(seed: u64) -> (Network, Tensor) {
+    let mut rng = SeededRng::new(seed);
+    let net = Network::new(vec![
+        Layer::Linear(Linear::new(6, 10, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Clip(Clip::new(1.2)),
+        Layer::Linear(Linear::new(10, 4, true, &mut rng).unwrap()),
+    ]);
+    let calibration = rng.uniform_tensor([64, 6], -1.0, 1.0);
+    (net, calibration)
+}
+
+/// Measures the hidden-layer firing rate of the converted SNN and the
+/// corresponding normalized ANN activation for the same stimuli.
+fn rate_vs_activation(t_steps: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let (net, calibration) = clipped_mlp(seed);
+    let mut ann = net.clone();
+    let mut rng = SeededRng::new(seed ^ 0xABCD);
+    let x = rng.uniform_tensor([5, 6], -1.0, 1.0);
+
+    // ANN hidden activation after relu+clip, normalized by λ = 1.2.
+    let mut hidden = None;
+    ann.forward_observed(&x, Mode::Eval, |i, _layer, out| {
+        if i == 2 {
+            hidden = Some(out.clone());
+        }
+    })
+    .unwrap();
+    let expected: Vec<f32> = hidden.unwrap().data().iter().map(|v| v / 1.2).collect();
+
+    // Observe the hidden layer by running the first spiking node alone:
+    // its spike rate is the quantity rate coding promises to converge.
+    let mut hidden_counts = vec![0.0f32; expected.len()];
+    let first = conversion_first_node(&net, &calibration);
+    let mut first_net = tcl_snn::SpikingNetwork::new(vec![first]);
+    first_net.reset();
+    for _ in 0..t_steps {
+        let spikes = first_net.step(&x).unwrap();
+        for (c, s) in hidden_counts.iter_mut().zip(spikes.data()) {
+            *c += s;
+        }
+    }
+    let rates: Vec<f32> = hidden_counts.iter().map(|c| c / t_steps as f32).collect();
+    (rates, expected)
+}
+
+/// Re-runs conversion and extracts the first spiking node.
+fn conversion_first_node(net: &Network, calibration: &Tensor) -> tcl_snn::SpikingNode {
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(net, calibration)
+        .unwrap();
+    conversion
+        .snn
+        .nodes()
+        .first()
+        .expect("network has nodes")
+        .clone()
+}
+
+#[test]
+fn hidden_rates_converge_to_normalized_activations() {
+    let (rates, expected) = rate_vs_activation(400, 21);
+    let max_err = rates
+        .iter()
+        .zip(&expected)
+        .map(|(r, e)| (r - e).abs())
+        .fold(0.0f32, f32::max);
+    // Reset-by-subtraction rate coding has O(1/T) error.
+    assert!(max_err < 0.02, "rate error {max_err} too large at T=400");
+}
+
+#[test]
+fn rate_error_shrinks_with_latency() {
+    let err_at = |t: usize| -> f32 {
+        let (rates, expected) = rate_vs_activation(t, 23);
+        rates
+            .iter()
+            .zip(&expected)
+            .map(|(r, e)| (r - e).abs())
+            .sum::<f32>()
+            / rates.len() as f32
+    };
+    let short = err_at(20);
+    let long = err_at(320);
+    assert!(
+        long < short,
+        "mean rate error should shrink with T: {short} -> {long}"
+    );
+}
+
+#[test]
+fn rates_never_exceed_one() {
+    let (rates, _) = rate_vs_activation(100, 29);
+    assert!(rates.iter().all(|&r| (0.0..=1.0).contains(&r)));
+}
+
+#[test]
+fn snn_decisions_match_ann_decisions_at_long_latency() {
+    let (net, calibration) = clipped_mlp(31);
+    let mut ann = net.clone();
+    let mut rng = SeededRng::new(32);
+    let x = rng.uniform_tensor([10, 6], -1.0, 1.0);
+    let logits = ann.forward(&x, Mode::Eval).unwrap();
+    let ann_preds = tcl_tensor::ops::argmax_rows(&logits).unwrap();
+    let mut snn = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, &calibration)
+        .unwrap()
+        .snn;
+    let cfg = tcl_snn::SimConfig::new(vec![500], 10, tcl_snn::Readout::Membrane).unwrap();
+    let sweep = tcl_snn::evaluate(&mut snn, &x, &ann_preds, &cfg).unwrap();
+    assert!(
+        sweep.final_accuracy() >= 0.9,
+        "long-T SNN should match ANN decisions, got {}",
+        sweep.final_accuracy()
+    );
+}
