@@ -2,12 +2,12 @@
 //! and matmul kernels that dominate ANN training, the SNN timestep that
 //! dominates Table-1 sweeps, and the conversion pass itself.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use tcl_core::{Converter, NormStrategy};
 use tcl_models::{Architecture, ModelConfig};
 use tcl_nn::Mode;
 use tcl_snn::{Readout, SimConfig};
-use tcl_tensor::{ops, ops::ConvGeometry, Histogram, SeededRng, Tensor};
+use tcl_tensor::{ops, ops::ConvGeometry, par, Histogram, Parallelism, SeededRng, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = SeededRng::new(1);
@@ -15,6 +15,65 @@ fn bench_matmul(c: &mut Criterion) {
     let b = rng.uniform_tensor([128, 128], -1.0, 1.0);
     c.bench_function("matmul_128x128", |bench| {
         bench.iter(|| ops::matmul(&a, &b).unwrap())
+    });
+}
+
+/// Blocked-vs-naive and serial-vs-parallel at 256³ — the acceptance shape
+/// for the cache-blocked kernel rewrite.
+fn bench_matmul_kernels(c: &mut Criterion) {
+    const N: usize = 256;
+    let mut rng = SeededRng::new(9);
+    let a: Vec<f32> = (0..N * N).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..N * N).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut out = vec![0.0f32; N * N];
+    c.bench_function("matmul_256_naive", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            ops::matmul_into_naive(black_box(&a), black_box(&b), &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
+    let mut out = vec![0.0f32; N * N];
+    c.bench_function("matmul_256_sparse_skip", |bench| {
+        // The seed's original kernel: naive loop with a zero-skip test on
+        // every A element (here none are zero, so the branch only costs).
+        bench.iter(|| {
+            out.fill(0.0);
+            ops::matmul_into_sparse(black_box(&a), black_box(&b), &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
+    let mut out = vec![0.0f32; N * N];
+    c.bench_function("matmul_256_blocked_serial", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            ops::matmul_into_with(
+                Parallelism::serial(),
+                black_box(&a),
+                black_box(&b),
+                &mut out,
+                N,
+                N,
+                N,
+            );
+            black_box(out[0])
+        })
+    });
+    let mut out = vec![0.0f32; N * N];
+    c.bench_function("matmul_256_blocked_parallel", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            ops::matmul_into_with(
+                Parallelism::from_env(),
+                black_box(&a),
+                black_box(&b),
+                &mut out,
+                N,
+                N,
+                N,
+            );
+            black_box(out[0])
+        })
     });
 }
 
@@ -70,6 +129,19 @@ fn bench_snn_step(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    c.bench_function("snn_step_cnn6_batch4_serial", |bench| {
+        bench.iter_batched(
+            || conversion.snn.clone(),
+            |mut snn| {
+                par::with_serial(|| {
+                    for _ in 0..10 {
+                        snn.step(&x).unwrap();
+                    }
+                })
+            },
+            BatchSize::SmallInput,
+        )
+    });
 }
 
 fn bench_conversion(c: &mut Criterion) {
@@ -104,7 +176,7 @@ fn bench_sweep(c: &mut Criterion) {
     c.bench_function("snn_sweep_t25_8imgs", |bench| {
         bench.iter_batched(
             || conversion.snn.clone(),
-            |mut snn| tcl_snn::evaluate(&mut snn, &images, &labels, &sim).unwrap(),
+            |snn| tcl_snn::evaluate(&snn, &images, &labels, &sim).unwrap(),
             BatchSize::SmallInput,
         )
     });
@@ -140,6 +212,7 @@ criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_matmul,
+        bench_matmul_kernels,
         bench_conv2d,
         bench_ann_forward,
         bench_snn_step,

@@ -93,14 +93,21 @@ fn measure_ops(net: &mut SpikingNetwork, input: &Tensor, t_steps: usize) -> (f64
 fn main() {
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
-    println!("== synaptic-operation (energy proxy) analysis (scale: {}) ==\n", scale.name());
+    println!(
+        "== synaptic-operation (energy proxy) analysis (scale: {}) ==\n",
+        scale.name()
+    );
     let data = dataset.generate(scale);
     let t_grid: Vec<usize> = match scale {
         Scale::Quick => vec![10, 25, 50],
         _ => vec![25, 50, 100, 150, 250],
     };
     let header: Vec<String> = {
-        let mut h = vec!["Network".to_string(), "Method".to_string(), "ANN MACs".to_string()];
+        let mut h = vec![
+            "Network".to_string(),
+            "Method".to_string(),
+            "ANN MACs".to_string(),
+        ];
         h.extend(t_grid.iter().map(|t| format!("ops ratio @T={t}")));
         h
     };

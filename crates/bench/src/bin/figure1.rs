@@ -23,7 +23,10 @@ const SITE: usize = 1;
 const BINS: usize = 48;
 
 fn ascii_log_plot(label: &str, hist: &Histogram) {
-    println!("  {label} (log-scale counts, {} values):", hist.total_count());
+    println!(
+        "  {label} (log-scale counts, {} values):",
+        hist.total_count()
+    );
     let max_log = hist
         .counts()
         .iter()
@@ -55,8 +58,8 @@ fn main() {
     let dataset = DatasetKind::Cifar;
     let data = dataset.generate(scale);
 
-    let mut original = train_or_load(Architecture::Vgg16, dataset, &data, None, scale);
-    let mut clipped = train_or_load(
+    let original = train_or_load(Architecture::Vgg16, dataset, &data, None, scale);
+    let clipped = train_or_load(
         Architecture::Vgg16,
         dataset,
         &data,
@@ -65,9 +68,9 @@ fn main() {
     );
 
     let acc_original =
-        evaluate(&mut original, data.test.images(), data.test.labels(), 50).expect("ann eval");
+        evaluate(&original, data.test.images(), data.test.labels(), 50).expect("ann eval");
     let acc_clipped =
-        evaluate(&mut clipped, data.test.images(), data.test.labels(), 50).expect("ann eval");
+        evaluate(&clipped, data.test.images(), data.test.labels(), 50).expect("ann eval");
     println!(
         "ANN accuracies: original {} | clipped {}  (paper: 92.64% vs 92.93%)\n",
         pct(acc_original),

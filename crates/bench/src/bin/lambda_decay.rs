@@ -21,7 +21,10 @@ use tcl_tensor::SeededRng;
 fn main() {
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
-    println!("== λ weight-decay (PACT-style) ablation (scale: {}) ==\n", scale.name());
+    println!(
+        "== λ weight-decay (PACT-style) ablation (scale: {}) ==\n",
+        scale.name()
+    );
     let data = dataset.generate(scale);
     let (c, h, w) = data.train.image_shape();
     let (t_lo, t_hi) = match scale {

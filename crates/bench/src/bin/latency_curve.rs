@@ -22,7 +22,10 @@ fn main() {
         Scale::Quick => vec![1, 2, 5, 10, 20, 40, 80],
         _ => vec![1, 2, 5, 10, 15, 20, 30, 50, 75, 100, 150, 200, 250, 300],
     };
-    println!("== latency-accuracy trade-off (scale: {}) ==\n", scale.name());
+    println!(
+        "== latency-accuracy trade-off (scale: {}) ==\n",
+        scale.name()
+    );
     let data = dataset.generate(scale);
     for arch in [Architecture::Cnn6, Architecture::Vgg16] {
         let tcl_net = train_or_load(arch, dataset, &data, Some(dataset.lambda0()), scale);

@@ -38,9 +38,7 @@ fn main() {
     let scale = Scale::from_env();
     let checkpoints = scale.checkpoints();
     println!("== Table 1 reproduction (scale: {}) ==", scale.name());
-    println!(
-        "strategies: tcl (ours) vs max-norm (Diehl'15) vs p99.9% (Rueckauer'17)\n"
-    );
+    println!("strategies: tcl (ours) vs max-norm (Diehl'15) vs p99.9% (Rueckauer'17)\n");
 
     for dataset in datasets {
         let data = dataset.generate(scale);
@@ -51,7 +49,11 @@ fn main() {
             data.test.len(),
             data.train.classes()
         );
-        let mut header = vec!["Network".to_string(), "Method".to_string(), "ANN".to_string()];
+        let mut header = vec![
+            "Network".to_string(),
+            "Method".to_string(),
+            "ANN".to_string(),
+        ];
         header.extend(checkpoints.iter().map(|t| format!("T={t}")));
         let mut rows: Vec<Vec<String>> = Vec::new();
         for arch in dataset.architectures() {
@@ -86,13 +88,7 @@ fn main() {
                     label.to_string(),
                     pct(report.ann_accuracy),
                 ];
-                row.extend(
-                    report
-                        .sweep
-                        .accuracies
-                        .iter()
-                        .map(|(_, acc)| pct(*acc)),
-                );
+                row.extend(report.sweep.accuracies.iter().map(|(_, acc)| pct(*acc)));
                 eprintln!(
                     "[done] {} / {} (firing rate {:.4})",
                     arch.name(),

@@ -227,7 +227,9 @@ pub fn train_or_load(
         .with_base_width(8)
         .with_clip_lambda(clip_lambda);
     let mut rng = SeededRng::new(MASTER_SEED ^ arch.name().len() as u64);
-    let mut net = arch.build(&cfg, &mut rng).expect("preset architectures build");
+    let mut net = arch
+        .build(&cfg, &mut rng)
+        .expect("preset architectures build");
     let train_cfg = TrainConfig {
         verbose: true,
         ..TrainConfig::standard(scale.epochs(), 32, 0.05, &scale.milestones())

@@ -193,11 +193,11 @@ impl Converter {
         let mut lambdas = Vec::with_capacity(sites);
         for site in 0..sites - 1 {
             let lam = match self.strategy {
-                NormStrategy::TrainedClip => clips[site].ok_or_else(|| {
-                    ConvertError::MissingClip {
+                NormStrategy::TrainedClip => {
+                    clips[site].ok_or_else(|| ConvertError::MissingClip {
                         detail: format!("activation site {site} has no clipping layer"),
-                    }
-                })?,
+                    })?
+                }
                 NormStrategy::MaxActivation => stats[site].max(),
                 NormStrategy::Percentile(p) => {
                     if !(0.0..=1.0).contains(&p) {
@@ -294,11 +294,7 @@ fn identity_conv_weight(channels: usize) -> Tensor {
 }
 
 /// Emits the spiking network from a BN-folded ANN and resolved λs.
-fn emit_spiking(
-    folded: &Network,
-    lambdas: &[f32],
-    reset: ResetMode,
-) -> Result<SpikingNetwork> {
+fn emit_spiking(folded: &Network, lambdas: &[f32], reset: ResetMode) -> Result<SpikingNetwork> {
     let layers = folded.layers();
     let mut nodes: Vec<SpikingNode> = Vec::new();
     let mut lam_prev = 1.0f32; // real-coded analog input is unscaled
@@ -392,9 +388,7 @@ fn emit_spiking(
                     .bias
                     .as_ref()
                     .map(|b| b.value.clone())
-                    .unwrap_or_else(|| {
-                        Tensor::zeros([block.conv2.out_channels()])
-                    });
+                    .unwrap_or_else(|| Tensor::zeros([block.conv2.out_channels()]));
                 // OS shortcut (from ConvSh or the virtual identity conv):
                 // Ŵosi = W_sh · λ_pre/λ_out; b̂os = (b_c2 + b_sh)/λ_out.
                 let (sh_weight, sh_geom, sh_bias) = match &block.shortcut {
@@ -441,9 +435,7 @@ fn emit_spiking(
             Layer::Dropout(_) => {} // identity at inference: emit nothing
             Layer::Relu(_) | Layer::Clip(_) => {
                 return Err(ConvertError::Unsupported {
-                    detail: format!(
-                        "activation at layer {i} is not preceded by a weighted layer"
-                    ),
+                    detail: format!("activation at layer {i} is not preceded by a weighted layer"),
                 });
             }
             Layer::BatchNorm2d(_) => unreachable!("batch-norm was folded"),

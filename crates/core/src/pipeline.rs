@@ -75,10 +75,8 @@ pub fn convert_and_evaluate(
     sim: &SimConfig,
 ) -> Result<ConversionReport> {
     let ann_accuracy = ann_evaluate(net, test_images, test_labels, sim.batch_size)?;
-    let Conversion {
-        mut snn, lambdas, ..
-    } = converter.convert(net, calibration)?;
-    let sweep = snn_evaluate(&mut snn, test_images, test_labels, sim)?;
+    let Conversion { snn, lambdas, .. } = converter.convert(net, calibration)?;
+    let sweep = snn_evaluate(&snn, test_images, test_labels, sim)?;
     Ok(ConversionReport {
         ann_accuracy,
         sweep,

@@ -125,9 +125,7 @@ fn emit_unnormalized(folded: &Network, reset: ResetMode) -> Result<Vec<SpikingNo
             Layer::Dropout(_) => {} // identity at inference: emit nothing
             Layer::Relu(_) | Layer::Clip(_) => {
                 return Err(ConvertError::Unsupported {
-                    detail: format!(
-                        "activation at layer {i} is not preceded by a weighted layer"
-                    ),
+                    detail: format!("activation at layer {i} is not preceded by a weighted layer"),
                 })
             }
             Layer::BatchNorm2d(_) => unreachable!("batch-norm was folded"),
@@ -223,7 +221,13 @@ fn scale_bias(op: &mut SynapticOp, factor: f32) {
 }
 
 /// Sets the threshold of one bank of node `k`.
-fn set_threshold(nodes: &mut [SpikingNode], k: usize, bank: Bank, threshold: f32, reset: ResetMode) {
+fn set_threshold(
+    nodes: &mut [SpikingNode],
+    k: usize,
+    bank: Bank,
+    threshold: f32,
+    reset: ResetMode,
+) {
     let thr = if threshold > 1e-6 { threshold } else { 1.0 };
     match (&mut nodes[k], bank) {
         (SpikingNode::Spiking(layer), Bank::Main) => {
@@ -289,9 +293,7 @@ pub(crate) fn convert_spike_norm(
         };
         for &bank in banks {
             match (&mut nodes[k], bank) {
-                (SpikingNode::Spiking(layer), Bank::Main) => {
-                    scale_bias(&mut layer.op, 1.0 / cum)
-                }
+                (SpikingNode::Spiking(layer), Bank::Main) => scale_bias(&mut layer.op, 1.0 / cum),
                 (SpikingNode::Residual(block), Bank::ResidualNs) => {
                     scale_bias(&mut block.ns_op, 1.0 / cum)
                 }
@@ -342,10 +344,7 @@ mod tests {
         assert_eq!(
             snn.nodes()
                 .iter()
-                .filter(|n| matches!(
-                    n,
-                    SpikingNode::Spiking(_) | SpikingNode::Residual(_)
-                ))
+                .filter(|n| matches!(n, SpikingNode::Spiking(_) | SpikingNode::Residual(_)))
                 .count(),
             thresholds.len()
         );
@@ -376,7 +375,7 @@ mod tests {
             .convert(&net, &calibration)
             .unwrap();
         let cfg = SimConfig::new(vec![500], 6, Readout::Membrane).unwrap();
-        let sweep = evaluate(&mut conversion.snn.clone(), &x, &preds, &cfg).unwrap();
+        let sweep = evaluate(&conversion.snn.clone(), &x, &preds, &cfg).unwrap();
         assert!(
             sweep.final_accuracy() >= 0.6,
             "spike-norm SNN should largely agree with the ANN, got {}",

@@ -113,11 +113,8 @@ fn reset_mode_is_propagated_to_every_neuron_bank() {
 fn bias_currents_survive_conversion() {
     // A network that relies entirely on its bias: zero weights, positive
     // bias. The SNN must still fire (the bias is injected every step).
-    let fc = Linear::from_parts(
-        Tensor::zeros([2, 2]),
-        Some(Tensor::from_slice(&[0.8, 0.1])),
-    )
-    .unwrap();
+    let fc =
+        Linear::from_parts(Tensor::zeros([2, 2]), Some(Tensor::from_slice(&[0.8, 0.1]))).unwrap();
     let out = Linear::from_parts(
         Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
         None,
@@ -143,7 +140,10 @@ fn bias_currents_survive_conversion() {
         counts[1] += s.at(1);
     }
     assert!(counts[0] > counts[1], "bias ordering lost: {counts:?}");
-    assert!(counts[0] > 50.0, "strong bias neuron barely fired: {counts:?}");
+    assert!(
+        counts[0] > 50.0,
+        "strong bias neuron barely fired: {counts:?}"
+    );
 }
 
 #[test]
@@ -176,8 +176,8 @@ fn membrane_and_spike_readouts_agree_at_long_latency() {
     let long = 400;
     let spike_cfg = SimConfig::new(vec![long], 6, Readout::SpikeCount).unwrap();
     let mem_cfg = SimConfig::new(vec![long], 6, Readout::Membrane).unwrap();
-    let a = tcl_snn::evaluate(&mut conv.snn.clone(), &x, &labels, &spike_cfg).unwrap();
-    let b = tcl_snn::evaluate(&mut conv.snn.clone(), &x, &labels, &mem_cfg).unwrap();
+    let a = tcl_snn::evaluate(&conv.snn.clone(), &x, &labels, &spike_cfg).unwrap();
+    let b = tcl_snn::evaluate(&conv.snn.clone(), &x, &labels, &mem_cfg).unwrap();
     // Same converted network, same stimuli: the readouts converge.
     assert!((a.final_accuracy() - b.final_accuracy()).abs() <= 0.2);
 }
@@ -197,11 +197,7 @@ fn converter_skips_dropout_layers() {
             .convert(&net, &calibration)
             .unwrap();
         // Same node structure as the dropout-free network.
-        assert!(conv
-            .snn
-            .nodes()
-            .iter()
-            .all(|n| n.kind_name() != "dropout"));
+        assert!(conv.snn.nodes().iter().all(|n| n.kind_name() != "dropout"));
         // And the SNN still runs.
         let mut snn = conv.snn;
         let x = rng.uniform_tensor([1, 3, 8, 8], -1.0, 1.0);

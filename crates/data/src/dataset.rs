@@ -91,11 +91,8 @@ impl Dataset {
         let n = n.min(self.len());
         let (_, c, h, w) = self.images.shape().as_nchw().expect("dataset is rank 4");
         let item = c * h * w;
-        let images = Tensor::from_vec(
-            [n, c, h, w],
-            self.images.data()[..n * item].to_vec(),
-        )
-        .expect("length consistent by construction");
+        let images = Tensor::from_vec([n, c, h, w], self.images.data()[..n * item].to_vec())
+            .expect("length consistent by construction");
         Dataset {
             images,
             labels: self.labels[..n].to_vec(),

@@ -228,8 +228,7 @@ fn class_prototypes(spec: &SynthSpec, rng: &mut SeededRng) -> Vec<Vec<Tensor>> {
                         let mut v = 0.0f32;
                         for &(fy, fx, phase, amp) in &comps {
                             v += amp
-                                * (std::f32::consts::TAU * (fy * y as f32 + fx * x as f32)
-                                    + phase)
+                                * (std::f32::consts::TAU * (fy * y as f32 + fx * x as f32) + phase)
                                     .sin();
                         }
                         // Class bump, shared across variants of the class.

@@ -68,7 +68,7 @@ proptest! {
         // The splits come from independent RNG streams; identical images
         // across splits would indicate stream reuse.
         let data = SynthVision::generate(&spec, seed).unwrap();
-        prop_assume!(data.train.len() > 0 && data.test.len() > 0);
+        prop_assume!(!data.train.is_empty() && !data.test.is_empty());
         let (c, h, w) = data.train.image_shape();
         let item = c * h * w;
         let first_train = &data.train.images().data()[..item];

@@ -15,8 +15,8 @@
 use crate::config::{ModelConfig, Pooling};
 use serde::{Deserialize, Serialize};
 use tcl_nn::layers::{
-    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
-    Relu, ResidualBlock,
+    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+    ResidualBlock,
 };
 use tcl_nn::{Layer, Network, NnError, Result};
 use tcl_tensor::SeededRng;
@@ -429,10 +429,7 @@ mod tests {
         let c = cfg().with_pooling(Pooling::Max);
         let mut net = cnn6(&c, &mut rng).unwrap();
         forward_ok(&mut net, 10);
-        assert!(net
-            .layers()
-            .iter()
-            .any(|l| l.kind_name() == "maxpool2d"));
+        assert!(net.layers().iter().any(|l| l.kind_name() == "maxpool2d"));
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl AugmentConfig {
 /// # Errors
 ///
 /// Returns an error if `batch` is not rank 4.
-pub fn augment_batch(batch: &Tensor, config: &AugmentConfig, rng: &mut SeededRng) -> Result<Tensor> {
+pub fn augment_batch(
+    batch: &Tensor,
+    config: &AugmentConfig,
+    rng: &mut SeededRng,
+) -> Result<Tensor> {
     let (n, c, h, w) = batch.shape().as_nchw().map_err(NnError::from)?;
     let mut out = Tensor::zeros([n, c, h, w]);
     let span = 2 * config.max_shift + 1;
@@ -126,10 +130,7 @@ mod tests {
             if probe.uniform(0.0, 1.0) < 0.5 {
                 let mut rng = SeededRng::new(seed);
                 let y = augment_batch(&x, &cfg, &mut rng).unwrap();
-                assert_eq!(
-                    y.data(),
-                    &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0, 8.0, 7.0, 6.0]
-                );
+                assert_eq!(y.data(), &[2.0, 1.0, 0.0, 5.0, 4.0, 3.0, 8.0, 7.0, 6.0]);
                 return;
             }
         }

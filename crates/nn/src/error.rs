@@ -67,9 +67,7 @@ mod tests {
 
     #[test]
     fn source_chains_to_tensor_error() {
-        let ne = NnError::Tensor(TensorError::InvalidArgument {
-            detail: "x".into(),
-        });
+        let ne = NnError::Tensor(TensorError::InvalidArgument { detail: "x".into() });
         assert!(ne.source().is_some());
         let g = NnError::Graph { detail: "y".into() };
         assert!(g.source().is_none());

@@ -13,8 +13,8 @@
 use crate::error::{NnError, Result};
 use crate::layer::Layer;
 use crate::layers::{
-    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
-    Relu, ResidualBlock, Shortcut,
+    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+    ResidualBlock, Shortcut,
 };
 use crate::network::Network;
 use std::io::{Read, Write};
@@ -474,9 +474,7 @@ mod tests {
         bn.running_var.data_mut()[1] = 0.25;
         bn.gamma.value.data_mut()[0] = 2.0;
         let net = Network::new(vec![
-            Layer::Conv2d(
-                Conv2d::new(2, 2, 1, 1, 0, false, &mut SeededRng::new(4)).unwrap(),
-            ),
+            Layer::Conv2d(Conv2d::new(2, 2, 1, 1, 0, false, &mut SeededRng::new(4)).unwrap()),
             Layer::BatchNorm2d(bn),
         ]);
         let back = roundtrip(&net);

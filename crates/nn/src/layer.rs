@@ -8,8 +8,8 @@
 
 use crate::error::Result;
 use crate::layers::{
-    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d,
-    Relu, ResidualBlock,
+    AvgPool2d, BatchNorm2d, Clip, Conv2d, Dropout, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+    ResidualBlock,
 };
 use crate::param::Param;
 use serde::{Deserialize, Serialize};

@@ -231,7 +231,10 @@ mod tests {
     fn running_stats_converge_to_batch_stats() {
         let mut rng = SeededRng::new(1);
         let mut bn = BatchNorm2d::new(2).unwrap();
-        let x = rng.normal_tensor([8, 2, 4, 4], 5.0, 3.0);
+        // 16*6*6 = 576 samples per channel keeps the empirical variance's
+        // sampling error (~sigma^2 * sqrt(2/n) ~= 0.53) well inside the
+        // assertion tolerance regardless of the RNG stream.
+        let x = rng.normal_tensor([16, 2, 6, 6], 5.0, 3.0);
         for _ in 0..200 {
             bn.forward(&x, Mode::Train).unwrap();
         }

@@ -105,11 +105,15 @@ impl ResidualBlock {
         };
         Ok(ResidualBlock {
             conv1,
-            bn1: batch_norm.then(|| BatchNorm2d::new(out_channels)).transpose()?,
+            bn1: batch_norm
+                .then(|| BatchNorm2d::new(out_channels))
+                .transpose()?,
             relu1: Relu::new(),
             clip1: clip_lambda.map(Clip::new),
             conv2,
-            bn2: batch_norm.then(|| BatchNorm2d::new(out_channels)).transpose()?,
+            bn2: batch_norm
+                .then(|| BatchNorm2d::new(out_channels))
+                .transpose()?,
             shortcut,
             relu_out: Relu::new(),
             clip_out: clip_lambda.map(Clip::new),

@@ -90,7 +90,12 @@ impl Network {
     /// # Errors
     ///
     /// As for [`Network::forward`].
-    pub fn forward_observed<F>(&mut self, input: &Tensor, mode: Mode, mut observe: F) -> Result<Tensor>
+    pub fn forward_observed<F>(
+        &mut self,
+        input: &Tensor,
+        mode: Mode,
+        mut observe: F,
+    ) -> Result<Tensor>
     where
         F: FnMut(usize, &Layer, &Tensor),
     {
@@ -269,7 +274,9 @@ mod tests {
     fn collect_and_extend() {
         let mut rng = SeededRng::new(7);
         let mut net: Network = vec![Layer::Relu(Relu::new())].into_iter().collect();
-        net.extend(vec![Layer::Linear(Linear::new(2, 2, false, &mut rng).unwrap())]);
+        net.extend(vec![Layer::Linear(
+            Linear::new(2, 2, false, &mut rng).unwrap(),
+        )]);
         assert_eq!(net.len(), 2);
         assert!(!net.is_empty());
     }

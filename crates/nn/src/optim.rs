@@ -205,11 +205,7 @@ mod tests {
             Layer::Linear(Linear::new(8, 2, true, &mut rng).unwrap()),
         ]);
         // Linearly separable points.
-        let x = Tensor::from_vec(
-            [4, 2],
-            vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -0.7, -1.3],
-        )
-        .unwrap();
+        let x = Tensor::from_vec([4, 2], vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -0.7, -1.3]).unwrap();
         let labels = vec![0, 0, 1, 1];
         (net, x, labels)
     }

@@ -7,7 +7,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::network::Network;
 use crate::optim::{Sgd, StepSchedule};
 use serde::{Deserialize, Serialize};
-use tcl_tensor::{ops, SeededRng, Shape, Tensor};
+use tcl_tensor::{ops, par, SeededRng, Shape, Tensor};
 
 /// Configuration for [`train`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,7 +36,12 @@ impl TrainConfig {
     /// # Errors
     ///
     /// Returns a training error for invalid schedule arguments.
-    pub fn standard(epochs: usize, batch_size: usize, lr: f32, milestones: &[usize]) -> Result<Self> {
+    pub fn standard(
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        milestones: &[usize],
+    ) -> Result<Self> {
         Ok(TrainConfig {
             epochs,
             batch_size,
@@ -122,14 +127,40 @@ pub fn select_rows(data: &Tensor, indices: &[usize]) -> Result<Tensor> {
     Ok(Tensor::from_vec(Shape::new(out_dims), out)?)
 }
 
+/// Forward-passes one evaluation mini-batch, returning its correct count.
+fn eval_batch(
+    net: &mut Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    start: usize,
+    end: usize,
+) -> Result<usize> {
+    let idx: Vec<usize> = (start..end).collect();
+    let x = select_rows(inputs, &idx)?;
+    let logits = net.forward(&x, Mode::Eval)?;
+    let preds = ops::argmax_rows(&logits)?;
+    Ok(preds
+        .iter()
+        .zip(&labels[start..end])
+        .filter(|(p, l)| p == l)
+        .count())
+}
+
 /// Evaluates classification accuracy of `net` on `(inputs, labels)` in
 /// mini-batches of `batch_size` (evaluation mode, no caching).
 ///
+/// Evaluation batches are independent forward passes, so they run in
+/// parallel: each worker thread evaluates a contiguous range of batches on
+/// its own clone of the network and the correct counts are summed in batch
+/// order. The accuracy is identical for every thread count; `TCL_THREADS=1`
+/// forces serial execution.
+///
 /// # Errors
 ///
-/// Returns an error for empty data, mismatched lengths, or layer failures.
+/// Returns an error for empty data, mismatched lengths, or layer failures
+/// (the earliest failing batch's error with multiple failures).
 pub fn evaluate(
-    net: &mut Network,
+    net: &Network,
     inputs: &Tensor,
     labels: &[usize],
     batch_size: usize,
@@ -145,20 +176,22 @@ pub fn evaluate(
             detail: "batch size must be nonzero".into(),
         });
     }
+    let batch_count = n.div_ceil(batch_size);
+    let mut slots: Vec<Option<Result<usize>>> = Vec::with_capacity(batch_count);
+    slots.resize_with(batch_count, || None);
+    par::par_items_mut(par::current(), &mut slots, 1, 1, 1, |first, run| {
+        // One clone per worker run; Mode::Eval forward passes still update
+        // per-layer scratch, so each worker needs its own network.
+        let mut worker_net = net.clone();
+        for (offset, slot) in run.iter_mut().enumerate() {
+            let start = (first + offset) * batch_size;
+            let end = (start + batch_size).min(n);
+            *slot = Some(eval_batch(&mut worker_net, inputs, labels, start, end));
+        }
+    });
     let mut correct = 0usize;
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + batch_size).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let x = select_rows(inputs, &idx)?;
-        let logits = net.forward(&x, Mode::Eval)?;
-        let preds = ops::argmax_rows(&logits)?;
-        correct += preds
-            .iter()
-            .zip(&labels[start..end])
-            .filter(|(p, l)| p == l)
-            .count();
-        start = end;
+    for slot in slots {
+        correct += slot.expect("evaluate: every batch slot filled")?;
     }
     Ok(correct as f32 / n as f32)
 }
@@ -263,10 +296,7 @@ mod tests {
                 ys.push(class);
             }
         }
-        (
-            Tensor::from_vec([n_per_class * 2, 2], xs).unwrap(),
-            ys,
-        )
+        (Tensor::from_vec([n_per_class * 2, 2], xs).unwrap(), ys)
     }
 
     fn mlp(seed: u64) -> Network {
@@ -315,10 +345,10 @@ mod tests {
 
     #[test]
     fn evaluate_validates_inputs() {
-        let mut net = mlp(3);
+        let net = mlp(3);
         let x = Tensor::zeros([2, 2]);
-        assert!(evaluate(&mut net, &x, &[0], 4).is_err());
-        assert!(evaluate(&mut net, &x, &[0, 1], 0).is_err());
+        assert!(evaluate(&net, &x, &[0], 4).is_err());
+        assert!(evaluate(&net, &x, &[0, 1], 0).is_err());
     }
 
     #[test]

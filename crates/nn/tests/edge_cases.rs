@@ -64,18 +64,18 @@ fn training_a_conv_classifier_on_trivial_data_succeeds() {
     ]);
     let cfg = TrainConfig::standard(10, 4, 0.05, &[]).unwrap();
     train(&mut net, &images, &labels, None, &cfg).unwrap();
-    let acc = evaluate(&mut net, &images, &labels, 8).unwrap();
+    let acc = evaluate(&net, &images, &labels, 8).unwrap();
     assert_eq!(acc, 1.0, "trivial task not solved: {acc}");
 }
 
 #[test]
 fn evaluate_handles_batch_larger_than_dataset() {
     let mut rng = SeededRng::new(2);
-    let mut net = Network::new(vec![Layer::Linear(
+    let net = Network::new(vec![Layer::Linear(
         Linear::new(3, 2, true, &mut rng).unwrap(),
     )]);
     let x = rng.uniform_tensor([3, 3], -1.0, 1.0);
-    let acc = evaluate(&mut net, &x, &[0, 1, 0], 100).unwrap();
+    let acc = evaluate(&net, &x, &[0, 1, 0], 100).unwrap();
     assert!((0.0..=1.0).contains(&acc));
 }
 
@@ -150,7 +150,10 @@ fn momentum_accelerates_along_consistent_gradients() {
         net.visit_params(&mut |p| w = p.value.at(0));
         w
     };
-    assert!(run(0.9) < run(0.0), "momentum should travel farther downhill");
+    assert!(
+        run(0.9) < run(0.0),
+        "momentum should travel farther downhill"
+    );
 }
 
 #[test]
@@ -183,7 +186,7 @@ fn augmented_training_still_learns() {
         ..TrainConfig::standard(12, 4, 0.05, &[]).unwrap()
     };
     train(&mut net, &images, &labels, None, &cfg).unwrap();
-    let acc = evaluate(&mut net, &images, &labels, 8).unwrap();
+    let acc = evaluate(&net, &images, &labels, 8).unwrap();
     assert!(acc >= 0.95, "augmented training failed: {acc}");
 }
 

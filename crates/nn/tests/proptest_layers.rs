@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use tcl_nn::layers::{Clip, Conv2d, Linear, Relu};
-use tcl_nn::{
-    load_network, save_network, softmax_cross_entropy, Layer, Mode, Network, Sgd,
-};
+use tcl_nn::{load_network, save_network, softmax_cross_entropy, Layer, Mode, Network, Sgd};
 use tcl_tensor::{ops, SeededRng, Tensor};
 
 fn rng_tensor(shape: Vec<usize>, seed: u64, scale: f32) -> Tensor {

@@ -34,7 +34,7 @@
 //! let mut net = SpikingNetwork::new(vec![SpikingNode::Spiking(layer)]);
 //! let images = Tensor::from_vec([2, 2], vec![0.9, 0.1, 0.1, 0.9])?;
 //! let cfg = SimConfig::new(vec![50], 2, Readout::SpikeCount)?;
-//! let sweep = evaluate(&mut net, &images, &[0, 1], &cfg)?;
+//! let sweep = evaluate(&net, &images, &[0, 1], &cfg)?;
 //! assert_eq!(sweep.final_accuracy(), 1.0);
 //! # Ok::<(), tcl_tensor::TensorError>(())
 //! ```

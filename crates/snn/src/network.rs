@@ -129,10 +129,7 @@ mod tests {
             },
             IfNeurons::new(1.0, ResetMode::Subtract),
         );
-        SpikingNetwork::new(vec![
-            SpikingNode::Spiking(l1),
-            SpikingNode::Spiking(l2),
-        ])
+        SpikingNetwork::new(vec![SpikingNode::Spiking(l1), SpikingNode::Spiking(l2)])
     }
 
     #[test]

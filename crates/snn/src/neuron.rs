@@ -1,7 +1,7 @@
 //! Integrate-and-fire neuron banks (Section 2 of the paper).
 
 use serde::{Deserialize, Serialize};
-use tcl_tensor::{Shape, Tensor};
+use tcl_tensor::{par, Shape, Tensor};
 
 /// How the membrane potential is reset after a spike (Eq. 3 discussion).
 ///
@@ -105,23 +105,34 @@ impl IfNeurons {
         };
         let mut spikes = Tensor::zeros(current.shape().clone());
         let thr = self.threshold;
-        let mut emitted = 0u64;
-        for ((v, &z), s) in potential
-            .data_mut()
-            .iter_mut()
-            .zip(current.data())
-            .zip(spikes.data_mut())
-        {
-            *v += z;
-            if *v >= thr {
-                *s = 1.0;
-                emitted += 1;
-                match self.reset {
-                    ResetMode::Subtract => *v -= thr,
-                    ResetMode::Zero => *v = 0.0,
+        let reset = self.reset;
+        // Each neuron updates independently, so large banks fan out across
+        // threads in matching potential/spike chunks; the spike count is
+        // recovered from the 0/1 spike tensor afterwards, which keeps the
+        // tally independent of the chunking.
+        par::par_items_mut2(
+            par::current(),
+            potential.data_mut(),
+            1,
+            spikes.data_mut(),
+            1,
+            1,
+            par::min_items_per_worker(4),
+            |first, vs, ss| {
+                let zs = &current.data()[first..first + vs.len()];
+                for ((v, s), &z) in vs.iter_mut().zip(ss.iter_mut()).zip(zs) {
+                    *v += z;
+                    if *v >= thr {
+                        *s = 1.0;
+                        match reset {
+                            ResetMode::Subtract => *v -= thr,
+                            ResetMode::Zero => *v = 0.0,
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
+        let emitted = spikes.data().iter().filter(|&&s| s != 0.0).count() as u64;
         self.spikes_emitted += emitted;
         self.steps += 1;
         Ok(spikes)

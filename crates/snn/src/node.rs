@@ -109,9 +109,7 @@ impl SpikingNode {
         match self {
             SpikingNode::Spiking(layer) => layer.step(input),
             SpikingNode::Residual(block) => block.step(input),
-            SpikingNode::AvgPool { kernel, stride } => {
-                ops::avg_pool2d(input, *kernel, *stride)
-            }
+            SpikingNode::AvgPool { kernel, stride } => ops::avg_pool2d(input, *kernel, *stride),
             SpikingNode::GlobalAvgPool => ops::global_avg_pool(input),
             SpikingNode::Flatten => {
                 let (n, c, h, w) = input.shape().as_nchw()?;
@@ -184,10 +182,8 @@ mod tests {
 
     #[test]
     fn spiking_layer_rate_codes_its_input() {
-        let mut layer = SpikingLayer::new(
-            unit_linear(1, 1),
-            IfNeurons::new(1.0, ResetMode::Subtract),
-        );
+        let mut layer =
+            SpikingLayer::new(unit_linear(1, 1), IfNeurons::new(1.0, ResetMode::Subtract));
         let x = Tensor::from_vec([1, 1], vec![0.4]).unwrap();
         let mut count = 0.0;
         for _ in 0..50 {

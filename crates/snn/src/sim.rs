@@ -2,7 +2,7 @@
 
 use crate::network::SpikingNetwork;
 use serde::{Deserialize, Serialize};
-use tcl_tensor::{ops, Result, SeededRng, Shape, Tensor, TensorError};
+use tcl_tensor::{ops, par, Result, SeededRng, Shape, Tensor, TensorError};
 
 /// How class scores are read out of the output layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -93,7 +93,11 @@ impl SimConfig {
     ///
     /// Never fails in practice; kept fallible for API uniformity.
     pub fn table1(batch_size: usize) -> Result<Self> {
-        Self::new(vec![50, 100, 150, 200, 250], batch_size, Readout::SpikeCount)
+        Self::new(
+            vec![50, 100, 150, 200, 250],
+            batch_size,
+            Readout::SpikeCount,
+        )
     }
 }
 
@@ -144,22 +148,117 @@ fn gather_rows(data: &Tensor, start: usize, end: usize) -> Result<Tensor> {
     )
 }
 
+/// Per-batch simulation results, folded in batch order by [`evaluate`].
+struct BatchOutcome {
+    /// Correct predictions at each checkpoint, in checkpoint order.
+    correct: Vec<usize>,
+    /// Spikes emitted during this presentation.
+    spikes: u64,
+    /// Neuron count of the network (constant across batches, carried here so
+    /// the fold does not need the network).
+    neurons: usize,
+}
+
+/// Presents one mini-batch for `max_t` timesteps on a fresh (reset) network.
+#[allow(clippy::too_many_arguments)] // worker body for evaluate(); args are the batch slice
+fn run_batch(
+    net: &mut SpikingNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SimConfig,
+    start: usize,
+    end: usize,
+    batch_index: u64,
+    max_t: usize,
+) -> Result<BatchOutcome> {
+    let x = gather_rows(images, start, end)?;
+    // The Poisson stream is seeded from the batch index, not from a shared
+    // RNG, so batches can run in any order (or concurrently) and still draw
+    // the exact impulses the serial sweep would.
+    let mut input_rng = match config.input_coding {
+        InputCoding::Analog => None,
+        InputCoding::Poisson { seed } => {
+            Some(SeededRng::new(seed ^ batch_index.wrapping_mul(0x9E37_79B9)))
+        }
+    };
+    net.reset();
+    let mut correct = vec![0usize; config.checkpoints.len()];
+    let mut counts: Option<Tensor> = None;
+    let mut checkpoint_idx = 0usize;
+    for t in 1..=max_t {
+        let stimulus = match &mut input_rng {
+            None => x.clone(),
+            Some(rng) => x.map(|v| {
+                // Signed Bernoulli impulse: expectation equals the
+                // clamped analog value, so rate coding is unbiased for
+                // |v| ≤ 1 (standardized pixels mostly are).
+                let p = v.abs().min(1.0);
+                if rng.uniform(0.0, 1.0) < p {
+                    v.signum()
+                } else {
+                    0.0
+                }
+            }),
+        };
+        let spikes = net.step(&stimulus)?;
+        match &mut counts {
+            Some(c) => c.add_assign(&spikes)?,
+            None => counts = Some(spikes),
+        }
+        if checkpoint_idx < config.checkpoints.len() && t == config.checkpoints[checkpoint_idx] {
+            let counts = counts.as_ref().expect("set on first step");
+            let scores = match config.readout {
+                Readout::SpikeCount => counts.clone(),
+                Readout::Membrane => {
+                    let thr = net.output_threshold().unwrap_or(1.0);
+                    let mut s = counts.scale(thr);
+                    if let Some(v) = net.output_potential() {
+                        s.add_assign(v)?;
+                    }
+                    s
+                }
+            };
+            let preds = ops::argmax_rows(&scores)?;
+            correct[checkpoint_idx] += preds
+                .iter()
+                .zip(&labels[start..end])
+                .filter(|(p, l)| p == l)
+                .count();
+            checkpoint_idx += 1;
+        }
+    }
+    Ok(BatchOutcome {
+        correct,
+        spikes: net.total_spikes(),
+        neurons: net.neurons_per_node().iter().sum(),
+    })
+}
+
 /// Evaluates SNN classification accuracy over a latency sweep.
 ///
 /// For every mini-batch the network is reset, the analog stimulus is
 /// presented for `max(checkpoints)` timesteps, output spikes are
 /// accumulated, and predictions are recorded at each checkpoint.
 ///
+/// Mini-batches are independent presentations (the network is reset between
+/// them), so they run in parallel: each worker thread simulates a contiguous
+/// range of batches on its own clone of the network, and the per-batch
+/// tallies are folded in batch order on the calling thread. The result is
+/// bitwise identical to a serial sweep for every thread count; set
+/// `TCL_THREADS=1` to force serial execution.
+///
 /// # Errors
 ///
 /// Returns an error for empty/mismatched data or network shape failures.
+/// With multiple failing batches, the error of the earliest batch is
+/// returned.
 ///
 /// # Examples
 ///
 /// See the crate-level example, which builds a one-layer network and runs a
 /// sweep.
 pub fn evaluate(
-    net: &mut SpikingNetwork,
+    net: &SpikingNetwork,
     images: &Tensor,
     labels: &[usize],
     config: &SimConfig,
@@ -171,77 +270,43 @@ pub fn evaluate(
         });
     }
     let max_t = *config.checkpoints.last().expect("validated nonempty");
+    let batch_count = n.div_ceil(config.batch_size);
+    let mut slots: Vec<Option<Result<BatchOutcome>>> = Vec::with_capacity(batch_count);
+    slots.resize_with(batch_count, || None);
+    par::par_items_mut(par::current(), &mut slots, 1, 1, 1, |first, run| {
+        // One network clone per worker run, reset before each batch — the
+        // same state a serial sweep would present each batch with.
+        let mut worker_net = net.clone();
+        for (offset, slot) in run.iter_mut().enumerate() {
+            let batch_index = first + offset;
+            let start = batch_index * config.batch_size;
+            let end = (start + config.batch_size).min(n);
+            *slot = Some(run_batch(
+                &mut worker_net,
+                images,
+                labels,
+                config,
+                start,
+                end,
+                batch_index as u64,
+                max_t,
+            ));
+        }
+    });
     let mut correct = vec![0usize; config.checkpoints.len()];
     let mut total_spikes = 0u64;
     let mut rate_accum = 0.0f64;
     let mut rate_batches = 0usize;
-    let mut start = 0usize;
-    let mut batch_index = 0u64;
-    while start < n {
-        let end = (start + config.batch_size).min(n);
-        let x = gather_rows(images, start, end)?;
-        let mut input_rng = match config.input_coding {
-            InputCoding::Analog => None,
-            InputCoding::Poisson { seed } => {
-                Some(SeededRng::new(seed ^ batch_index.wrapping_mul(0x9E37_79B9)))
-            }
-        };
-        batch_index += 1;
-        net.reset();
-        let mut counts: Option<Tensor> = None;
-        let mut checkpoint_idx = 0usize;
-        for t in 1..=max_t {
-            let stimulus = match &mut input_rng {
-                None => x.clone(),
-                Some(rng) => x.map(|v| {
-                    // Signed Bernoulli impulse: expectation equals the
-                    // clamped analog value, so rate coding is unbiased for
-                    // |v| ≤ 1 (standardized pixels mostly are).
-                    let p = v.abs().min(1.0);
-                    if rng.uniform(0.0, 1.0) < p {
-                        v.signum()
-                    } else {
-                        0.0
-                    }
-                }),
-            };
-            let spikes = net.step(&stimulus)?;
-            match &mut counts {
-                Some(c) => c.add_assign(&spikes)?,
-                None => counts = Some(spikes),
-            }
-            if checkpoint_idx < config.checkpoints.len()
-                && t == config.checkpoints[checkpoint_idx]
-            {
-                let counts = counts.as_ref().expect("set on first step");
-                let scores = match config.readout {
-                    Readout::SpikeCount => counts.clone(),
-                    Readout::Membrane => {
-                        let thr = net.output_threshold().unwrap_or(1.0);
-                        let mut s = counts.scale(thr);
-                        if let Some(v) = net.output_potential() {
-                            s.add_assign(v)?;
-                        }
-                        s
-                    }
-                };
-                let preds = ops::argmax_rows(&scores)?;
-                correct[checkpoint_idx] += preds
-                    .iter()
-                    .zip(&labels[start..end])
-                    .filter(|(p, l)| p == l)
-                    .count();
-                checkpoint_idx += 1;
-            }
+    for slot in slots {
+        let outcome = slot.expect("evaluate: every batch slot filled")?;
+        for (c, b) in correct.iter_mut().zip(&outcome.correct) {
+            *c += b;
         }
-        let batch_spikes = net.total_spikes();
-        total_spikes += batch_spikes;
-        let neurons: usize = net.neurons_per_node().iter().sum();
-        if neurons > 0 {
-            rate_accum += batch_spikes as f64 / (neurons as f64 * max_t as f64);
+        total_spikes += outcome.spikes;
+        if outcome.neurons > 0 {
+            rate_accum += outcome.spikes as f64 / (outcome.neurons as f64 * max_t as f64);
             rate_batches += 1;
         }
-        start = end;
     }
     let accuracies = config
         .checkpoints
@@ -282,20 +347,17 @@ mod tests {
 
     fn toy_data() -> (Tensor, Vec<usize>) {
         // Feature 0 dominant → class 0; feature 1 dominant → class 1.
-        let images = Tensor::from_vec(
-            [4, 2],
-            vec![0.9, 0.1, 0.8, 0.3, 0.2, 0.7, 0.05, 0.6],
-        )
-        .unwrap();
+        let images =
+            Tensor::from_vec([4, 2], vec![0.9, 0.1, 0.8, 0.3, 0.2, 0.7, 0.05, 0.6]).unwrap();
         (images, vec![0, 0, 1, 1])
     }
 
     #[test]
     fn accuracy_improves_with_latency_and_reaches_one() {
-        let mut net = copy_net();
+        let net = copy_net();
         let (x, y) = toy_data();
         let cfg = SimConfig::new(vec![2, 50], 2, Readout::SpikeCount).unwrap();
-        let result = evaluate(&mut net, &x, &y, &cfg).unwrap();
+        let result = evaluate(&net, &x, &y, &cfg).unwrap();
         let early = result.accuracy_at(2).unwrap();
         let late = result.accuracy_at(50).unwrap();
         assert!(late >= early);
@@ -307,10 +369,10 @@ mod tests {
 
     #[test]
     fn membrane_readout_is_accurate_even_at_t1() {
-        let mut net = copy_net();
+        let net = copy_net();
         let (x, y) = toy_data();
         let cfg = SimConfig::new(vec![1], 4, Readout::Membrane).unwrap();
-        let result = evaluate(&mut net, &x, &y, &cfg).unwrap();
+        let result = evaluate(&net, &x, &y, &cfg).unwrap();
         // After one step the membrane equals the analog input exactly.
         assert_eq!(result.final_accuracy(), 1.0);
     }
@@ -327,12 +389,12 @@ mod tests {
 
     #[test]
     fn evaluate_validates_data() {
-        let mut net = copy_net();
+        let net = copy_net();
         let cfg = SimConfig::new(vec![5], 2, Readout::SpikeCount).unwrap();
         let x = Tensor::zeros([2, 2]);
-        assert!(evaluate(&mut net, &x, &[0], &cfg).is_err());
+        assert!(evaluate(&net, &x, &[0], &cfg).is_err());
         let empty = Tensor::zeros([0, 2]);
-        assert!(evaluate(&mut net, &empty, &[], &cfg).is_err());
+        assert!(evaluate(&net, &empty, &[], &cfg).is_err());
     }
 
     #[test]
@@ -340,8 +402,8 @@ mod tests {
         let (x, y) = toy_data();
         let cfg_b1 = SimConfig::new(vec![30], 1, Readout::SpikeCount).unwrap();
         let cfg_b4 = SimConfig::new(vec![30], 4, Readout::SpikeCount).unwrap();
-        let r1 = evaluate(&mut copy_net(), &x, &y, &cfg_b1).unwrap();
-        let r4 = evaluate(&mut copy_net(), &x, &y, &cfg_b4).unwrap();
+        let r1 = evaluate(&copy_net(), &x, &y, &cfg_b1).unwrap();
+        let r4 = evaluate(&copy_net(), &x, &y, &cfg_b4).unwrap();
         assert_eq!(r1.accuracies, r4.accuracies);
         assert_eq!(r1.total_spikes, r4.total_spikes);
     }
@@ -377,7 +439,7 @@ mod input_coding_tests {
         let cfg = SimConfig::new(vec![400], 4, Readout::SpikeCount)
             .unwrap()
             .with_input_coding(InputCoding::Poisson { seed: 7 });
-        let result = evaluate(&mut identity_net(), &x, &y, &cfg).unwrap();
+        let result = evaluate(&identity_net(), &x, &y, &cfg).unwrap();
         assert_eq!(result.final_accuracy(), 1.0, "{result:?}");
     }
 
@@ -387,8 +449,8 @@ mod input_coding_tests {
         let cfg = SimConfig::new(vec![50], 2, Readout::SpikeCount)
             .unwrap()
             .with_input_coding(InputCoding::Poisson { seed: 3 });
-        let a = evaluate(&mut identity_net(), &x, &y, &cfg).unwrap();
-        let b = evaluate(&mut identity_net(), &x, &y, &cfg).unwrap();
+        let a = evaluate(&identity_net(), &x, &y, &cfg).unwrap();
+        let b = evaluate(&identity_net(), &x, &y, &cfg).unwrap();
         assert_eq!(a.accuracies, b.accuracies);
         assert_eq!(a.total_spikes, b.total_spikes);
     }
@@ -403,8 +465,8 @@ mod input_coding_tests {
         let poisson_cfg = SimConfig::new(vec![10], 4, Readout::SpikeCount)
             .unwrap()
             .with_input_coding(InputCoding::Poisson { seed: 11 });
-        let analog = evaluate(&mut identity_net(), &x, &y, &analog_cfg).unwrap();
-        let poisson = evaluate(&mut identity_net(), &x, &y, &poisson_cfg).unwrap();
+        let analog = evaluate(&identity_net(), &x, &y, &analog_cfg).unwrap();
+        let poisson = evaluate(&identity_net(), &x, &y, &poisson_cfg).unwrap();
         assert!(analog.final_accuracy() >= poisson.final_accuracy() - 0.25);
     }
 

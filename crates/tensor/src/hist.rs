@@ -277,7 +277,11 @@ mod tests {
             h.record(i as f32 / 10_000.0);
         }
         for q in [0.1f32, 0.25, 0.5, 0.9, 0.999] {
-            assert!((h.quantile(q) - q).abs() < 0.02, "q={q} got {}", h.quantile(q));
+            assert!(
+                (h.quantile(q) - q).abs() < 0.02,
+                "q={q} got {}",
+                h.quantile(q)
+            );
         }
     }
 

@@ -32,12 +32,14 @@ mod error;
 mod hist;
 pub mod ops;
 mod ops_impl;
+pub mod par;
 mod rng;
 mod shape;
 mod tensor;
 
 pub use error::{Result, TensorError};
 pub use hist::{Histogram, PercentileSketch};
+pub use par::Parallelism;
 pub use rng::SeededRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -8,7 +8,9 @@
 //! gradients a transpose-product followed by re-folding.
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{matmul_into, matmul_nt, matmul_tn};
+use crate::ops::matmul::{matmul_into, transpose_into};
+use crate::par;
+use crate::par::min_items_per_worker;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -114,7 +116,10 @@ pub fn im2col_single(
 ) {
     let col_width = out_h * out_w;
     debug_assert_eq!(input.len(), channels * in_h * in_w);
-    debug_assert_eq!(cols.len(), channels * geom.kernel_h * geom.kernel_w * col_width);
+    debug_assert_eq!(
+        cols.len(),
+        channels * geom.kernel_h * geom.kernel_w * col_width
+    );
     let pad = geom.padding as isize;
     let stride = geom.stride;
     let mut row = 0usize;
@@ -168,7 +173,10 @@ pub fn col2im_single(
 ) {
     let col_width = out_h * out_w;
     debug_assert_eq!(output.len(), channels * in_h * in_w);
-    debug_assert_eq!(cols.len(), channels * geom.kernel_h * geom.kernel_w * col_width);
+    debug_assert_eq!(
+        cols.len(),
+        channels * geom.kernel_h * geom.kernel_w * col_width
+    );
     let pad = geom.padding as isize;
     let stride = geom.stride;
     let mut row = 0usize;
@@ -184,8 +192,7 @@ pub fn col2im_single(
                         idx += out_w;
                         continue;
                     }
-                    let dst_row =
-                        &mut plane[ih as usize * in_w..(ih as usize + 1) * in_w];
+                    let dst_row = &mut plane[ih as usize * in_w..(ih as usize + 1) * in_w];
                     for ow in 0..out_w {
                         let iw = ow as isize * stride as isize + kw as isize - pad;
                         if iw >= 0 && iw < in_w as isize {
@@ -261,23 +268,37 @@ pub fn conv2d(
     let (out_h, out_w) = geom.output_hw(h, w)?;
     let col_rows = c * kh * kw;
     let col_width = out_h * out_w;
-    let mut cols = vec![0.0f32; col_rows * col_width];
     let mut out = Tensor::zeros([n, out_c, out_h, out_w]);
     let item_in = c * h * w;
     let item_out = out_c * out_h * out_w;
-    for ni in 0..n {
-        let src = &input.data()[ni * item_in..(ni + 1) * item_in];
-        im2col_single(src, c, h, w, geom, out_h, out_w, &mut cols);
-        let dst = &mut out.data_mut()[ni * item_out..(ni + 1) * item_out];
-        matmul_into(weight.data(), &cols, dst, out_c, col_rows, col_width);
-        if let Some(b) = bias {
-            for (o, &bv) in b.data().iter().enumerate() {
-                for v in dst[o * col_width..(o + 1) * col_width].iter_mut() {
-                    *v += bv;
+    // Batch items write disjoint output slices, so they fan out across
+    // threads; each worker keeps a private im2col buffer. Inside a worker
+    // the matmul stays serial (nested fan-out is suppressed), while a
+    // single-worker run lets the matmul parallelize over rows instead.
+    let min_items = min_items_per_worker(out_c * col_rows * col_width);
+    par::par_items_mut(
+        par::current(),
+        out.data_mut(),
+        item_out,
+        1,
+        min_items,
+        |first_item, run| {
+            let mut cols = vec![0.0f32; col_rows * col_width];
+            for (i, dst) in run.chunks_exact_mut(item_out.max(1)).enumerate() {
+                let ni = first_item + i;
+                let src = &input.data()[ni * item_in..(ni + 1) * item_in];
+                im2col_single(src, c, h, w, geom, out_h, out_w, &mut cols);
+                matmul_into(weight.data(), &cols, dst, out_c, col_rows, col_width);
+                if let Some(b) = bias {
+                    for (o, &bv) in b.data().iter().enumerate() {
+                        for v in dst[o * col_width..(o + 1) * col_width].iter_mut() {
+                            *v += bv;
+                        }
+                    }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(out)
 }
 
@@ -319,34 +340,71 @@ pub fn conv2d_backward(
     }
     let col_rows = c * kh * kw;
     let col_width = out_h * out_w;
-    let mut cols = vec![0.0f32; col_rows * col_width];
     let mut grad_input = Tensor::zeros([n, c, h, w]);
     let mut grad_weight = Tensor::zeros(weight.shape().clone());
     let mut grad_bias = Tensor::zeros([out_c]);
-    let weight_mat = weight.reshape([out_c, col_rows])?;
     let item_in = c * h * w;
     let item_out = out_c * col_width;
+
+    // Phase 1 — input gradients, parallel over batch items: each item's
+    // `dCols = Wᵀ @ dY` and col2im fold write a disjoint grad_input slice.
+    // Per-item bias partials ride along in lockstep slots and are folded in
+    // item order afterwards, so results are thread-count-invariant.
+    let mut wt = vec![0.0f32; out_c * col_rows];
+    transpose_into(weight.data(), &mut wt, out_c, col_rows);
+    let mut bias_partials = vec![0.0f32; n * out_c];
+    let min_items = min_items_per_worker(col_rows * out_c * col_width);
+    par::par_items_mut2(
+        par::current(),
+        grad_input.data_mut(),
+        item_in,
+        &mut bias_partials,
+        out_c,
+        1,
+        min_items,
+        |first_item, gi_run, db_run| {
+            let mut dcols = vec![0.0f32; col_rows * col_width];
+            for (i, (dst, db)) in gi_run
+                .chunks_exact_mut(item_in.max(1))
+                .zip(db_run.chunks_exact_mut(out_c.max(1)))
+                .enumerate()
+            {
+                let ni = first_item + i;
+                let gout = &grad_output.data()[ni * item_out..(ni + 1) * item_out];
+                dcols.fill(0.0);
+                matmul_into(&wt, gout, &mut dcols, col_rows, out_c, col_width);
+                col2im_single(&dcols, c, h, w, geom, out_h, out_w, dst);
+                for (o, gb) in db.iter_mut().enumerate() {
+                    *gb = gout[o * col_width..(o + 1) * col_width].iter().sum::<f32>();
+                }
+            }
+        },
+    );
+    for item in bias_partials.chunks_exact(out_c.max(1)) {
+        for (gb, &p) in grad_bias.data_mut().iter_mut().zip(item) {
+            *gb += p;
+        }
+    }
+
+    // Phase 2 — weight gradients, serial over items (the accumulation into
+    // dW is a reduction, so item order is kept fixed); the inner matmul
+    // parallelizes over its own output rows.
+    let mut cols = vec![0.0f32; col_rows * col_width];
+    let mut cols_t = vec![0.0f32; col_rows * col_width];
     for ni in 0..n {
         let src = &input.data()[ni * item_in..(ni + 1) * item_in];
         im2col_single(src, c, h, w, geom, out_h, out_w, &mut cols);
         let gout = &grad_output.data()[ni * item_out..(ni + 1) * item_out];
-        let gout_mat = Tensor::from_vec([out_c, col_width], gout.to_vec())?;
-        let cols_mat = Tensor::from_vec([col_rows, col_width], cols.clone())?;
         // dW += dY @ colsᵀ  ([O, CW] @ [CR, CW]ᵀ -> [O, CR]).
-        let dw = matmul_nt(&gout_mat, &cols_mat)?;
-        grad_weight
-            .data_mut()
-            .iter_mut()
-            .zip(dw.data())
-            .for_each(|(a, &b)| *a += b);
-        // db += row sums of dY.
-        for (o, gb) in grad_bias.data_mut().iter_mut().enumerate() {
-            *gb += gout[o * col_width..(o + 1) * col_width].iter().sum::<f32>();
-        }
-        // dCols = Wᵀ @ dY, then fold back.
-        let dcols = matmul_tn(&weight_mat, &gout_mat)?;
-        let dst = &mut grad_input.data_mut()[ni * item_in..(ni + 1) * item_in];
-        col2im_single(dcols.data(), c, h, w, geom, out_h, out_w, dst);
+        transpose_into(&cols, &mut cols_t, col_rows, col_width);
+        matmul_into(
+            gout,
+            &cols_t,
+            grad_weight.data_mut(),
+            out_c,
+            col_width,
+            col_rows,
+        );
     }
     Ok(Conv2dGradients {
         grad_input,

@@ -1,13 +1,45 @@
 //! Matrix multiplication and transpose kernels.
 //!
 //! These are the hot paths of both ANN training (via im2col convolution) and
-//! SNN simulation (synaptic current computation), so they are written with an
-//! `i-k-j` loop order that streams the output row while broadcasting a single
-//! left-hand element — the classic cache-friendly ordering for row-major
-//! operands — rather than the naive dot-product order.
+//! SNN simulation (synaptic current computation). The dense kernel is
+//! cache-blocked and register-tiled: the output is computed in `MR`×`NR`
+//! tiles whose accumulators live in registers across the **entire** shared
+//! dimension, with the `NR`-wide inner loop written over fixed-size slices
+//! so the compiler autovectorizes it. Large products additionally fan out
+//! across threads (see [`crate::par`]), splitting only along output rows.
+//!
+//! # Determinism
+//!
+//! Every output element is accumulated in ascending `k` order with exactly
+//! one store, and rows are computed independently, so the result is bitwise
+//! identical across thread counts, row partitions, and tile shapes. The
+//! `*_with` variants take an explicit [`Parallelism`] budget; the plain
+//! entry points use the process default ([`crate::par::current`], i.e.
+//! `TCL_THREADS`).
+//!
+//! # Zero-skipping
+//!
+//! The seed implementation skipped `a[i][p] == 0.0` multiplicands
+//! everywhere. That is only valid when the right-hand side is finite
+//! (`0.0 * NaN` is `NaN`, not `0.0`), so the skip now lives solely in
+//! [`matmul_into_sparse`], the kernel the SNN simulator uses for mostly-zero
+//! spike matrices; the dense kernels are IEEE-faithful.
 
 use crate::error::{Result, TensorError};
+use crate::par::{self, Parallelism};
 use crate::tensor::Tensor;
+
+/// Rows per register tile. The full-tile fast path in [`micro_tile`]
+/// destructures exactly this many accumulator rows.
+const MR: usize = 4;
+/// Columns per register tile. 4×8 accumulators are 8 SSE (or 4 AVX2)
+/// vectors, small enough to stay register-resident alongside the streamed
+/// B row even on the baseline x86-64 target.
+const NR: usize = 16;
+/// Edge length of the cache blocks used by [`transpose_into`].
+const TRANSPOSE_BLOCK: usize = 32;
+/// Minimum `m·k·n` volume before a matmul fans out across threads.
+const PAR_MIN_VOLUME: usize = 1 << 18;
 
 /// Computes the matrix product `a @ b` of two rank-2 tensors.
 ///
@@ -27,6 +59,15 @@ use crate::tensor::Tensor;
 /// # Ok::<(), tcl_tensor::TensorError>(())
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_with(par::current(), a, b)
+}
+
+/// [`matmul`] with an explicit thread budget.
+///
+/// # Errors
+///
+/// As for [`matmul`].
+pub fn matmul_with(par: Parallelism, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = a.shape().as_matrix()?;
     let (k2, n) = b.shape().as_matrix()?;
     if k != k2 {
@@ -36,19 +77,30 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros([m, n]);
-    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    matmul_into_with(par, a.data(), b.data(), out.data_mut(), m, k, n);
     Ok(out)
 }
 
-/// Computes `aᵀ @ b` without materializing the transpose.
+/// Computes `aᵀ @ b` where `a` is `[k, m]` and `b` is `[k, n]`.
 ///
-/// `a` is `[k, m]`, `b` is `[k, n]`, and the result is `[m, n]`. Used by the
-/// convolution backward pass (weight gradients).
+/// Implemented as a blocked transpose of `a` (an `O(k·m)` copy) followed by
+/// the blocked dense kernel, which beats a strided direct traversal for the
+/// `O(m·k·n)` multiply. Used by the convolution backward pass (input
+/// gradients).
 ///
 /// # Errors
 ///
 /// Returns a rank or dimension mismatch error as in [`matmul`].
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_tn_with(par::current(), a, b)
+}
+
+/// [`matmul_tn`] with an explicit thread budget.
+///
+/// # Errors
+///
+/// As for [`matmul_tn`].
+pub fn matmul_tn_with(par: Parallelism, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (k, m) = a.shape().as_matrix()?;
     let (k2, n) = b.shape().as_matrix()?;
     if k != k2 {
@@ -57,37 +109,32 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: k2,
         });
     }
+    let mut at = vec![0.0f32; m * k];
+    transpose_into(a.data(), &mut at, k, m);
     let mut out = Tensor::zeros([m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    // out[i][j] = sum_p a[p][i] * b[p][j]  — accumulate rank-1 updates per p,
-    // streaming rows of both operands.
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    matmul_into_with(par, &at, b.data(), out.data_mut(), m, k, n);
     Ok(out)
 }
 
-/// Computes `a @ bᵀ` without materializing the transpose.
+/// Computes `a @ bᵀ` where `a` is `[m, k]` and `b` is `[n, k]`.
 ///
-/// `a` is `[m, k]`, `b` is `[n, k]`, and the result is `[m, n]`. Used by the
-/// convolution backward pass (input gradients).
+/// Implemented as a blocked transpose of `b` plus the blocked dense kernel
+/// (see [`matmul_tn`]). Used by the convolution backward pass (weight
+/// gradients) and fully connected layers.
 ///
 /// # Errors
 ///
 /// Returns a rank or dimension mismatch error as in [`matmul`].
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    matmul_nt_with(par::current(), a, b)
+}
+
+/// [`matmul_nt`] with an explicit thread budget.
+///
+/// # Errors
+///
+/// As for [`matmul_nt`].
+pub fn matmul_nt_with(par: Parallelism, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = a.shape().as_matrix()?;
     let (n, k2) = b.shape().as_matrix()?;
     if k != k2 {
@@ -96,49 +143,262 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right_rows: k2,
         });
     }
+    let mut bt = vec![0.0f32; k * n];
+    transpose_into(b.data(), &mut bt, n, k);
     let mut out = Tensor::zeros([m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let orow = &mut od[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            *o = acc;
-        }
-    }
+    matmul_into_with(par, a.data(), &bt, out.data_mut(), m, k, n);
     Ok(out)
 }
 
 /// Raw `[m,k] @ [k,n] -> [m,n]` kernel over contiguous slices.
 ///
 /// `out` is accumulated into (callers must zero it first if they want a pure
-/// product). Exposed so the SNN simulator can reuse preallocated buffers.
+/// product). Exposed so the convolution and SNN paths can reuse preallocated
+/// buffers. Uses the process-default thread budget.
 ///
 /// # Panics
 ///
 /// Panics (debug assertions) if the slice lengths are inconsistent with the
 /// stated dimensions.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    matmul_into_with(par::current(), a, b, out, m, k, n);
+}
+
+/// [`matmul_into`] with an explicit thread budget.
+///
+/// Bitwise deterministic: for fixed inputs and shape the result is identical
+/// for every `par`, because the row partition only decides *which thread*
+/// runs a row, never how a row is computed.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the slice lengths are inconsistent with the
+/// stated dimensions.
+pub fn matmul_into_with(
+    par: Parallelism,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if n == 0 {
+        return;
+    }
+    // Split only if every worker gets enough rows to amortize a spawn.
+    let min_rows = (PAR_MIN_VOLUME / (k * n).max(1)).max(MR);
+    par::par_items_mut(par, out, n, MR, min_rows, |first_row, out_rows| {
+        let rows = out_rows.len() / n;
+        let a_rows = &a[first_row * k..(first_row + rows) * k];
+        kernel_rows(a_rows, b, out_rows, rows, k, n);
+    });
+}
+
+/// Dense kernel over a contiguous row range: blocked/register-tiled when the
+/// output is at least `NR` wide, row-streaming saxpy otherwise. The path is
+/// chosen by shape alone, so it never affects determinism.
+///
+/// Full `MR`-row bands are packed into a `p`-major scratch buffer once per
+/// band, so the hot tile loop streams two contiguous pointers (packed A,
+/// B rows) instead of `MR` strided row cursors. Packing copies each A
+/// element once per band — `O(rows·k)` against the `O(rows·k·n)` multiply.
+fn kernel_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    if n < NR {
+        matmul_into_naive(a, b, out, rows, k, n);
+        return;
+    }
+    let full_bands = rows - rows % MR;
+    let full_tiles = n - n % NR;
+    // A is packed once, `p`-major within each MR-row band
+    // (`a_pack[band][p·MR + r] = a[band·MR + r][p]`); each B tile is packed
+    // contiguous per `j0`. Both copies are `O(size)` against the `O(m·k·n)`
+    // multiply, and they let the hot loop stream two dense cursors with the
+    // B tile L1-resident across every band.
+    let mut a_pack = vec![0.0f32; full_bands * k];
+    for (band, band_pack) in a_pack.chunks_exact_mut(MR * k).enumerate() {
+        for r in 0..MR {
+            let row = &a[(band * MR + r) * k..(band * MR + r + 1) * k];
+            for (p, &v) in row.iter().enumerate() {
+                band_pack[p * MR + r] = v;
+            }
+        }
+    }
+    let mut b_pack = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 < full_tiles {
+        for (bp, brow) in b_pack.chunks_exact_mut(NR).zip(b[j0..].chunks(n)) {
+            bp.copy_from_slice(&brow[..NR]);
+        }
+        for (band, band_pack) in a_pack.chunks_exact(MR * k).enumerate() {
+            micro_tile_packed(band_pack, &b_pack, out, band * MR, j0, n);
+        }
+        j0 += NR;
+    }
+    if j0 < n {
+        // Ragged right edge: general tile over the original layouts.
+        let mut i0 = 0;
+        while i0 < full_bands {
+            micro_tile(a, b, out, i0, j0, MR, n - j0, k, n);
+            i0 += MR;
+        }
+    }
+    // Ragged bottom rows (fewer than MR) take the general tile.
+    if full_bands < rows {
+        let mut j0 = 0;
+        while j0 < n {
+            let width = (n - j0).min(NR);
+            micro_tile(a, b, out, full_bands, j0, rows - full_bands, width, k, n);
+            j0 += NR;
+        }
+    }
+}
+
+/// One full `MR`×`NR` output tile from packed operands: `a_band` is one
+/// `p`-major `MR`-row band (`a_band[p·MR + r]`), `b_pack` one contiguous
+/// `k`×`NR` column tile. The accumulator rows are independent local arrays
+/// indexed only by the constant-bound `c` loop, so they live in vector
+/// registers across the whole `p` loop; each iteration advances two
+/// contiguous cursors and issues `MR·NR` multiply-adds.
+#[inline]
+fn micro_tile_packed(
+    a_band: &[f32],
+    b_pack: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    n: usize,
+) {
+    let mut acc0 = [0.0f32; NR];
+    let mut acc1 = [0.0f32; NR];
+    let mut acc2 = [0.0f32; NR];
+    let mut acc3 = [0.0f32; NR];
+    for (ap, bp) in a_band.chunks_exact(MR).zip(b_pack.chunks_exact(NR)) {
+        let b_row: &[f32; NR] = bp.try_into().expect("chunk is NR wide");
+        let (a0, a1, a2, a3) = (ap[0], ap[1], ap[2], ap[3]);
+        for c in 0..NR {
+            acc0[c] += a0 * b_row[c];
+            acc1[c] += a1 * b_row[c];
+            acc2[c] += a2 * b_row[c];
+            acc3[c] += a3 * b_row[c];
+        }
+    }
+    for (r, acc) in [acc0, acc1, acc2, acc3].iter().enumerate() {
+        let o_row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR];
+        for (o, &acc_v) in o_row.iter_mut().zip(acc) {
+            *o += acc_v;
+        }
+    }
+}
+
+/// One `height`×`width` output tile (`height ≤ MR`, `width ≤ NR`): registers
+/// accumulate over the full `k` range, then a single `+=` store per element.
+#[inline]
+#[allow(clippy::too_many_arguments)] // edge-tile kernel: all args are tight-loop geometry
+fn micro_tile(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    height: usize,
+    width: usize,
+    k: usize,
+    n: usize,
+) {
+    // Row slices hoisted so the p-loop indexes with a constant bound.
+    let a_row = |r: usize| {
+        let row = i0 + if r < height { r } else { 0 };
+        &a[row * k..(row + 1) * k]
+    };
+    let a_rows: [&[f32]; MR] = std::array::from_fn(a_row);
+    let mut acc = [[0.0f32; NR]; MR];
+    if width == NR {
+        // Full-width fast path: fixed-size b row lets the c-loop vectorize.
+        for p in 0..k {
+            let b_row: &[f32; NR] = b[p * n + j0..p * n + j0 + NR]
+                .try_into()
+                .expect("width checked");
+            for r in 0..height {
+                let av = a_rows[r][p];
+                for (acc_v, &bv) in acc[r].iter_mut().zip(b_row) {
+                    *acc_v += av * bv;
+                }
+            }
+        }
+    } else {
+        for p in 0..k {
+            let b_row = &b[p * n + j0..p * n + j0 + width];
+            for r in 0..height {
+                let av = a_rows[r][p];
+                for (acc_v, &bv) in acc[r][..width].iter_mut().zip(b_row) {
+                    *acc_v += av * bv;
+                }
+            }
+        }
+    }
+    for r in 0..height {
+        let o_row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + width];
+        for (o, &acc_v) in o_row.iter_mut().zip(&acc[r][..width]) {
+            *o += acc_v;
+        }
+    }
+}
+
+/// Reference `i-k-j` saxpy kernel, IEEE-faithful (no zero-skipping).
+///
+/// Serves as the narrow-output path of the blocked kernel and as the
+/// baseline the criterion benches compare against. Accumulates into `out`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the slice lengths are inconsistent with the
+/// stated dimensions.
+pub fn matmul_into_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Sparse-row `[m,k] @ [k,n] -> [m,n]` kernel that skips zero left-hand
+/// entries — the seed's zero-skipping saxpy, kept as a dedicated entry point
+/// for spike-train matrices (mostly zeros by construction).
+///
+/// **Caveat:** skipping `a[i][p] == 0.0` also skips `0.0 × NaN` and
+/// `0.0 × ±inf`, so this kernel assumes a finite right-hand side. Spiking
+/// weights are finite by construction; dense callers must use
+/// [`matmul_into`] instead. Accumulates into `out`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the slice lengths are inconsistent with the
+/// stated dimensions.
+pub fn matmul_into_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
             if av == 0.0 {
-                // Spike trains are mostly zeros; skipping zero multiplicands
-                // is a large win in SNN simulation and harmless elsewhere.
                 continue;
             }
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
                 *o += av * bv;
             }
         }
@@ -153,14 +413,39 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
     let (m, n) = a.shape().as_matrix()?;
     let mut out = Tensor::zeros([n, m]);
-    let ad = a.data();
-    let od = out.data_mut();
-    for i in 0..m {
-        for j in 0..n {
-            od[j * m + i] = ad[i * n + j];
-        }
-    }
+    transpose_into(a.data(), out.data_mut(), m, n);
     Ok(out)
+}
+
+/// Blocked transpose of an `[m, n]` row-major slice into `dst` (`[n, m]`).
+///
+/// Walks `TRANSPOSE_BLOCK`² blocks so both the row-wise reads and the
+/// strided writes stay within a cache-resident footprint, instead of the
+/// naive full-row sweep that misses on every write for large `m`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if the slice lengths are not `m * n`.
+pub fn transpose_into(src: &[f32], dst: &mut [f32], m: usize, n: usize) {
+    debug_assert_eq!(src.len(), m * n);
+    debug_assert_eq!(dst.len(), m * n);
+    const B: usize = TRANSPOSE_BLOCK;
+    let mut i0 = 0;
+    while i0 < m {
+        let ih = (m - i0).min(B);
+        let mut j0 = 0;
+        while j0 < n {
+            let jw = (n - j0).min(B);
+            for i in i0..i0 + ih {
+                let s_row = &src[i * n + j0..i * n + j0 + jw];
+                for (dj, &v) in s_row.iter().enumerate() {
+                    dst[(j0 + dj) * m + i] = v;
+                }
+            }
+            j0 += B;
+        }
+        i0 += B;
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +454,12 @@ mod tests {
 
     fn t2(rows: usize, cols: usize, v: &[f32]) -> Tensor {
         Tensor::from_vec([rows, cols], v.to_vec()).unwrap()
+    }
+
+    /// Pseudo-random but deterministic fill for kernel cross-checks.
+    fn fill(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut rng = crate::rng::SeededRng::new(seed);
+        rng.uniform_tensor([rows, cols], -1.0, 1.0)
     }
 
     #[test]
@@ -234,5 +525,151 @@ mod tests {
         let mut out = [1.0, 1.0, 1.0, 1.0];
         matmul_into(&a, &b, &mut out, 2, 2, 2);
         assert_eq!(out, [6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_on_awkward_shapes() {
+        // Cover all tile-edge combinations: rows % MR, cols % NR, narrow
+        // outputs, and k both smaller and larger than a tile.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 4, 16),
+            (5, 3, 17),
+            (7, 33, 15),
+            (13, 70, 47),
+            (33, 9, 64),
+            (3, 128, 2),
+        ] {
+            let a = fill(m, k, 1 + m as u64);
+            let b = fill(k, n, 100 + n as u64);
+            let mut blocked = vec![0.0f32; m * n];
+            let mut naive = vec![0.0f32; m * n];
+            matmul_into_with(
+                Parallelism::serial(),
+                a.data(),
+                b.data(),
+                &mut blocked,
+                m,
+                k,
+                n,
+            );
+            matmul_into_naive(a.data(), b.data(), &mut naive, m, k, n);
+            // Same inputs, same per-element accumulation order → bitwise.
+            assert_eq!(blocked, naive, "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn dense_kernel_propagates_nonfinite_products() {
+        // Regression for the seed's zero-skip bug: 0 · NaN and 0 · inf must
+        // reach the output as NaN in the dense kernels.
+        let a = t2(1, 2, &[0.0, 1.0]);
+        let b = t2(2, 2, &[f32::NAN, f32::INFINITY, 1.0, 2.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.at(0).is_nan(), "0 * NaN + 1 * 1 must be NaN, got {c:?}");
+        assert!(c.at(1).is_nan(), "0 * inf + 1 * 2 must be NaN, got {c:?}");
+
+        // matmul_tn had the same skip on its left operand.
+        let at = transpose(&a).unwrap();
+        let c_tn = matmul_tn(&at, &b).unwrap();
+        assert!(c_tn.at(0).is_nan() && c_tn.at(1).is_nan(), "{c_tn:?}");
+
+        // The sparse kernel intentionally keeps the skip (finite weights).
+        let mut sparse = vec![0.0f32; 2];
+        matmul_into_sparse(a.data(), b.data(), &mut sparse, 1, 2, 2);
+        assert_eq!(sparse, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn sparse_kernel_matches_dense_on_spike_like_input() {
+        let mut rng = crate::rng::SeededRng::new(5);
+        let (m, k, n) = (6, 40, 30);
+        // ~80% zeros, like a spike raster.
+        let spikes: Vec<f32> = (0..m * k)
+            .map(|_| {
+                if rng.uniform(0.0, 1.0) < 0.2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let b = fill(k, n, 9);
+        let mut dense = vec![0.0f32; m * n];
+        let mut sparse = vec![0.0f32; m * n];
+        matmul_into_with(
+            Parallelism::serial(),
+            &spikes,
+            b.data(),
+            &mut dense,
+            m,
+            k,
+            n,
+        );
+        matmul_into_sparse(&spikes, b.data(), &mut sparse, m, k, n);
+        for (d, s) in dense.iter().zip(&sparse) {
+            assert!((d - s).abs() < 1e-5, "{d} vs {s}");
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive() {
+        for &(m, n) in &[(1usize, 1usize), (3, 5), (31, 33), (64, 64), (70, 130)] {
+            let a = fill(m, n, 7 + (m * n) as u64);
+            let mut naive = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    naive[j * m + i] = a.data()[i * n + j];
+                }
+            }
+            let blocked = transpose(&a).unwrap();
+            assert_eq!(blocked.data(), &naive[..], "shape {m}x{n}");
+            assert_eq!(blocked.dims(), &[n, m]);
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_equal_to_serial() {
+        let (m, k, n) = (37, 23, 29);
+        let a = fill(m, k, 21);
+        let b = fill(k, n, 22);
+        let mut serial = vec![0.0f32; m * n];
+        matmul_into_with(
+            Parallelism::serial(),
+            a.data(),
+            b.data(),
+            &mut serial,
+            m,
+            k,
+            n,
+        );
+        for threads in [2usize, 3, 8] {
+            let mut parallel = vec![0.0f32; m * n];
+            matmul_into_with(
+                Parallelism::new(threads),
+                a.data(),
+                b.data(),
+                &mut parallel,
+                m,
+                k,
+                n,
+            );
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_handled() {
+        // m = 0, k = 0, n = 0 must not panic and must respect accumulate
+        // semantics (k = 0 adds nothing).
+        let mut out: Vec<f32> = vec![];
+        matmul_into(&[], &[0.0; 16], &mut out, 0, 4, 4);
+
+        let mut out = [7.0f32; 4];
+        matmul_into(&[], &[], &mut out, 2, 0, 2);
+        assert_eq!(out, [7.0; 4]);
+
+        let mut out: Vec<f32> = vec![];
+        matmul_into(&[1.0, 2.0], &[], &mut out, 1, 2, 0);
     }
 }

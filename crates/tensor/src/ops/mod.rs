@@ -12,7 +12,10 @@ pub use conv::{
     col2im_single, conv2d, conv2d_backward, conv2d_naive, im2col_single, Conv2dGradients,
     ConvGeometry,
 };
-pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn, transpose};
+pub use matmul::{
+    matmul, matmul_into, matmul_into_naive, matmul_into_sparse, matmul_into_with, matmul_nt,
+    matmul_nt_with, matmul_tn, matmul_tn_with, matmul_with, transpose, transpose_into,
+};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
     max_pool2d_backward, MaxPoolOutput,

@@ -4,9 +4,14 @@
 //! average-pooling, because an average of spike trains is itself a valid
 //! synaptic current while a max is not. Both are provided: max-pooling for
 //! the unconstrained ANN baselines, average pooling for convertible networks.
+//!
+//! All kernels iterate `[N, C]` planes through contiguous slices and fan the
+//! plane loop out across threads (see [`crate::par`]); planes are fully
+//! independent, so results are bitwise identical for every thread count.
 
 use crate::error::{Result, TensorError};
 use crate::ops::conv::ConvGeometry;
+use crate::par::{self, min_items_per_worker};
 use crate::tensor::Tensor;
 
 /// Forward average pooling with window `kernel`, stride `stride`, no padding.
@@ -34,21 +39,33 @@ pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor
     let (oh, ow) = geom.output_hw(h, w)?;
     let mut out = Tensor::zeros([n, c, oh, ow]);
     let inv = 1.0 / (kernel * kernel) as f32;
-    for ni in 0..n {
-        for ci in 0..c {
-            for y in 0..oh {
-                for x in 0..ow {
-                    let mut acc = 0.0;
-                    for ky in 0..kernel {
-                        for kx in 0..kernel {
-                            acc += input.at4(ni, ci, y * stride + ky, x * stride + kx);
+    let in_plane = h * w;
+    let out_plane = oh * ow;
+    let min_planes = min_items_per_worker(out_plane * kernel * kernel);
+    par::par_items_mut(
+        par::current(),
+        out.data_mut(),
+        out_plane,
+        1,
+        min_planes,
+        |first_plane, run| {
+            for (i, dst) in run.chunks_exact_mut(out_plane).enumerate() {
+                let src = &input.data()[(first_plane + i) * in_plane..][..in_plane];
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..kernel {
+                            let row = &src[(y * stride + ky) * w + x * stride..][..kernel];
+                            for &v in row {
+                                acc += v;
+                            }
                         }
+                        dst[y * ow + x] = acc * inv;
                     }
-                    out.set4(ni, ci, y, x, acc * inv);
                 }
             }
-        }
-    }
+        },
+    );
     Ok(out)
 }
 
@@ -77,22 +94,32 @@ pub fn avg_pool2d_backward(
     }
     let mut grad_input = Tensor::zeros([n, c, h, w]);
     let inv = 1.0 / (kernel * kernel) as f32;
-    for ni in 0..n {
-        for ci in 0..c {
-            for y in 0..oh {
-                for x in 0..ow {
-                    let g = grad_output.at4(ni, ci, y, x) * inv;
-                    for ky in 0..kernel {
-                        for kx in 0..kernel {
-                            let (iy, ix) = (y * stride + ky, x * stride + kx);
-                            let cur = grad_input.at4(ni, ci, iy, ix);
-                            grad_input.set4(ni, ci, iy, ix, cur + g);
+    let in_plane = h * w;
+    let out_plane = oh * ow;
+    let min_planes = min_items_per_worker(out_plane * kernel * kernel);
+    par::par_items_mut(
+        par::current(),
+        grad_input.data_mut(),
+        in_plane,
+        1,
+        min_planes,
+        |first_plane, run| {
+            for (i, dst) in run.chunks_exact_mut(in_plane).enumerate() {
+                let gout = &grad_output.data()[(first_plane + i) * out_plane..][..out_plane];
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let g = gout[y * ow + x] * inv;
+                        for ky in 0..kernel {
+                            let row = &mut dst[(y * stride + ky) * w + x * stride..][..kernel];
+                            for v in row {
+                                *v += g;
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(grad_input)
 }
 
@@ -117,31 +144,49 @@ pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<MaxPoo
     let geom = ConvGeometry::square(kernel, stride, 0)?;
     let (oh, ow) = geom.output_hw(h, w)?;
     let mut out = Tensor::zeros([n, c, oh, ow]);
-    let mut argmax = vec![0usize; n * c * oh * ow];
-    let mut oidx = 0usize;
-    for ni in 0..n {
-        for ci in 0..c {
-            for y in 0..oh {
-                for x in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ky in 0..kernel {
-                        for kx in 0..kernel {
-                            let (iy, ix) = (y * stride + ky, x * stride + kx);
-                            let v = input.at4(ni, ci, iy, ix);
-                            if v > best {
-                                best = v;
-                                best_idx = ((ni * c + ci) * h + iy) * w + ix;
+    let in_plane = h * w;
+    let out_plane = oh * ow;
+    let mut argmax = vec![0usize; n * c * out_plane];
+    let min_planes = min_items_per_worker(out_plane * kernel * kernel);
+    par::par_items_mut2(
+        par::current(),
+        out.data_mut(),
+        out_plane,
+        &mut argmax,
+        out_plane,
+        1,
+        min_planes,
+        |first_plane, run, arg_run| {
+            for (i, (dst, args)) in run
+                .chunks_exact_mut(out_plane)
+                .zip(arg_run.chunks_exact_mut(out_plane))
+                .enumerate()
+            {
+                let plane = first_plane + i;
+                let base = plane * in_plane;
+                let src = &input.data()[base..base + in_plane];
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..kernel {
+                            let iy = y * stride + ky;
+                            for kx in 0..kernel {
+                                let ix = x * stride + kx;
+                                let v = src[iy * w + ix];
+                                if v > best {
+                                    best = v;
+                                    best_idx = base + iy * w + ix;
+                                }
                             }
                         }
+                        dst[y * ow + x] = best;
+                        args[y * ow + x] = best_idx;
                     }
-                    out.set4(ni, ci, y, x, best);
-                    argmax[oidx] = best_idx;
-                    oidx += 1;
                 }
             }
-        }
-    }
+        },
+    );
     Ok(MaxPoolOutput {
         output: out,
         argmax,
@@ -185,13 +230,21 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros([n, c, 1, 1]);
     let plane = h * w;
     let inv = 1.0 / plane as f32;
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * plane;
-            let s: f32 = input.data()[base..base + plane].iter().sum();
-            out.data_mut()[ni * c + ci] = s * inv;
-        }
-    }
+    let min_planes = min_items_per_worker(plane);
+    par::par_items_mut(
+        par::current(),
+        out.data_mut(),
+        1,
+        1,
+        min_planes,
+        |first_plane, run| {
+            for (i, dst) in run.iter_mut().enumerate() {
+                let base = (first_plane + i) * plane;
+                let s: f32 = input.data()[base..base + plane].iter().sum();
+                *dst = s * inv;
+            }
+        },
+    );
     Ok(out)
 }
 
@@ -216,15 +269,20 @@ pub fn global_avg_pool_backward(
     let plane = h * w;
     let inv = 1.0 / plane as f32;
     let mut grad_input = Tensor::zeros([n, c, h, w]);
-    for ni in 0..n {
-        for ci in 0..c {
-            let g = grad_output.data()[ni * c + ci] * inv;
-            let base = (ni * c + ci) * plane;
-            for v in grad_input.data_mut()[base..base + plane].iter_mut() {
-                *v = g;
+    let min_planes = min_items_per_worker(plane);
+    par::par_items_mut(
+        par::current(),
+        grad_input.data_mut(),
+        plane,
+        1,
+        min_planes,
+        |first_plane, run| {
+            for (i, dst) in run.chunks_exact_mut(plane).enumerate() {
+                let g = grad_output.data()[first_plane + i] * inv;
+                dst.fill(g);
             }
-        }
-    }
+        },
+    );
     Ok(grad_input)
 }
 
@@ -254,11 +312,8 @@ mod tests {
 
     #[test]
     fn max_pool_takes_window_maximum() {
-        let x = Tensor::from_vec(
-            [1, 1, 2, 4],
-            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0]).unwrap();
         let y = max_pool2d(&x, 2, 2).unwrap();
         assert_eq!(y.output.data(), &[5.0, 9.0]);
         assert_eq!(y.argmax, vec![1, 7]);
@@ -305,5 +360,20 @@ mod tests {
         let x = Tensor::zeros([1, 1, 2, 2]);
         assert!(avg_pool2d(&x, 3, 1).is_err());
         assert!(max_pool2d(&x, 4, 1).is_err());
+    }
+
+    #[test]
+    fn pooling_is_thread_count_invariant() {
+        // Plane fan-out must not change any result; exercised via the
+        // with_serial escape hatch versus the default budget.
+        let x = Tensor::from_fn([3, 4, 6, 6], |i| ((i * 29 % 23) as f32 - 11.0) * 0.3);
+        let par_avg = avg_pool2d(&x, 2, 2).unwrap();
+        let par_max = max_pool2d(&x, 3, 1).unwrap();
+        let (ser_avg, ser_max) =
+            crate::par::with_serial(|| (avg_pool2d(&x, 2, 2), max_pool2d(&x, 3, 1)));
+        assert_eq!(par_avg, ser_avg.unwrap());
+        let ser_max = ser_max.unwrap();
+        assert_eq!(par_max.output, ser_max.output);
+        assert_eq!(par_max.argmax, ser_max.argmax);
     }
 }

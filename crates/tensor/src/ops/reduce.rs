@@ -169,8 +169,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec([3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
     }
@@ -262,7 +261,8 @@ mod topk_tests {
 
     #[test]
     fn topk_is_monotone_in_k() {
-        let logits = Tensor::from_vec([2, 4], vec![0.4, 0.3, 0.2, 0.1, 0.1, 0.2, 0.3, 0.4]).unwrap();
+        let logits =
+            Tensor::from_vec([2, 4], vec![0.4, 0.3, 0.2, 0.1, 0.1, 0.2, 0.3, 0.4]).unwrap();
         let labels = [3usize, 0];
         let mut prev = 0.0;
         for k in 1..=4 {

@@ -1,0 +1,374 @@
+//! Deterministic fork-join parallelism for compute kernels.
+//!
+//! The kernels in [`crate::ops`] split work across threads **only along
+//! independent output items** (matmul output rows, convolution batch items,
+//! pooling planes). Every item is computed by exactly the same scalar code
+//! regardless of which thread runs it or how items are grouped, so results
+//! are bitwise identical for every thread count — `TCL_THREADS=1` and
+//! `TCL_THREADS=64` produce the same floats. No parallel reductions are
+//! performed here; kernels that need a reduction accumulate per-item partials
+//! and fold them in item order on one thread.
+//!
+//! Thread-count resolution order:
+//!
+//! 1. an explicit [`Parallelism`] passed to a `*_with` kernel variant;
+//! 2. the `TCL_THREADS` environment variable (positive integer), read once;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Workers are plain scoped threads ([`std::thread::scope`]); there is no
+//! pool, so the helpers only fan out when each worker receives enough items
+//! to amortize spawn cost (the `min_items_per_worker` arguments). Nested
+//! fan-out is suppressed automatically: code running inside a worker sees a
+//! serial [`Parallelism`] (see [`with_serial`]), so e.g. a matmul inside a
+//! parallel-over-batch convolution does not oversubscribe the machine.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// A thread-count budget for the compute kernels.
+///
+/// `Parallelism` is a plain value: passing `Parallelism::serial()` to a
+/// `*_with` kernel forces single-threaded execution, and any other count
+/// caps the fan-out width. The result of a kernel never depends on the
+/// budget — only its wall-clock time does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Single-threaded execution.
+    pub fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// A budget of at most `threads` worker threads (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolves the budget from the environment: `TCL_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        match parse_thread_var(std::env::var("TCL_THREADS").ok().as_deref()) {
+            Some(t) => Parallelism::new(t),
+            None => Parallelism::new(
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            ),
+        }
+    }
+
+    /// The configured thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of workers to actually use for `items` independent items,
+    /// requiring at least `min_items_per_worker` items each (so tiny
+    /// problems stay serial). Returns 1 inside a [`with_serial`] scope.
+    pub fn workers_for(&self, items: usize, min_items_per_worker: usize) -> usize {
+        if in_serial_scope() {
+            return 1;
+        }
+        self.threads.min(items / min_items_per_worker.max(1)).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    /// The process-wide budget (see [`current`]).
+    fn default() -> Self {
+        current()
+    }
+}
+
+/// Default floor on per-worker work (roughly multiply-add counts) before a
+/// kernel fans out. Spawning a scoped thread costs tens of microseconds, so
+/// each worker needs at least this much arithmetic to come out ahead.
+pub const MIN_WORK_PER_WORKER: usize = 1 << 18;
+
+/// Converts a per-item cost estimate into the `min_items_per_worker`
+/// argument of the `par_*` helpers, using [`MIN_WORK_PER_WORKER`].
+pub fn min_items_per_worker(item_cost: usize) -> usize {
+    (MIN_WORK_PER_WORKER / item_cost.max(1)).max(1)
+}
+
+fn parse_thread_var(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+}
+
+/// The process-wide default budget, resolved once from the environment.
+pub fn current() -> Parallelism {
+    static CURRENT: OnceLock<Parallelism> = OnceLock::new();
+    *CURRENT.get_or_init(Parallelism::from_env)
+}
+
+thread_local! {
+    static SERIAL_SCOPE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with all kernel fan-out suppressed on this thread.
+///
+/// Used by coarse-grained parallel drivers (e.g. the SNN evaluator's
+/// per-batch workers) so the fine-grained kernels they call stay serial
+/// instead of oversubscribing. The helpers in this module apply it to their
+/// own workers automatically.
+pub fn with_serial<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SERIAL_SCOPE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(SERIAL_SCOPE.with(|c| c.replace(true)));
+    f()
+}
+
+/// Whether kernel fan-out is suppressed on this thread.
+pub fn in_serial_scope() -> bool {
+    SERIAL_SCOPE.with(Cell::get)
+}
+
+/// Computes per-worker contiguous item counts: `items` split across `workers`
+/// in runs that are multiples of `granularity` (except possibly the last).
+fn run_len(items: usize, granularity: usize, workers: usize) -> usize {
+    let gran = granularity.max(1);
+    let granules = items.div_ceil(gran);
+    granules.div_ceil(workers) * gran
+}
+
+/// Splits `data` — `items` of `item_len` elements each — into contiguous
+/// per-worker runs and calls `f(first_item_index, run)` on each run, in
+/// parallel.
+///
+/// Runs are multiples of `granularity` items (except the last), so callers
+/// tiling items in groups (e.g. matmul row tiles) see aligned boundaries.
+/// `f` must compute each item independently of its neighbours; under that
+/// contract the result is bitwise identical to the serial call `f(0, data)`.
+pub fn par_items_mut<T, F>(
+    par: Parallelism,
+    data: &mut [T],
+    item_len: usize,
+    granularity: usize,
+    min_items_per_worker: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let item_len = item_len.max(1);
+    debug_assert_eq!(data.len() % item_len, 0, "partial trailing item");
+    let items = data.len() / item_len;
+    let workers = par.workers_for(items, min_items_per_worker);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let per_worker = run_len(items, granularity, workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first_item = 0usize;
+        while !rest.is_empty() {
+            let take = per_worker.min(rest.len() / item_len);
+            let (run, tail) = rest.split_at_mut(take * item_len);
+            rest = tail;
+            let start = first_item;
+            first_item += take;
+            if rest.is_empty() {
+                // Run the final chunk on the current thread.
+                with_serial(|| f(start, run));
+            } else {
+                scope.spawn(move || with_serial(|| f(start, run)));
+            }
+        }
+    });
+}
+
+/// Like [`par_items_mut`], but splits two slices in lockstep: item `i`
+/// consists of `a_item` elements of `a` and `b_item` elements of `b`.
+/// `f(first_item_index, a_run, b_run)` receives matching runs.
+#[allow(clippy::too_many_arguments)] // mirrors par_items_mut with a second slice
+pub fn par_items_mut2<T, U, F>(
+    par: Parallelism,
+    a: &mut [T],
+    a_item: usize,
+    b: &mut [U],
+    b_item: usize,
+    granularity: usize,
+    min_items_per_worker: usize,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    let (a_item, b_item) = (a_item.max(1), b_item.max(1));
+    debug_assert_eq!(a.len() % a_item, 0, "partial trailing item in a");
+    debug_assert_eq!(b.len() % b_item, 0, "partial trailing item in b");
+    debug_assert_eq!(a.len() / a_item, b.len() / b_item, "item count mismatch");
+    let items = a.len() / a_item;
+    let workers = par.workers_for(items, min_items_per_worker);
+    if workers <= 1 {
+        f(0, a, b);
+        return;
+    }
+    let per_worker = run_len(items, granularity, workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest_a = a;
+        let mut rest_b = b;
+        let mut first_item = 0usize;
+        while !rest_a.is_empty() {
+            let take = per_worker.min(rest_a.len() / a_item);
+            let (run_a, tail_a) = rest_a.split_at_mut(take * a_item);
+            let (run_b, tail_b) = rest_b.split_at_mut(take * b_item);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let start = first_item;
+            first_item += take;
+            if rest_a.is_empty() {
+                with_serial(|| f(start, run_a, run_b));
+            } else {
+                scope.spawn(move || with_serial(|| f(start, run_a, run_b)));
+            }
+        }
+    });
+}
+
+/// Evaluates `f(0..items)` in parallel and returns the results in index
+/// order. Workers receive contiguous index ranges; fold order is therefore
+/// independent of the thread count.
+pub fn par_map<R, F>(par: Parallelism, items: usize, min_items_per_worker: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    par_items_mut(par, &mut slots, 1, 1, min_items_per_worker, |first, run| {
+        for (offset, slot) in run.iter_mut().enumerate() {
+            *slot = Some(f(first + offset));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn thread_var_parsing() {
+        assert_eq!(parse_thread_var(None), None);
+        assert_eq!(parse_thread_var(Some("")), None);
+        assert_eq!(parse_thread_var(Some("0")), None);
+        assert_eq!(parse_thread_var(Some("-2")), None);
+        assert_eq!(parse_thread_var(Some("junk")), None);
+        assert_eq!(parse_thread_var(Some("8")), Some(8));
+        assert_eq!(parse_thread_var(Some(" 3 ")), Some(3));
+    }
+
+    #[test]
+    fn workers_respect_min_items() {
+        let par = Parallelism::new(4);
+        assert_eq!(par.workers_for(3, 8), 1);
+        assert_eq!(par.workers_for(16, 8), 2);
+        assert_eq!(par.workers_for(1000, 8), 4);
+        assert_eq!(par.workers_for(0, 8), 1);
+        assert_eq!(Parallelism::serial().workers_for(1000, 1), 1);
+    }
+
+    #[test]
+    fn par_items_mut_touches_every_item_once() {
+        for &threads in &[1usize, 2, 3, 5] {
+            let mut data = vec![0u32; 103 * 3];
+            par_items_mut(
+                Parallelism::new(threads),
+                &mut data,
+                3,
+                4,
+                1,
+                |first, run| {
+                    for (i, item) in run.chunks_exact_mut(3).enumerate() {
+                        for v in item.iter_mut() {
+                            *v += (first + i) as u32 + 1;
+                        }
+                    }
+                },
+            );
+            let expected: Vec<u32> = (0..103u32).flat_map(|i| [i + 1; 3]).collect();
+            assert_eq!(data, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_items_mut2_keeps_slices_in_lockstep() {
+        let mut a = vec![0usize; 37 * 2];
+        let mut b = vec![0usize; 37 * 5];
+        par_items_mut2(
+            Parallelism::new(3),
+            &mut a,
+            2,
+            &mut b,
+            5,
+            1,
+            1,
+            |first, ra, rb| {
+                for (i, item) in ra.chunks_exact_mut(2).enumerate() {
+                    item.fill(first + i);
+                }
+                for (i, item) in rb.chunks_exact_mut(5).enumerate() {
+                    item.fill(first + i);
+                }
+            },
+        );
+        for i in 0..37 {
+            assert!(a[i * 2..(i + 1) * 2].iter().all(|&v| v == i));
+            assert!(b[i * 5..(i + 1) * 5].iter().all(|&v| v == i));
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for &threads in &[1usize, 2, 7] {
+            let out = par_map(Parallelism::new(threads), 50, 1, |i| i * i);
+            assert_eq!(out, (0..50).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn workers_run_in_serial_scope() {
+        let nested_workers = AtomicUsize::new(0);
+        par_items_mut(Parallelism::new(4), &mut [0u8; 16], 1, 1, 1, |_, _| {
+            let inner = Parallelism::new(4).workers_for(1000, 1);
+            nested_workers.fetch_max(inner, Ordering::Relaxed);
+        });
+        assert_eq!(nested_workers.load(Ordering::Relaxed), 1);
+        assert!(!in_serial_scope());
+    }
+
+    #[test]
+    fn with_serial_restores_on_unwind() {
+        let res = std::panic::catch_unwind(|| with_serial(|| panic!("boom")));
+        assert!(res.is_err());
+        assert!(!in_serial_scope());
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut data: Vec<f32> = Vec::new();
+        par_items_mut(Parallelism::new(4), &mut data, 4, 1, 1, |_, run| {
+            assert!(run.is_empty());
+        });
+        let out: Vec<u8> = par_map(Parallelism::new(4), 0, 1, |_| 0);
+        assert!(out.is_empty());
+    }
+}

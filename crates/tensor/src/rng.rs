@@ -37,7 +37,10 @@ impl SeededRng {
     /// subsystem (data, init, shuffle) its own stream from one master seed.
     pub fn fork(&mut self, stream: u64) -> SeededRng {
         let base: u64 = self.inner.gen();
-        SeededRng::new(base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(stream))
+        SeededRng::new(
+            base.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(stream),
+        )
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -178,8 +181,12 @@ mod tests {
         let mut rng = SeededRng::new(13);
         let t = rng.kaiming_normal([10_000], 8);
         let mean = t.mean();
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         let expected = 2.0 / 8.0;
         assert!((var - expected).abs() < 0.02, "var {var} vs {expected}");
     }

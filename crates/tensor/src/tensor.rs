@@ -494,10 +494,7 @@ mod tests {
     fn shape_mismatch_is_reported() {
         let a = Tensor::zeros([2]);
         let b = Tensor::zeros([3]);
-        assert!(matches!(
-            a.add(&b),
-            Err(TensorError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
     }
 
     #[test]

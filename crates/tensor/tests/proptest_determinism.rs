@@ -1,0 +1,132 @@
+//! Property tests for the parallel-execution determinism contract.
+//!
+//! The kernels promise that the thread budget never changes results: for any
+//! shape and any thread count, the parallel output is **bitwise identical**
+//! to the serial one (see `tcl_tensor::par`). These properties drive the
+//! explicit `Parallelism` API with randomized shapes, data, and thread
+//! counts, and compare against both the serial path and the naive reference
+//! kernel with exact `==` — no tolerance anywhere.
+
+use proptest::prelude::*;
+use tcl_tensor::ops::{
+    avg_pool2d, conv2d, matmul_into_naive, matmul_into_with, matmul_nt_with, matmul_tn_with,
+    max_pool2d, transpose_into, ConvGeometry,
+};
+use tcl_tensor::{par, Parallelism, SeededRng, Tensor};
+
+/// Uniform values in `[-1, 1)`, seeded so failures replay exactly.
+fn random_vec(rng: &mut SeededRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+/// Thread budgets exercised against the serial baseline. 2 splits once, 3
+/// leaves a ragged tail run, and the last budget exceeds any worker count the
+/// row-split will actually use, exercising the `workers.max(1)` clamps.
+const THREADS: [usize; 3] = [2, 3, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The blocked kernel matches the naive reference bitwise, and every
+    /// thread budget matches the serial blocked kernel bitwise. Shapes are
+    /// drawn large enough that multi-worker row splits genuinely occur
+    /// (`m·k·n` up to ~1.5M multiply-adds).
+    #[test]
+    fn matmul_is_bitwise_thread_count_invariant(
+        m in 16usize..160,
+        k in 48usize..96,
+        n in 48usize..96,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = random_vec(&mut rng, m * k);
+        let b = random_vec(&mut rng, k * n);
+        let mut naive = vec![0.0f32; m * n];
+        matmul_into_naive(&a, &b, &mut naive, m, k, n);
+        let mut serial = vec![0.0f32; m * n];
+        matmul_into_with(Parallelism::serial(), &a, &b, &mut serial, m, k, n);
+        prop_assert_eq!(&naive, &serial, "blocked vs naive, m={} k={} n={}", m, k, n);
+        for threads in THREADS {
+            let mut out = vec![0.0f32; m * n];
+            matmul_into_with(Parallelism::new(threads), &a, &b, &mut out, m, k, n);
+            prop_assert_eq!(&serial, &out, "threads={} m={} k={} n={}", threads, m, k, n);
+        }
+    }
+
+    /// The transposed-operand wrappers inherit the same guarantee.
+    #[test]
+    fn transposed_matmul_wrappers_are_thread_count_invariant(
+        m in 8usize..64,
+        k in 8usize..64,
+        n in 8usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        // matmul_tn computes aᵀ·b from a [k, m]; matmul_nt computes a·bᵀ
+        // from b [n, k].
+        let a_t = Tensor::from_vec([k, m], random_vec(&mut rng, k * m)).unwrap();
+        let b = Tensor::from_vec([k, n], random_vec(&mut rng, k * n)).unwrap();
+        let a = Tensor::from_vec([m, k], random_vec(&mut rng, m * k)).unwrap();
+        let b_t = Tensor::from_vec([n, k], random_vec(&mut rng, n * k)).unwrap();
+        let tn_serial = matmul_tn_with(Parallelism::serial(), &a_t, &b).unwrap();
+        let nt_serial = matmul_nt_with(Parallelism::serial(), &a, &b_t).unwrap();
+        for threads in THREADS {
+            let tn = matmul_tn_with(Parallelism::new(threads), &a_t, &b).unwrap();
+            prop_assert_eq!(tn_serial.data(), tn.data(), "tn threads={}", threads);
+            let nt = matmul_nt_with(Parallelism::new(threads), &a, &b_t).unwrap();
+            prop_assert_eq!(nt_serial.data(), nt.data(), "nt threads={}", threads);
+        }
+    }
+
+    /// The blocked transpose is an exact permutation: a round trip restores
+    /// the input bitwise for any shape, including ones far from the 32×32
+    /// block size.
+    #[test]
+    fn blocked_transpose_round_trips(
+        m in 1usize..80,
+        n in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let src = random_vec(&mut rng, m * n);
+        let mut t = vec![0.0f32; n * m];
+        transpose_into(&src, &mut t, m, n);
+        let mut back = vec![0.0f32; m * n];
+        transpose_into(&t, &mut back, n, m);
+        prop_assert_eq!(&src, &back, "m={} n={}", m, n);
+    }
+
+    /// Convolution and pooling fan out over batch items/planes internally
+    /// (driven by the process-wide budget); forcing the whole call serial
+    /// via `with_serial` must not change a single bit.
+    #[test]
+    fn conv_and_pool_match_their_serial_execution(
+        batch in 1usize..4,
+        channels in 1usize..4,
+        hw in 6usize..14,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::from_vec(
+            [batch, channels, hw, hw],
+            random_vec(&mut rng, batch * channels * hw * hw),
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            [3, channels, 3, 3],
+            random_vec(&mut rng, 3 * channels * 9),
+        )
+        .unwrap();
+        let geom = ConvGeometry::square(3, 1, 1).unwrap();
+        let conv_par = conv2d(&x, &weight, None, geom).unwrap();
+        let conv_ser = par::with_serial(|| conv2d(&x, &weight, None, geom)).unwrap();
+        prop_assert_eq!(conv_par.data(), conv_ser.data());
+        let avg_par = avg_pool2d(&x, 2, 2).unwrap();
+        let avg_ser = par::with_serial(|| avg_pool2d(&x, 2, 2)).unwrap();
+        prop_assert_eq!(avg_par.data(), avg_ser.data());
+        let max_par = max_pool2d(&x, 2, 2).unwrap();
+        let max_ser = par::with_serial(|| max_pool2d(&x, 2, 2)).unwrap();
+        prop_assert_eq!(max_par.output.data(), max_ser.output.data());
+        prop_assert_eq!(max_par.argmax, max_ser.argmax);
+    }
+}

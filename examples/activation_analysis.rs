@@ -61,12 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 5;
     let data = SynthVision::generate(&SynthSpec::cifar10_like().scaled(0.5), seed)?;
     println!("training original (unclipped) network…");
-    let mut original = train_cnn(&data, None, seed)?;
+    let original = train_cnn(&data, None, seed)?;
     println!("training clipped network (λ₀ = 2.0)…\n");
-    let mut clipped = train_cnn(&data, Some(2.0), seed)?;
+    let clipped = train_cnn(&data, Some(2.0), seed)?;
 
-    let acc_o = evaluate(&mut original, data.test.images(), data.test.labels(), 50)?;
-    let acc_c = evaluate(&mut clipped, data.test.images(), data.test.labels(), 50)?;
+    let acc_o = evaluate(&original, data.test.images(), data.test.labels(), 50)?;
+    let acc_c = evaluate(&clipped, data.test.images(), data.test.labels(), 50)?;
     println!(
         "ANN accuracy: original {:.2}% | clipped {:.2}%  — clipping barely hurts\n",
         acc_o * 100.0,

@@ -76,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     for (label, strategy, source) in [
         ("TCL (ours)", NormStrategy::TrainedClip, &tcl_net),
-        ("max-norm (Diehl'15)", NormStrategy::MaxActivation, &base_net),
+        (
+            "max-norm (Diehl'15)",
+            NormStrategy::MaxActivation,
+            &base_net,
+        ),
         (
             "p99.9 (Rueckauer'17)",
             NormStrategy::percentile_999(),
@@ -92,11 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &Converter::new(strategy),
             &sim,
         )?;
-        print!(
-            "{:<22} {:>7.2}%",
-            label,
-            report.ann_accuracy * 100.0
-        );
+        print!("{:<22} {:>7.2}%", label, report.ann_accuracy * 100.0);
         for (_, acc) in &report.sweep.accuracies {
             print!("  {:>6.2}%", acc * 100.0);
         }

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_clip_lambda(Some(2.0));
     let mut rng = SeededRng::new(seed);
     let mut net = Architecture::Cnn6.build(&cfg, &mut rng)?;
-    println!("model: {} ({} parameters)\n", Architecture::Cnn6, net.num_parameters());
+    println!(
+        "model: {} ({} parameters)\n",
+        Architecture::Cnn6,
+        net.num_parameters()
+    );
 
     // 3. Train with SGD + momentum and a step learning-rate schedule.
     let train_cfg = TrainConfig {
@@ -76,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &Converter::new(NormStrategy::TrainedClip),
         &sim,
     )?;
-    println!("ANN accuracy (eval): {:.2}%", conv_report.ann_accuracy * 100.0);
+    println!(
+        "ANN accuracy (eval): {:.2}%",
+        conv_report.ann_accuracy * 100.0
+    );
     println!("SNN accuracy by latency (spike-count readout):");
     for (t, acc) in &conv_report.sweep.accuracies {
         println!("  T = {t:4}  {:6.2}%", acc * 100.0);

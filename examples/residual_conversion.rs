@@ -67,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Convert and inspect the spiking structure.
     let calibration = data.train.take(150);
-    let conversion = Converter::new(NormStrategy::TrainedClip)
-        .convert(&net, calibration.images())?;
+    let conversion =
+        Converter::new(NormStrategy::TrainedClip).convert(&net, calibration.images())?;
     let kinds: Vec<&str> = conversion
         .snn
         .nodes()

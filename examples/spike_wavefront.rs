@@ -31,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut rng = SeededRng::new(seed);
         let mut net = Architecture::Cnn6.build(&cfg, &mut rng)?;
         let train_cfg = TrainConfig::standard(12, 32, 0.05, &[8])?;
-        train(&mut net, data.train.images(), data.train.labels(), None, &train_cfg)?;
+        train(
+            &mut net,
+            data.train.images(),
+            data.train.labels(),
+            None,
+            &train_cfg,
+        )?;
         nets.push(net);
     }
     let (tcl_net, base_net) = (nets.remove(0), nets.remove(0));

@@ -54,7 +54,10 @@ fn tcl_snn_tracks_its_ann_at_moderate_latency() {
     );
     // Accuracy must grow (or hold) with latency overall.
     let at_25 = report.sweep.accuracy_at(25).unwrap();
-    assert!(at_200 >= at_25 - 0.02, "latency curve regressed: {report:?}");
+    assert!(
+        at_200 >= at_25 - 0.02,
+        "latency curve regressed: {report:?}"
+    );
 }
 
 #[test]

@@ -74,7 +74,9 @@ fn percentile_and_max_norm_work_on_unclipped_networks() {
         NormStrategy::percentile_999(),
         NormStrategy::Percentile(0.9),
     ] {
-        let conversion = Converter::new(strategy).convert(&net, &calibration).unwrap();
+        let conversion = Converter::new(strategy)
+            .convert(&net, &calibration)
+            .unwrap();
         assert!(
             conversion.lambdas.iter().all(|&l| l > 0.0),
             "{strategy:?} produced non-positive λ"

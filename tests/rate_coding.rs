@@ -113,12 +113,12 @@ fn snn_decisions_match_ann_decisions_at_long_latency() {
     let x = rng.uniform_tensor([10, 6], -1.0, 1.0);
     let logits = ann.forward(&x, Mode::Eval).unwrap();
     let ann_preds = tcl_tensor::ops::argmax_rows(&logits).unwrap();
-    let mut snn = Converter::new(NormStrategy::TrainedClip)
+    let snn = Converter::new(NormStrategy::TrainedClip)
         .convert(&net, &calibration)
         .unwrap()
         .snn;
     let cfg = tcl_snn::SimConfig::new(vec![500], 10, tcl_snn::Readout::Membrane).unwrap();
-    let sweep = tcl_snn::evaluate(&mut snn, &x, &ann_preds, &cfg).unwrap();
+    let sweep = tcl_snn::evaluate(&snn, &x, &ann_preds, &cfg).unwrap();
     assert!(
         sweep.final_accuracy() >= 0.9,
         "long-T SNN should match ANN decisions, got {}",

@@ -23,9 +23,12 @@ fn residual_net(projection: bool, seed: u64) -> Network {
         for c in 0..channels {
             w.data_mut()[c * channels + c] = 1.0;
         }
-        let conv =
-            Conv2d::from_parts(w, Some(Tensor::zeros([channels])), ConvGeometry::square(1, 1, 0).unwrap())
-                .unwrap();
+        let conv = Conv2d::from_parts(
+            w,
+            Some(Tensor::zeros([channels])),
+            ConvGeometry::square(1, 1, 0).unwrap(),
+        )
+        .unwrap();
         block.shortcut = Shortcut::Projection { conv, bn: None };
     }
     Network::new(vec![
@@ -44,11 +47,7 @@ fn residual_net(projection: bool, seed: u64) -> Network {
 fn clone_with_projection(net: &Network, seed: u64) -> Network {
     let mut with_proj = residual_net(true, seed);
     // Copy stem, block convs, clips, and classifier verbatim.
-    for (dst, src) in with_proj
-        .layers_mut()
-        .iter_mut()
-        .zip(net.layers().iter())
-    {
+    for (dst, src) in with_proj.layers_mut().iter_mut().zip(net.layers().iter()) {
         match (dst, src) {
             (Layer::Conv2d(d), Layer::Conv2d(s)) => {
                 d.weight.value = s.weight.value.clone();
@@ -142,12 +141,12 @@ fn residual_snn_rate_codes_the_ann_function() {
     let x = rng.uniform_tensor([8, 2, 6, 6], -1.0, 1.0);
     let logits = ann.forward(&x, Mode::Eval).unwrap();
     let ann_preds = tcl_tensor::ops::argmax_rows(&logits).unwrap();
-    let mut snn = Converter::new(NormStrategy::TrainedClip)
+    let snn = Converter::new(NormStrategy::TrainedClip)
         .convert(&net, &calibration)
         .unwrap()
         .snn;
     let cfg = SimConfig::new(vec![300], 8, Readout::Membrane).unwrap();
-    let sweep = evaluate(&mut snn, &x, &ann_preds, &cfg).unwrap();
+    let sweep = evaluate(&snn, &x, &ann_preds, &cfg).unwrap();
     assert!(
         sweep.final_accuracy() >= 0.75,
         "SNN should reproduce most ANN decisions, got {}",

@@ -1,0 +1,317 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements a small wall-clock benchmark harness behind criterion's API
+//! surface: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Each benchmark is warmed up briefly, then measured in timed batches
+//! until a fixed per-bench time budget is spent (or `sample_size` samples
+//! are collected, whichever comes first). The median ns/iter is printed
+//! per bench, and if the `CRITERION_JSON` environment variable names a
+//! file path, a JSON summary of every bench (median / mean / min / max
+//! ns per iteration, sample count) is written there on exit. There is no
+//! statistical regression analysis, HTML report, or gnuplot output.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should amortize setup cost. The stand-in harness
+/// times every batch individually, so the variants only influence batch
+/// sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: few iterations per batch.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// One bench's collected statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark id as passed to `bench_function`.
+    pub name: String,
+    /// Median ns/iter across samples.
+    pub median_ns: f64,
+    /// Mean ns/iter across samples.
+    pub mean_ns: f64,
+    /// Fastest sample's ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample's ns/iter.
+    pub max_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+/// Measurement context handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    target_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(target_samples: usize, budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            target_samples,
+            budget,
+        }
+    }
+
+    /// Benchmarks `routine` by running it repeatedly and timing batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + per-iteration cost estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        let mut per_iter = first.max(Duration::from_nanos(1));
+        let warm_deadline = Instant::now() + self.budget / 10;
+        while Instant::now() < warm_deadline {
+            let t = Instant::now();
+            black_box(routine());
+            per_iter = (per_iter + t.elapsed().max(Duration::from_nanos(1))) / 2;
+        }
+
+        // Aim for each sample (batch) to take ~budget/target_samples.
+        let per_sample = self.budget / self.target_samples as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as usize;
+
+        let deadline = Instant::now() + self.budget;
+        while self.samples.len() < self.target_samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            self.samples
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() >= deadline && self.samples.len() >= 5 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed, never the setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        while self.samples.len() < self.target_samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples
+                .push(t.elapsed().max(Duration::from_nanos(1)).as_nanos() as f64);
+            if Instant::now() >= deadline && self.samples.len() >= 5 {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark runner. Collects stats for every bench and, when the
+/// `CRITERION_JSON` environment variable is set, writes them out as JSON
+/// when dropped.
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+    results: Vec<BenchStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1200);
+        Criterion {
+            sample_size: 20,
+            budget: Duration::from_millis(budget_ms),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and records its statistics.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.budget);
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            eprintln!("bench {id}: no samples collected");
+            return self;
+        }
+        s.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let median = if s.len() % 2 == 1 {
+            s[s.len() / 2]
+        } else {
+            (s[s.len() / 2 - 1] + s[s.len() / 2]) / 2.0
+        };
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let stats = BenchStats {
+            name: id.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+            min_ns: s[0],
+            max_ns: *s.last().expect("nonempty"),
+            samples: s.len(),
+        };
+        println!(
+            "{:<44} median {:>12}  (mean {}, {} samples)",
+            stats.name,
+            format_ns(stats.median_ns),
+            format_ns(stats.mean_ns),
+            stats.samples
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Writes collected stats as JSON to `path`.
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut out = String::from("{\n  \"benches\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
+                s.name.replace('"', "'"),
+                s.median_ns,
+                s.mean_ns,
+                s.min_ns,
+                s.max_ns,
+                s.samples,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(out.as_bytes())
+    }
+
+    /// Flushes results (called by `criterion_main!` after all groups run).
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                match self.write_json(&path) {
+                    Ok(()) => println!("wrote bench summary to {path}"),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmarks, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            budget: Duration::from_millis(50),
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| b.iter(|| black_box(3u64).pow(7)));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].samples >= 5);
+        assert!(c.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion {
+            sample_size: 5,
+            budget: Duration::from_millis(50),
+            results: Vec::new(),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1.0f32; 256],
+                |v| v.iter().sum::<f32>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].min_ns > 0.0);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let mut c = Criterion {
+            sample_size: 3,
+            budget: Duration::from_millis(20),
+            results: Vec::new(),
+        };
+        c.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        let path = std::env::temp_dir().join("criterion_stub_test.json");
+        let path = path.to_string_lossy().to_string();
+        c.write_json(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("\"benches\""));
+        assert!(text.contains("\"median_ns\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and result
+//! structs as forward-looking markers, but nothing actually serializes
+//! through serde (model I/O is a hand-rolled binary codec in `tcl-nn`, and
+//! experiment output is hand-written JSON). The build environment has no
+//! network access to crates.io, so this crate provides the two derive
+//! macros as no-ops: `#[derive(Serialize, Deserialize)]` compiles and
+//! expands to nothing.
+//!
+//! If real serialization is ever needed, replace this stub with the real
+//! `serde` dependency in the workspace manifest; no call sites change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
