@@ -16,4 +16,15 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> telemetry smoke (traced mini conversion + JSONL validation)"
+rm -f target/telemetry_smoke.jsonl
+TCL_TRACE=target/telemetry_smoke.jsonl TCL_METRICS=1 \
+  cargo run --release -q -p tcl-core --example telemetry_smoke
+test -s target/telemetry_smoke.jsonl
+
+echo "==> bench binaries answer --help"
+for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay; do
+  cargo run --release -q -p tcl-bench --bin "$bin" -- --help | grep -q TCL_TRACE
+done
+
 echo "CI OK"

@@ -21,7 +21,7 @@
 //! cargo run --release -p tcl-bench --bin energy
 //! ```
 
-use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_bench::{help_requested, pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
 use tcl_core::{Converter, NormStrategy};
 use tcl_models::Architecture;
 use tcl_snn::{SpikingNetwork, SpikingNode, SynapticOp};
@@ -91,6 +91,12 @@ fn measure_ops(net: &mut SpikingNetwork, input: &Tensor, t_steps: usize) -> (f64
 }
 
 fn main() {
+    if help_requested(
+        "energy",
+        "synaptic-operation counts as an energy proxy (ablation D)",
+    ) {
+        return;
+    }
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
     println!(
@@ -165,4 +171,5 @@ fn main() {
     let csv = write_csv("energy", &header, &rows);
     println!("csv: {}", csv.display());
     let _ = pct(0.0);
+    tcl_telemetry::emit_summary();
 }

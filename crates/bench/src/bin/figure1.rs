@@ -12,8 +12,13 @@
 //! accuracies (the paper's caption reports 92.64% vs 92.93%), and
 //! `results/figure1.csv` with the raw histogram series.
 
-use tcl_bench::{pct, train_or_load, write_csv, DatasetKind, Scale};
-use tcl_core::{collect_activation_stats, collect_site_histogram, fold_batch_norm};
+use tcl_bench::{
+    help_requested, pct, train_or_load, write_csv, write_diagnostics, DatasetKind, Scale,
+};
+use tcl_core::{
+    collect_activation_stats, collect_site_histogram, diagnose_conversion, fold_batch_norm,
+    Converter, NormStrategy,
+};
 use tcl_models::Architecture;
 use tcl_nn::evaluate;
 use tcl_tensor::Histogram;
@@ -52,6 +57,13 @@ fn ascii_log_plot(label: &str, hist: &Histogram) {
 }
 
 fn main() {
+    if help_requested(
+        "figure1",
+        "activation distribution of the 2nd VGG-16 layer with norm-factor \
+         markers (paper Figure 1)",
+    ) {
+        return;
+    }
     let scale = Scale::from_env();
     println!("== Figure 1 reproduction (scale: {}) ==", scale.name());
     println!("activation distribution of the 2nd VGG-16 layer, original vs clipped\n");
@@ -127,4 +139,22 @@ fn main() {
         "markers: max={max_act:.4} p99.9={p999:.4} lambda={trained_lambda:.4} \
          ann_original={acc_original:.4} ann_clipped={acc_clipped:.4}"
     );
+
+    // Per-layer conversion diagnostics for the clipped network: the figure
+    // argues TCL's tight λ keeps the rate-coding residual small, so record
+    // it per site at a short and a long latency window.
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&clipped, data.train.take(200).images())
+        .expect("tcl conversion succeeds on the clipped network");
+    let stimulus = data.test.take(4);
+    let diag = diagnose_conversion(&clipped, &conversion, stimulus.images(), &[32, 256])
+        .expect("diagnostics on the converted network");
+    let path = write_diagnostics("figure1", &diag);
+    println!(
+        "diagnostics: {} (mean residual {:.4} @T=32 -> {:.4} @T=256)",
+        path.display(),
+        diag.mean_residual(0).unwrap_or(0.0),
+        diag.mean_residual(1).unwrap_or(0.0)
+    );
+    tcl_telemetry::emit_summary();
 }

@@ -11,7 +11,7 @@
 //! cargo run --release -p tcl-bench --bin lambda_decay
 //! ```
 
-use tcl_bench::{pct, render_table, write_csv, DatasetKind, Scale, MASTER_SEED};
+use tcl_bench::{help_requested, pct, render_table, write_csv, DatasetKind, Scale, MASTER_SEED};
 use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
 use tcl_models::{Architecture, ModelConfig};
 use tcl_nn::{train, Sgd, StepSchedule, TrainConfig};
@@ -19,6 +19,12 @@ use tcl_snn::{Readout, SimConfig};
 use tcl_tensor::SeededRng;
 
 fn main() {
+    if help_requested(
+        "lambda_decay",
+        "L2 decay pressure on the trained clipping bounds (ablation E)",
+    ) {
+        return;
+    }
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
     println!(
@@ -95,4 +101,5 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     let csv = write_csv("lambda_decay", &header, &rows);
     println!("csv: {}", csv.display());
+    tcl_telemetry::emit_summary();
 }

@@ -10,7 +10,7 @@
 //! cargo run --release -p tcl-bench --bin lambda_init
 //! ```
 
-use tcl_bench::{pct, render_table, write_csv, DatasetKind, Scale, MASTER_SEED};
+use tcl_bench::{help_requested, pct, render_table, write_csv, DatasetKind, Scale, MASTER_SEED};
 use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
 use tcl_models::{Architecture, ModelConfig};
 use tcl_nn::{train, TrainConfig};
@@ -18,6 +18,12 @@ use tcl_snn::{Readout, SimConfig};
 use tcl_tensor::SeededRng;
 
 fn main() {
+    if help_requested(
+        "lambda_init",
+        "sensitivity to the initial clipping bound lambda0 (ablation B)",
+    ) {
+        return;
+    }
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
     println!("== λ₀ sensitivity ablation (scale: {}) ==\n", scale.name());
@@ -81,4 +87,5 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     let csv = write_csv("lambda_init", &header, &rows);
     println!("csv: {}", csv.display());
+    tcl_telemetry::emit_summary();
 }

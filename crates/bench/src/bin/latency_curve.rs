@@ -10,12 +10,18 @@
 //! Output: one curve table per architecture plus
 //! `results/latency_curve_<arch>.csv`.
 
-use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_bench::{help_requested, pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
 use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
 use tcl_models::Architecture;
 use tcl_snn::{Readout, SimConfig};
 
 fn main() {
+    if help_requested(
+        "latency_curve",
+        "dense accuracy-vs-T sweeps for every norm-factor strategy (ablation A)",
+    ) {
+        return;
+    }
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
     let checkpoints: Vec<usize> = match scale {
@@ -75,4 +81,5 @@ fn main() {
         );
         println!("csv: {}\n", csv.display());
     }
+    tcl_telemetry::emit_summary();
 }

@@ -8,12 +8,18 @@
 //! cargo run --release -p tcl-bench --bin reset_mode
 //! ```
 
-use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
+use tcl_bench::{help_requested, pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
 use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
 use tcl_models::Architecture;
 use tcl_snn::{Readout, ResetMode, SimConfig};
 
 fn main() {
+    if help_requested(
+        "reset_mode",
+        "reset-by-subtraction vs reset-to-zero neurons (ablation C)",
+    ) {
+        return;
+    }
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
     println!("== reset-mode ablation (scale: {}) ==\n", scale.name());
@@ -53,4 +59,5 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     let csv = write_csv("reset_mode", &header, &rows);
     println!("csv: {}", csv.display());
+    tcl_telemetry::emit_summary();
 }

@@ -14,11 +14,21 @@
 //! Output: one aligned table per dataset block (mirroring the paper's
 //! layout) plus `results/table1_<dataset>.csv`.
 
-use tcl_bench::{pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
-use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_bench::{
+    help_requested, pct, render_table, train_or_load, write_csv, write_diagnostics, DatasetKind,
+    Scale,
+};
+use tcl_core::{convert_and_evaluate, diagnose_conversion, Converter, NormStrategy};
 use tcl_snn::{Readout, SimConfig};
 
 fn main() {
+    if help_requested(
+        "table1",
+        "ANN vs SNN accuracy across latency budgets (paper Table 1); \
+         also accepts `--dataset cifar|imagenet|all`",
+    ) {
+        return;
+    }
     let args: Vec<String> = std::env::args().collect();
     let dataset_arg = args
         .iter()
@@ -97,9 +107,34 @@ fn main() {
                 );
                 rows.push(row);
             }
+
+            // Per-layer conversion diagnostics for the TCL conversion: how
+            // well each IF bank's firing rate tracks the clipped ANN
+            // activation at the largest latency budgets.
+            let conversion = Converter::new(NormStrategy::TrainedClip)
+                .convert(&tcl_net, calibration.images())
+                .expect("tcl conversion succeeds on preset networks");
+            let stimulus = data.test.take(4);
+            let windows: Vec<usize> = checkpoints.iter().rev().take(2).rev().copied().collect();
+            let diag = diagnose_conversion(&tcl_net, &conversion, stimulus.images(), &windows)
+                .expect("diagnostics on the converted network");
+            let name = format!(
+                "table1_{}_{}",
+                dataset.name(),
+                arch.name().to_lowercase().replace([',', ' '], "")
+            );
+            let path = write_diagnostics(&name, &diag);
+            eprintln!(
+                "[diag] {} mean residual @T={}: {:.4} ({})",
+                arch.name(),
+                windows.last().expect("nonempty windows"),
+                diag.mean_residual(windows.len() - 1).unwrap_or(0.0),
+                path.display()
+            );
         }
         println!("{}", render_table(&header, &rows));
         let csv = write_csv(&format!("table1_{}", dataset.name()), &header, &rows);
         println!("csv: {}\n", csv.display());
     }
+    tcl_telemetry::emit_summary();
 }

@@ -217,10 +217,13 @@ pub fn train_or_load(
     let path = dir.join(format!("{key}.tcln"));
     if let Ok(mut file) = fs::File::open(&path) {
         if let Ok(net) = load_network(&mut file) {
-            eprintln!("[cache] loaded {}", path.display());
+            tcl_telemetry::log("cache", &format!("loaded {}", path.display()));
             return net;
         }
-        eprintln!("[cache] {} unreadable; retraining", path.display());
+        tcl_telemetry::log(
+            "cache",
+            &format!("{} unreadable; retraining", path.display()),
+        );
     }
     let (c, h, w) = data.train.image_shape();
     let cfg = ModelConfig::new((c, h, w), data.train.classes())
@@ -235,10 +238,13 @@ pub fn train_or_load(
         ..TrainConfig::standard(scale.epochs(), 32, 0.05, &scale.milestones())
             .expect("valid schedule")
     };
-    eprintln!(
-        "[train] {key}: {} epochs on {} images",
-        scale.epochs(),
-        data.train.len()
+    tcl_telemetry::log(
+        "train",
+        &format!(
+            "{key}: {} epochs on {} images",
+            scale.epochs(),
+            data.train.len()
+        ),
     );
     train(
         &mut net,
@@ -251,8 +257,54 @@ pub fn train_or_load(
     fs::create_dir_all(&dir).expect("create model cache dir");
     let mut file = fs::File::create(&path).expect("create model cache file");
     save_network(&mut file, &net).expect("serialize trained model");
-    eprintln!("[cache] saved {}", path.display());
+    tcl_telemetry::log("cache", &format!("saved {}", path.display()));
     net
+}
+
+/// The `--help` text shared by every bench binary.
+pub fn help_text(bin: &str, about: &str) -> String {
+    format!(
+        "{bin} — {about}\n\
+         \n\
+         usage: {bin} [--help]\n\
+         \n\
+         environment:\n\
+         \x20 TCL_SCALE=quick|standard|full  experiment size (default standard)\n\
+         \x20 TCL_MODEL_DIR=DIR              trained-model cache (default target/tcl-models)\n\
+         \x20 TCL_RESULTS_DIR=DIR            output directory (default results)\n\
+         \x20 TCL_TRACE=1|PATH               stream JSONL telemetry to stderr or PATH\n\
+         \x20 TCL_METRICS=1                  metrics registry + end-of-run summary\n\
+         \x20 TCL_THREADS=N                  worker threads for the compute kernels\n"
+    )
+}
+
+/// Prints [`help_text`] and returns `true` when the process arguments ask
+/// for help (`--help`/`-h`); the binary should then return immediately.
+/// Other arguments pass through untouched — some binaries take flags of
+/// their own (e.g. `table1 --dataset cifar`).
+pub fn help_requested(bin: &str, about: &str) -> bool {
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        // Ignore write errors: `--help | grep -q ...` closes the pipe as
+        // soon as it matches, and a broken pipe must not become a panic.
+        use std::io::Write;
+        let _ = writeln!(std::io::stdout(), "{}", help_text(bin, about));
+        return true;
+    }
+    false
+}
+
+/// Writes a per-layer conversion diagnostics report under `results/` as
+/// `diagnostics_<name>.jsonl` and returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O failure (harness context).
+pub fn write_diagnostics(name: &str, diag: &tcl_core::ConversionDiagnostics) -> PathBuf {
+    let dir = results_dir();
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("diagnostics_{name}.jsonl"));
+    diag.write_jsonl(&path).expect("write diagnostics jsonl");
+    path
 }
 
 /// Renders an aligned text table: `header` then `rows`.
@@ -354,5 +406,14 @@ mod tests {
     #[test]
     fn standard_checkpoints_match_table1() {
         assert_eq!(Scale::Standard.checkpoints(), vec![50, 100, 150, 200, 250]);
+    }
+
+    #[test]
+    fn help_text_names_the_binary_and_knobs() {
+        let text = help_text("table1", "regenerates Table 1");
+        assert!(text.starts_with("table1 — regenerates Table 1"));
+        for knob in ["TCL_SCALE", "TCL_TRACE", "TCL_METRICS", "TCL_THREADS"] {
+            assert!(text.contains(knob), "missing {knob}");
+        }
     }
 }

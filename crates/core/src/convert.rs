@@ -151,6 +151,15 @@ impl Converter {
     /// when [`NormStrategy::TrainedClip`] meets a clip-less site, and
     /// calibration errors for empty input.
     pub fn convert(&self, net: &Network, calibration: &Tensor) -> Result<Conversion> {
+        let _span = tcl_telemetry::span_with("convert", || {
+            vec![
+                ("layers", net.layers().len() as f64),
+                (
+                    "calib",
+                    calibration.dims().first().copied().unwrap_or(0) as f64,
+                ),
+            ]
+        });
         validate_convertible(net)?;
         if self.strategy == NormStrategy::SpikeNorm {
             let (snn, thresholds) = crate::spikenorm::convert_spike_norm(
@@ -160,6 +169,7 @@ impl Converter {
                 self.calibration_batch,
                 self.reset_mode,
             )?;
+            record_lambda_gauges(&thresholds);
             return Ok(Conversion {
                 snn,
                 lambdas: thresholds,
@@ -171,6 +181,7 @@ impl Converter {
         let mut stats =
             collect_activation_stats(&mut stats_net, calibration, self.calibration_batch)?;
         let lambdas = self.resolve_lambdas(&folded, &mut stats)?;
+        record_lambda_gauges(&lambdas);
         let snn = emit_spiking(&folded, &lambdas, self.reset_mode)?;
         Ok(Conversion {
             snn,
@@ -218,6 +229,18 @@ impl Converter {
         let out = stats[sites - 1].max();
         lambdas.push(if out > 1e-6 { out } else { 1.0 });
         Ok(lambdas)
+    }
+}
+
+/// Publishes the resolved per-site norm-factors as indexed telemetry gauges
+/// (`convert.lambda[i]`), so any run with `TCL_METRICS` set can inspect the
+/// thresholds a conversion actually used.
+fn record_lambda_gauges(lambdas: &[f32]) {
+    if !tcl_telemetry::metrics_enabled() {
+        return;
+    }
+    for (i, &lam) in lambdas.iter().enumerate() {
+        tcl_telemetry::gauge_set_indexed("convert.lambda", i, f64::from(lam));
     }
 }
 

@@ -1,0 +1,403 @@
+//! Per-layer conversion diagnostics.
+//!
+//! A converted SNN is *supposed* to rate-code `min(a, λ)/λ` at every
+//! activation site (Section 3.1 of the paper): after enough timesteps, the
+//! firing rate of IF bank `i` converges to the clipped-and-normalized ANN
+//! activation at site `i`. [`diagnose_conversion`] measures how true that is
+//! layer by layer:
+//!
+//! * **λ** — the resolved norm-factor for the site;
+//! * **clip rate** — the fraction of ANN activations at or above λ, i.e. the
+//!   signal mass the conversion throws away (large for tight TCL bounds on
+//!   wide distributions, ~0 for max-norm);
+//! * **ANN rate** — the expected steady-state firing rate
+//!   `mean(min(a, λ))/λ` over the stimulus;
+//! * **SNN rate** — the observed rate (cumulative spikes per neuron per
+//!   timestep) at each requested timestep window;
+//! * **residual** — `|SNN rate − ANN rate|`, the rate-coding error. It
+//!   shrinks roughly as `1/T`: the transient "spike wavefront" and the
+//!   quantization of rates to multiples of `1/T` both wash out with longer
+//!   simulation.
+//!
+//! The site ↔ bank pairing relies on [`tcl_snn::SpikingNetwork::spikes_per_bank`]
+//! flattening IF banks in node order (residual blocks contribute NS then OS),
+//! which is exactly the converter's activation-site walk order.
+//!
+//! Reports serialize to JSONL (one header line plus one line per site) via
+//! [`ConversionDiagnostics::to_jsonl`], the format the bench harnesses write
+//! to `results/diagnostics_*.jsonl`.
+
+use crate::convert::Conversion;
+use crate::error::{ConvertError, Result};
+use crate::fold::fold_batch_norm;
+use crate::stats::{count_sites, walk_sites};
+use tcl_nn::Network;
+use tcl_telemetry::json::{escape_into, number_into};
+use tcl_tensor::Tensor;
+
+/// Diagnostics for one activation site / IF-bank pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteDiagnostic {
+    /// Site index in conversion walk order (the last site is the output).
+    pub site: usize,
+    /// Resolved norm-factor λ for this site.
+    pub lambda: f32,
+    /// Fraction of ANN activations at or above λ (signal mass clipped away).
+    pub clip_rate: f32,
+    /// Expected steady-state firing rate `mean(min(a, λ))/λ`.
+    pub ann_rate: f32,
+    /// Observed SNN firing rate at each window: cumulative spikes divided by
+    /// neurons × timesteps. Parallel to [`ConversionDiagnostics::windows`].
+    pub snn_rates: Vec<f32>,
+    /// `|snn_rate − ann_rate|` per window.
+    pub residuals: Vec<f32>,
+}
+
+/// The full per-layer report produced by [`diagnose_conversion`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConversionDiagnostics {
+    /// Norm-factor strategy name (for labeling artifacts).
+    pub strategy: String,
+    /// Timestep windows, ascending and deduplicated.
+    pub windows: Vec<usize>,
+    /// One entry per activation site, in walk order.
+    pub sites: Vec<SiteDiagnostic>,
+}
+
+impl ConversionDiagnostics {
+    /// Mean rate-coding residual across all sites at window index `w`, or
+    /// `None` if `w` is out of range or there are no sites.
+    pub fn mean_residual(&self, w: usize) -> Option<f32> {
+        if w >= self.windows.len() || self.sites.is_empty() {
+            return None;
+        }
+        Some(self.sites.iter().map(|s| s.residuals[w]).sum::<f32>() / self.sites.len() as f32)
+    }
+
+    /// Largest rate-coding residual across all sites at window index `w`.
+    pub fn max_residual(&self, w: usize) -> Option<f32> {
+        if w >= self.windows.len() {
+            return None;
+        }
+        self.sites
+            .iter()
+            .map(|s| s.residuals[w])
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f32| a.max(r))))
+    }
+
+    /// Serializes the report as JSONL: a header line
+    /// (`"type":"diagnostics_header"`) followed by one
+    /// (`"type":"site_diagnostic"`) line per site.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"diagnostics_header\",\"strategy\":\"");
+        escape_into(&self.strategy, &mut out);
+        out.push_str("\",\"sites\":");
+        out.push_str(&self.sites.len().to_string());
+        out.push_str(",\"windows\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&w.to_string());
+        }
+        out.push_str("]}\n");
+        for s in &self.sites {
+            out.push_str("{\"type\":\"site_diagnostic\",\"site\":");
+            out.push_str(&s.site.to_string());
+            out.push_str(",\"lambda\":");
+            number_into(f64::from(s.lambda), &mut out);
+            out.push_str(",\"clip_rate\":");
+            number_into(f64::from(s.clip_rate), &mut out);
+            out.push_str(",\"ann_rate\":");
+            number_into(f64::from(s.ann_rate), &mut out);
+            push_f32_array(",\"snn_rate\":[", &s.snn_rates, &mut out);
+            push_f32_array(",\"residual\":[", &s.residuals, &mut out);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Writes [`ConversionDiagnostics::to_jsonl`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_jsonl<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// A human-readable per-site table (one line per site).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "== conversion diagnostics ({}, windows {:?}) ==\n\
+             site     lambda  clip%   ann-rate  snn-rate@last  residual@last\n",
+            self.strategy, self.windows
+        );
+        for s in &self.sites {
+            let last_rate = s.snn_rates.last().copied().unwrap_or(0.0);
+            let last_res = s.residuals.last().copied().unwrap_or(0.0);
+            out.push_str(&format!(
+                "{:4}  {:9.4}  {:5.2}  {:9.4}  {:13.4}  {:13.4}\n",
+                s.site,
+                s.lambda,
+                s.clip_rate * 100.0,
+                s.ann_rate,
+                last_rate,
+                last_res,
+            ));
+        }
+        out
+    }
+}
+
+fn push_f32_array(prefix: &str, values: &[f32], out: &mut String) {
+    out.push_str(prefix);
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        number_into(f64::from(v), out);
+    }
+    out.push(']');
+}
+
+/// Measures the per-layer rate-coding fidelity of a conversion.
+///
+/// Runs `stimulus` through the BN-folded `ann` to collect per-site clip
+/// rates and expected rates, then simulates `conversion.snn` for
+/// `max(windows)` timesteps (from reset, on a clone — the passed conversion
+/// is untouched), sampling cumulative per-bank spike counts at each window
+/// boundary.
+///
+/// `stimulus` may be a batch; rates are averaged over all elements on both
+/// sides identically.
+///
+/// # Errors
+///
+/// Returns a calibration error when `windows` is empty or contains zero,
+/// when the network's site count does not match `conversion.lambdas` (e.g. a
+/// conversion made from a *different* network), and propagates forward-pass
+/// and simulation shape errors.
+pub fn diagnose_conversion(
+    ann: &Network,
+    conversion: &Conversion,
+    stimulus: &Tensor,
+    windows: &[usize],
+) -> Result<ConversionDiagnostics> {
+    let _span = tcl_telemetry::span_with("diagnose", || {
+        vec![
+            ("sites", conversion.lambdas.len() as f64),
+            ("windows", windows.len() as f64),
+        ]
+    });
+    if windows.is_empty() {
+        return Err(ConvertError::Calibration {
+            detail: "diagnostics need at least one timestep window".into(),
+        });
+    }
+    if windows.contains(&0) {
+        return Err(ConvertError::Calibration {
+            detail: "diagnostic windows must be nonzero".into(),
+        });
+    }
+    let mut windows: Vec<usize> = windows.to_vec();
+    windows.sort_unstable();
+    windows.dedup();
+
+    let sites = conversion.lambdas.len();
+    let expected = count_sites(ann);
+    if expected != sites {
+        return Err(ConvertError::Calibration {
+            detail: format!(
+                "network has {expected} activation sites but the conversion \
+                 resolved {sites} norm-factors — diagnostics need the same \
+                 network the conversion came from"
+            ),
+        });
+    }
+
+    // ANN side: clip rate and expected firing rate per site.
+    let mut folded = fold_batch_norm(ann)?;
+    let mut count = vec![0u64; sites];
+    let mut clipped = vec![0u64; sites];
+    let mut sum_clipped = vec![0f64; sites];
+    walk_sites(&mut folded, stimulus, &mut |site, values| {
+        if site >= sites {
+            return;
+        }
+        let lam = conversion.lambdas[site];
+        let clip_threshold = lam * (1.0 - 1e-6);
+        for &v in values.data() {
+            count[site] += 1;
+            if v >= clip_threshold {
+                clipped[site] += 1;
+            }
+            sum_clipped[site] += f64::from(v.min(lam));
+        }
+    })?;
+
+    // SNN side: cumulative per-bank spikes at each window boundary.
+    let mut snn = conversion.snn.clone();
+    snn.reset();
+    let max_t = *windows.last().expect("windows checked nonempty");
+    let mut cumulative: Vec<Vec<u64>> = Vec::with_capacity(windows.len());
+    let mut neurons: Vec<usize> = Vec::new();
+    let mut next_window = 0usize;
+    for t in 1..=max_t {
+        snn.step(stimulus)?;
+        if t == windows[next_window] {
+            cumulative.push(snn.spikes_per_bank());
+            if neurons.is_empty() {
+                neurons = snn.neurons_per_bank();
+            }
+            next_window += 1;
+        }
+    }
+    if neurons.len() != sites {
+        return Err(ConvertError::Calibration {
+            detail: format!(
+                "spiking network has {} IF banks but the conversion resolved \
+                 {sites} norm-factors",
+                neurons.len()
+            ),
+        });
+    }
+
+    let mut report_sites = Vec::with_capacity(sites);
+    for s in 0..sites {
+        let lam = conversion.lambdas[s];
+        let n = count[s] as f64;
+        let ann_rate = if n > 0.0 && lam > 0.0 {
+            (sum_clipped[s] / n / f64::from(lam)) as f32
+        } else {
+            0.0
+        };
+        let clip_rate = if n > 0.0 {
+            (clipped[s] as f64 / n) as f32
+        } else {
+            0.0
+        };
+        let mut snn_rates = Vec::with_capacity(windows.len());
+        let mut residuals = Vec::with_capacity(windows.len());
+        for (w, &t) in windows.iter().enumerate() {
+            let denom = (neurons[s] * t) as f32;
+            let rate = if denom > 0.0 {
+                cumulative[w][s] as f32 / denom
+            } else {
+                0.0
+            };
+            snn_rates.push(rate);
+            residuals.push((rate - ann_rate).abs());
+        }
+        if tcl_telemetry::metrics_enabled() {
+            let last = residuals.last().copied().unwrap_or(0.0);
+            tcl_telemetry::gauge_set_indexed("diag.residual", s, f64::from(last));
+            tcl_telemetry::gauge_set_indexed("diag.clip_rate", s, f64::from(clip_rate));
+        }
+        report_sites.push(SiteDiagnostic {
+            site: s,
+            lambda: lam,
+            clip_rate,
+            ann_rate,
+            snn_rates,
+            residuals,
+        });
+    }
+    Ok(ConversionDiagnostics {
+        strategy: conversion.strategy.name(),
+        windows,
+        sites: report_sites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{Converter, NormStrategy};
+    use tcl_models::{Architecture, ModelConfig};
+    use tcl_tensor::SeededRng;
+
+    fn converted() -> (Network, Conversion, Tensor) {
+        let mut rng = SeededRng::new(21);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        let net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+        let calibration = rng.uniform_tensor([12, 3, 8, 8], -1.0, 1.0);
+        let conversion = Converter::new(NormStrategy::TrainedClip)
+            .convert(&net, &calibration)
+            .unwrap();
+        let stimulus = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+        (net, conversion, stimulus)
+    }
+
+    #[test]
+    fn report_covers_every_site_and_window() {
+        let (net, conversion, stimulus) = converted();
+        let d = diagnose_conversion(&net, &conversion, &stimulus, &[8, 4, 8]).unwrap();
+        assert_eq!(d.windows, vec![4, 8]); // sorted + deduped
+        assert_eq!(d.sites.len(), 6);
+        for (i, s) in d.sites.iter().enumerate() {
+            assert_eq!(s.site, i);
+            assert_eq!(s.snn_rates.len(), 2);
+            assert_eq!(s.residuals.len(), 2);
+            assert!((0.0..=1.0).contains(&s.clip_rate));
+            assert!(s.ann_rate >= 0.0);
+            assert!((s.lambda - conversion.lambdas[i]).abs() < 1e-6);
+        }
+        assert!(d.mean_residual(1).is_some());
+        assert!(d.max_residual(2).is_none());
+        assert_eq!(d.strategy, "tcl");
+    }
+
+    #[test]
+    fn bad_windows_are_rejected() {
+        let (net, conversion, stimulus) = converted();
+        assert!(diagnose_conversion(&net, &conversion, &stimulus, &[]).is_err());
+        assert!(diagnose_conversion(&net, &conversion, &stimulus, &[8, 0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_network_is_rejected() {
+        let (_, conversion, stimulus) = converted();
+        let mut rng = SeededRng::new(22);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        let other = Architecture::ResNet20.build(&cfg, &mut rng).unwrap();
+        let err = diagnose_conversion(&other, &conversion, &stimulus, &[4]).unwrap_err();
+        assert!(matches!(err, ConvertError::Calibration { .. }), "{err}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let (net, conversion, stimulus) = converted();
+        let d = diagnose_conversion(&net, &conversion, &stimulus, &[4, 16]).unwrap();
+        let jsonl = d.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1 + d.sites.len());
+        for line in &lines {
+            tcl_telemetry::json::validate_line(line).expect("invalid JSONL line");
+        }
+        assert!(lines[0].contains("\"type\":\"diagnostics_header\""));
+        assert!(lines[0].contains("\"strategy\":\"tcl\""));
+        assert!(lines[1].contains("\"type\":\"site_diagnostic\""));
+        // Summary renders one row per site.
+        assert_eq!(d.summary().lines().count(), 2 + d.sites.len());
+    }
+
+    #[test]
+    fn diagnostics_emit_residual_gauges_when_metrics_on() {
+        let (net, conversion, stimulus) = converted();
+        let ((), lines) = tcl_telemetry::test_support::with_captured(|| {
+            tcl_telemetry::test_support::reset_metrics();
+            diagnose_conversion(&net, &conversion, &stimulus, &[4]).unwrap();
+            tcl_telemetry::write_metrics_snapshot();
+        });
+        assert!(
+            lines.iter().any(|l| l.contains("diag.residual[0]")),
+            "no residual gauge in {lines:?}"
+        );
+    }
+}

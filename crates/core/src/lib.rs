@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod convert;
+mod diagnostics;
 mod error;
 mod fold;
 mod pipeline;
@@ -53,6 +54,7 @@ mod spikenorm;
 mod stats;
 
 pub use convert::{Conversion, Converter, NormStrategy};
+pub use diagnostics::{diagnose_conversion, ConversionDiagnostics, SiteDiagnostic};
 pub use error::{ConvertError, Result};
 pub use fold::fold_batch_norm;
 pub use pipeline::{convert_and_evaluate, ConversionReport};

@@ -1,0 +1,64 @@
+//! End-to-end check of the per-layer conversion diagnostics: rate coding
+//! converges, so the rate-vs-activation residual measured at a long latency
+//! window must be smaller than at a short one (the paper's whole latency
+//! argument in miniature).
+
+use tcl_core::{diagnose_conversion, Converter, NormStrategy};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_tensor::SeededRng;
+
+#[test]
+fn residual_shrinks_as_latency_grows() {
+    let mut rng = SeededRng::new(0xD1A6);
+    let cfg = ModelConfig::new((3, 8, 8), 4)
+        .with_base_width(2)
+        .with_clip_lambda(Some(2.0));
+    let net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+    let calibration = rng.uniform_tensor([16, 3, 8, 8], -1.0, 1.0);
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, &calibration)
+        .unwrap();
+    let stimulus = rng.uniform_tensor([2, 3, 8, 8], -1.0, 1.0);
+
+    let diag = diagnose_conversion(&net, &conversion, &stimulus, &[32, 256]).unwrap();
+    assert_eq!(diag.windows, vec![32, 256]);
+    assert_eq!(diag.sites.len(), conversion.lambdas.len());
+
+    let short = diag.mean_residual(0).unwrap();
+    let long = diag.mean_residual(1).unwrap();
+    assert!(
+        long < short,
+        "rate-coding residual must shrink with T: {short:.4} @T=32 vs {long:.4} @T=256"
+    );
+    // At T=256 the SNN should track the clipped ANN activations closely.
+    assert!(long < 0.05, "residual @T=256 too large: {long:.4}");
+
+    // The JSONL artifact form round-trips through the validator.
+    for line in diag.to_jsonl().lines() {
+        tcl_telemetry::json::validate_line(line)
+            .unwrap_or_else(|e| panic!("invalid line {line:?}: {e}"));
+    }
+}
+
+#[test]
+fn residual_shrinks_on_residual_architectures_too() {
+    let mut rng = SeededRng::new(0xD1A7);
+    let cfg = ModelConfig::new((3, 8, 8), 4)
+        .with_base_width(2)
+        .with_clip_lambda(Some(2.0));
+    let net = Architecture::ResNet20.build(&cfg, &mut rng).unwrap();
+    let calibration = rng.uniform_tensor([12, 3, 8, 8], -1.0, 1.0);
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, &calibration)
+        .unwrap();
+    let stimulus = rng.uniform_tensor([1, 3, 8, 8], -1.0, 1.0);
+
+    let diag = diagnose_conversion(&net, &conversion, &stimulus, &[32, 256]).unwrap();
+    assert_eq!(diag.sites.len(), 20); // stem + 9 blocks x 2 + output
+    let short = diag.mean_residual(0).unwrap();
+    let long = diag.mean_residual(1).unwrap();
+    assert!(
+        long < short,
+        "resnet residual must shrink with T: {short:.4} vs {long:.4}"
+    );
+}

@@ -226,6 +226,7 @@ pub fn train(
     let mut optimizer = config.optimizer.clone();
     let mut report = TrainReport { epochs: Vec::new() };
     for epoch in 0..config.epochs {
+        let _span = tcl_telemetry::span_with("train.epoch", || vec![("epoch", epoch as f64)]);
         let lr = config.schedule.rate_at(epoch);
         optimizer.set_learning_rate(lr);
         let perm = rng.permutation(n);
@@ -254,17 +255,23 @@ pub fn train(
             Some((ex, ey)) => Some(evaluate(net, ex, ey, config.batch_size)?),
             None => None,
         };
-        if config.verbose {
-            match eval_accuracy {
-                Some(ea) => println!(
-                    "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {:.4}  eval-acc {ea:.4}",
-                    train_accuracy
-                ),
-                None => println!(
-                    "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {:.4}",
-                    train_accuracy
-                ),
+        if tcl_telemetry::metrics_enabled() {
+            tcl_telemetry::gauge_set("train.loss", f64::from(train_loss));
+            tcl_telemetry::gauge_set("train.accuracy", f64::from(train_accuracy));
+            if let Some(ea) = eval_accuracy {
+                tcl_telemetry::gauge_set("train.eval_accuracy", f64::from(ea));
             }
+        }
+        if config.verbose {
+            let line = match eval_accuracy {
+                Some(ea) => format!(
+                    "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {train_accuracy:.4}  eval-acc {ea:.4}"
+                ),
+                None => format!(
+                    "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {train_accuracy:.4}"
+                ),
+            };
+            tcl_telemetry::log("trainer", &line);
         }
         report.epochs.push(EpochStats {
             epoch,

@@ -98,6 +98,27 @@ impl SpikingNetwork {
     pub fn total_spikes(&self) -> u64 {
         self.spikes_per_node().iter().sum()
     }
+
+    /// Spike counts per IF bank, flattened in node order (residual blocks
+    /// contribute two banks, NS then OS; stateless nodes contribute none).
+    /// This ordering matches the conversion's activation-site order, so bank
+    /// `i` corresponds to norm-factor `λ_i` — the mapping the per-layer
+    /// conversion diagnostics depend on.
+    pub fn spikes_per_bank(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .flat_map(SpikingNode::spikes_per_bank)
+            .collect()
+    }
+
+    /// Neuron counts per IF bank, in the same flattened bank order as
+    /// [`SpikingNetwork::spikes_per_bank`].
+    pub fn neurons_per_bank(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .flat_map(SpikingNode::neurons_per_bank)
+            .collect()
+    }
 }
 
 impl FromIterator<SpikingNode> for SpikingNetwork {

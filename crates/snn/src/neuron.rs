@@ -103,6 +103,8 @@ impl IfNeurons {
                 self.potential.as_mut().expect("just set")
             }
         };
+        let _span =
+            tcl_telemetry::span_with("neuron.step", || vec![("neurons", current.len() as f64)]);
         let mut spikes = Tensor::zeros(current.shape().clone());
         let thr = self.threshold;
         let reset = self.reset;
@@ -135,6 +137,19 @@ impl IfNeurons {
         let emitted = spikes.data().iter().filter(|&&s| s != 0.0).count() as u64;
         self.spikes_emitted += emitted;
         self.steps += 1;
+        if tcl_telemetry::metrics_enabled() {
+            tcl_telemetry::counter_add("snn.spikes", emitted);
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &v in potential.data() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if lo <= hi {
+                tcl_telemetry::gauge_set("snn.potential_min", f64::from(lo));
+                tcl_telemetry::gauge_set("snn.potential_max", f64::from(hi));
+            }
+        }
         Ok(spikes)
     }
 

@@ -161,6 +161,34 @@ impl SpikingNode {
             _ => 0,
         }
     }
+
+    /// Spikes emitted per IF bank since the last reset, in bank order
+    /// (spiking layers have one bank, residual blocks two — NS then OS;
+    /// stateless nodes have none). Flattening these vectors in node order
+    /// yields the same ordering as the conversion's activation sites, which
+    /// is what the per-layer conversion diagnostics rely on.
+    pub fn spikes_per_bank(&self) -> Vec<u64> {
+        match self {
+            SpikingNode::Spiking(l) => vec![l.neurons.spikes_emitted()],
+            SpikingNode::Residual(b) => {
+                vec![b.ns_neurons.spikes_emitted(), b.os_neurons.spikes_emitted()]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Neuron count per IF bank, in the same bank order as
+    /// [`SpikingNode::spikes_per_bank`] (0 until shaped by the first step).
+    pub fn neurons_per_bank(&self) -> Vec<usize> {
+        match self {
+            SpikingNode::Spiking(l) => vec![l.neurons.shape().map_or(0, |s| s.len())],
+            SpikingNode::Residual(b) => vec![
+                b.ns_neurons.shape().map_or(0, |s| s.len()),
+                b.os_neurons.shape().map_or(0, |s| s.len()),
+            ],
+            _ => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

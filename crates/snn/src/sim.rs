@@ -271,6 +271,13 @@ pub fn evaluate(
     }
     let max_t = *config.checkpoints.last().expect("validated nonempty");
     let batch_count = n.div_ceil(config.batch_size);
+    let _span = tcl_telemetry::span_with("snn.evaluate", || {
+        vec![
+            ("samples", n as f64),
+            ("max_t", max_t as f64),
+            ("batches", batch_count as f64),
+        ]
+    });
     let mut slots: Vec<Option<Result<BatchOutcome>>> = Vec::with_capacity(batch_count);
     slots.resize_with(batch_count, || None);
     par::par_items_mut(par::current(), &mut slots, 1, 1, 1, |first, run| {
@@ -304,8 +311,11 @@ pub fn evaluate(
         }
         total_spikes += outcome.spikes;
         if outcome.neurons > 0 {
-            rate_accum += outcome.spikes as f64 / (outcome.neurons as f64 * max_t as f64);
+            let rate = outcome.spikes as f64 / (outcome.neurons as f64 * max_t as f64);
+            rate_accum += rate;
             rate_batches += 1;
+            // Per-batch mean firing rate distribution (rates live in [0, 1]).
+            tcl_telemetry::hist_record("snn.firing_rate", rate, 1.0, 20);
         }
     }
     let accuracies = config

@@ -49,8 +49,17 @@ fn linear_current(input: &Tensor, weight: &Tensor) -> Result<Tensor> {
         });
     }
     let nonzero = input.data().iter().filter(|&&v| v != 0.0).count();
+    if tcl_telemetry::metrics_enabled() {
+        // A synaptic operation is one weight application driven by a nonzero
+        // input (spike or analog current); skipped zeros are counted
+        // separately so the sparse kernel's win is observable.
+        tcl_telemetry::counter_add("snn.synops", (nonzero * out_f) as u64);
+    }
     if nonzero * 4 >= rows * in_f {
         return ops::matmul_nt(input, weight);
+    }
+    if tcl_telemetry::metrics_enabled() {
+        tcl_telemetry::counter_add("snn.zero_skips", ((rows * in_f - nonzero) * out_f) as u64);
     }
     let mut weight_t = vec![0.0f32; in_f * out_f];
     ops::transpose_into(weight.data(), &mut weight_t, out_f, in_f);
@@ -68,6 +77,13 @@ impl SynapticOp {
     pub fn apply(&self, input: &Tensor) -> Result<Tensor> {
         match self {
             SynapticOp::Conv { weight, bias, geom } => {
+                if tcl_telemetry::metrics_enabled() {
+                    // Fan-out estimate: each nonzero input drives up to
+                    // out_c·kh·kw weight applications (borders ignored).
+                    let nonzero = input.data().iter().filter(|&&v| v != 0.0).count();
+                    let fanout = weight.len() / weight.dims().get(1).copied().unwrap_or(1).max(1);
+                    tcl_telemetry::counter_add("snn.synops", (nonzero * fanout) as u64);
+                }
                 ops::conv2d(input, weight, bias.as_ref(), *geom)
             }
             SynapticOp::Linear { weight, bias } => {

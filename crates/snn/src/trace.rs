@@ -9,6 +9,7 @@
 
 use crate::network::SpikingNetwork;
 use serde::{Deserialize, Serialize};
+use tcl_telemetry::FixedHistogram;
 use tcl_tensor::{Result, Tensor, TensorError};
 
 /// A per-timestep record of each node's firing rate.
@@ -27,25 +28,42 @@ impl ActivityTrace {
         self.rates.len()
     }
 
-    /// Mean firing rate of node `n` over the whole trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is out of range.
-    pub fn mean_rate(&self, n: usize) -> f32 {
-        if self.rates.is_empty() {
-            return 0.0;
-        }
-        self.rates.iter().map(|step| step[n]).sum::<f32>() / self.rates.len() as f32
+    /// Number of traced nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_kinds.len()
     }
 
-    /// First timestep at which node `n` fired at all, if any.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is out of range.
+    /// Mean firing rate of node `n` over the whole trace, or `None` if `n`
+    /// is out of range (or the trace is empty).
+    pub fn mean_rate(&self, n: usize) -> Option<f32> {
+        if self.rates.is_empty() || n >= self.nodes() {
+            return None;
+        }
+        Some(self.rates.iter().map(|step| step[n]).sum::<f32>() / self.rates.len() as f32)
+    }
+
+    /// First timestep at which node `n` fired at all; `None` if it never
+    /// fired or `n` is out of range.
     pub fn first_spike_step(&self, n: usize) -> Option<usize> {
-        self.rates.iter().position(|step| step[n] > 0.0)
+        self.rates
+            .iter()
+            .position(|step| step.get(n).is_some_and(|&r| r > 0.0))
+    }
+
+    /// Folds node `n`'s per-step firing rates into a [`FixedHistogram`]
+    /// over `[0, 1)` with `bins` buckets — the same representation the
+    /// telemetry registry uses, so traced distributions and live
+    /// `snn.firing_rate` metrics are directly comparable. Returns `None` if
+    /// `n` is out of range.
+    pub fn rate_histogram(&self, n: usize, bins: usize) -> Option<FixedHistogram> {
+        if n >= self.nodes() {
+            return None;
+        }
+        let mut hist = FixedHistogram::new(1.0, bins);
+        for step in &self.rates {
+            hist.record(f64::from(step[n]));
+        }
+        Some(hist)
     }
 }
 
@@ -149,8 +167,38 @@ mod tests {
         let x = Tensor::from_vec([1, 1], vec![0.3]).unwrap();
         let trace = trace_activity(&mut net, &x, 200).unwrap();
         // Over a long trace, both layers fire at ~0.3.
-        assert!((trace.mean_rate(0) - 0.3).abs() < 0.02);
-        assert!((trace.mean_rate(1) - 0.3).abs() < 0.02);
+        assert!((trace.mean_rate(0).unwrap() - 0.3).abs() < 0.02);
+        assert!((trace.mean_rate(1).unwrap() - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn out_of_range_node_index_returns_none() {
+        let mut net = deep_net(2);
+        let x = Tensor::from_vec([1, 1], vec![0.5]).unwrap();
+        let trace = trace_activity(&mut net, &x, 10).unwrap();
+        assert_eq!(trace.nodes(), 2);
+        assert!(trace.mean_rate(2).is_none());
+        assert!(trace.first_spike_step(2).is_none());
+        assert!(trace.rate_histogram(2, 8).is_none());
+        let empty = ActivityTrace {
+            rates: vec![],
+            node_kinds: vec!["spiking".into()],
+        };
+        assert!(empty.mean_rate(0).is_none());
+    }
+
+    #[test]
+    fn rate_histogram_matches_mean_rate() {
+        let mut net = deep_net(1);
+        let x = Tensor::from_vec([1, 1], vec![0.5]).unwrap();
+        let trace = trace_activity(&mut net, &x, 40).unwrap();
+        let hist = trace.rate_histogram(0, 10).unwrap();
+        assert_eq!(hist.total(), 40);
+        let mean = trace.mean_rate(0).unwrap();
+        assert!((hist.mean() - f64::from(mean)).abs() < 1e-6);
+        // A single neuron's per-step rate is 0 or 1, so exactly two buckets
+        // fill: the first (0.0) and the last (1.0 clamps into it).
+        assert_eq!(hist.counts().iter().filter(|&&c| c > 0).count(), 2);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Hand-rolled JSON helpers: string escaping for emission and a minimal
+//! recursive-descent validator for tests and the CI smoke step.
+//!
+//! The workspace deliberately has no external dependencies (the vendored
+//! `serde` is a no-op stub), so telemetry events are serialized by hand.
+//! [`escape_into`] covers the emission side; [`validate_line`] is a strict
+//! single-value JSON parser that lets tests and `ci.sh` confirm every
+//! emitted line is well-formed without pulling in a JSON crate.
+
+/// Appends `s` to `out` with JSON string escaping applied (no quotes added).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends an `f64` to `out` as a valid JSON number.
+///
+/// JSON has no NaN/Infinity literals; non-finite values are emitted as
+/// `null` so the stream stays parseable.
+pub fn number_into(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{:?}` for f64 is shortest round-trip and always contains a '.'
+        // or exponent, both of which are valid JSON.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Validates that `line` is exactly one well-formed JSON value.
+///
+/// Returns `Err` with a byte offset and message on the first violation.
+/// Accepts the full JSON grammar (objects, arrays, strings, numbers,
+/// `true`/`false`/`null`) — strict about trailing content and control
+/// characters in strings.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string key at byte {pos}", pos = *pos));
+        }
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening '"'
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!("bad \\u escape at byte {pos}", pos = *pos))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "raw control byte {c:#04x} in string at {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes.len() >= *pos + lit.len() && &bytes[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // integer part: 0 | [1-9][0-9]*
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("bad number at byte {start}")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("bad fraction at byte {pos}", pos = *pos));
+        }
+        while matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            return Err(format!("bad exponent at byte {pos}", pos = *pos));
+        }
+        while matches!(bytes.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        let mut out = String::new();
+        escape_into("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn number_roundtrips_and_null_for_nan() {
+        let mut out = String::new();
+        number_into(0.25, &mut out);
+        out.push(' ');
+        number_into(f64::NAN, &mut out);
+        assert_eq!(out, "0.25 null");
+        let mut big = String::new();
+        number_into(1e300, &mut big);
+        assert!(validate_line(&big).is_ok());
+    }
+
+    #[test]
+    fn validates_good_lines() {
+        for line in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e-3",
+            r#"{"type":"span","name":"matmul","id":7,"parent":null,"attrs":{"m":64},"xs":[1,2.5,-3e2]}"#,
+            r#""escaped \" \\ é""#,
+        ] {
+            assert!(validate_line(line).is_ok(), "should parse: {line}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        for line in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "01",
+            "1.",
+            "nul",
+            "{} extra",
+            "\"unterminated",
+            "\"raw\tcontrol\"",
+            "NaN",
+        ] {
+            assert!(validate_line(line).is_err(), "should reject: {line}");
+        }
+    }
+}

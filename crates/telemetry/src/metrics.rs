@@ -1,0 +1,364 @@
+//! Process-wide metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! All update functions are gated on [`crate::metrics_enabled`]; the
+//! disabled path is one relaxed atomic load. The registry is a
+//! `Mutex<BTreeMap>` keyed by metric name — updates happen at coarse
+//! granularity (per kernel call, per timestep, per epoch), never per
+//! element, so a mutex is ample.
+//!
+//! [`FixedHistogram`] is also exported as a standalone value type so other
+//! crates (e.g. `tcl_snn::trace`) can aggregate distributions with the same
+//! representation the registry uses.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A histogram over `[0, upper)` with `bins` equal-width buckets.
+///
+/// Values below zero clamp into the first bucket; values at or above
+/// `upper` clamp into the last, so every recorded sample is counted. The
+/// exact mean and max are tracked alongside the bucketed counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    upper: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl FixedHistogram {
+    /// Creates an empty histogram over `[0, upper)` with `bins` buckets.
+    ///
+    /// `upper` must be positive and finite; `bins` must be nonzero.
+    pub fn new(upper: f64, bins: usize) -> Self {
+        assert!(upper > 0.0 && upper.is_finite(), "upper must be positive");
+        assert!(bins > 0, "bins must be nonzero");
+        Self {
+            upper,
+            counts: vec![0; bins],
+            total: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = if value <= 0.0 {
+            0
+        } else {
+            (((value / self.upper) * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Upper bound of the bucketed range.
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Per-bucket counts (bucket `i` covers `[i, i+1) * upper / bins`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        assert_eq!(self.upper, other.upper, "histogram geometry mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram geometry mismatch"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    fn body_json(&self, out: &mut String) {
+        out.push_str("\"total\":");
+        out.push_str(&self.total.to_string());
+        out.push_str(",\"mean\":");
+        json::number_into(self.mean(), out);
+        out.push_str(",\"max\":");
+        json::number_into(self.max(), out);
+        out.push_str(",\"upper\":");
+        json::number_into(self.upper, out);
+        out.push_str(",\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push(']');
+    }
+}
+
+enum Metric {
+    Counter(u64),
+    Gauge { last: f64, min: f64, max: f64 },
+    Hist(FixedHistogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Adds `delta` to the counter `name` (creating it at zero).
+///
+/// No-op unless `TCL_METRICS` is set. Mixed-kind reuse of a name keeps the
+/// first kind and ignores later updates of other kinds.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let mut reg = registry();
+    if let Metric::Counter(v) = reg.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+        *v += delta;
+    }
+}
+
+/// Sets the gauge `name`, tracking last/min/max across the run.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let mut reg = registry();
+    if let Metric::Gauge { last, min, max } = reg.entry(name.to_string()).or_insert(Metric::Gauge {
+        last: value,
+        min: value,
+        max: value,
+    }) {
+        *last = value;
+        if value < *min {
+            *min = value;
+        }
+        if value > *max {
+            *max = value;
+        }
+    }
+}
+
+/// Sets the indexed gauge `name[idx]` — e.g. per-layer λ as
+/// `convert.lambda[3]`.
+pub fn gauge_set_indexed(name: &str, idx: usize, value: f64) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    gauge_set(&format!("{name}[{idx}]"), value);
+}
+
+/// Records `value` into the histogram `name`.
+///
+/// The geometry (`upper`, `bins`) is fixed by the first record for a given
+/// name; later calls reuse it regardless of the arguments passed.
+pub fn hist_record(name: &str, value: f64, upper: f64, bins: usize) {
+    if !crate::metrics_enabled() {
+        return;
+    }
+    let mut reg = registry();
+    if let Metric::Hist(h) = reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Hist(FixedHistogram::new(upper, bins)))
+    {
+        h.record(value);
+    }
+}
+
+/// Renders the registry as a human-readable end-of-run table.
+///
+/// Returns an empty string when nothing was recorded.
+pub fn render_summary() -> String {
+    let reg = registry();
+    if reg.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("== telemetry summary ==\n");
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(v) => {
+                out.push_str(&format!("  counter {name:<32} {v}\n"));
+            }
+            Metric::Gauge { last, min, max } => {
+                out.push_str(&format!(
+                    "  gauge   {name:<32} last={last:.6} min={min:.6} max={max:.6}\n"
+                ));
+            }
+            Metric::Hist(h) => {
+                out.push_str(&format!(
+                    "  hist    {name:<32} n={} mean={:.6} max={:.6} upper={:.3}\n",
+                    h.total(),
+                    h.mean(),
+                    h.max(),
+                    h.upper(),
+                ));
+            }
+        }
+    }
+    out.pop(); // trailing newline
+    out
+}
+
+/// Mirrors the registry into the JSONL trace stream (one event per metric).
+///
+/// Only meaningful when tracing is enabled; [`crate::emit_summary`] calls
+/// this before flushing.
+pub fn write_metrics_snapshot() {
+    if !crate::trace_enabled() {
+        return;
+    }
+    // Serialize under the lock, emit after releasing it (emit_line takes the
+    // sink lock; keeping lock scopes disjoint avoids ordering hazards).
+    let lines: Vec<String> = {
+        let reg = registry();
+        reg.iter()
+            .map(|(name, metric)| {
+                let mut line = String::with_capacity(96);
+                match metric {
+                    Metric::Counter(v) => {
+                        line.push_str("{\"type\":\"counter\",\"name\":\"");
+                        json::escape_into(name, &mut line);
+                        line.push_str("\",\"value\":");
+                        line.push_str(&v.to_string());
+                        line.push('}');
+                    }
+                    Metric::Gauge { last, min, max } => {
+                        line.push_str("{\"type\":\"gauge\",\"name\":\"");
+                        json::escape_into(name, &mut line);
+                        line.push_str("\",\"last\":");
+                        json::number_into(*last, &mut line);
+                        line.push_str(",\"min\":");
+                        json::number_into(*min, &mut line);
+                        line.push_str(",\"max\":");
+                        json::number_into(*max, &mut line);
+                        line.push('}');
+                    }
+                    Metric::Hist(h) => {
+                        line.push_str("{\"type\":\"hist\",\"name\":\"");
+                        json::escape_into(name, &mut line);
+                        line.push_str("\",");
+                        h.body_json(&mut line);
+                        line.push('}');
+                    }
+                }
+                line
+            })
+            .collect()
+    };
+    for line in lines {
+        crate::sink::emit_line(line);
+    }
+}
+
+/// Clears the registry (test support).
+pub(crate) fn reset() {
+    registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{reset_metrics, with_captured, with_disabled};
+
+    #[test]
+    fn histogram_buckets_clamp_and_merge() {
+        let mut h = FixedHistogram::new(1.0, 4);
+        for v in [-0.5, 0.1, 0.3, 0.6, 0.99, 1.7] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.total(), 6);
+        assert!((h.max() - 1.7).abs() < 1e-12);
+        let mut other = FixedHistogram::new(1.0, 4);
+        other.record(0.4);
+        h.merge(&other);
+        assert_eq!(h.counts(), &[2, 2, 1, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let (_, emitted) = with_disabled(|| {
+            reset_metrics();
+            counter_add("t.counter", 3);
+            gauge_set("t.gauge", 1.0);
+            hist_record("t.hist", 0.5, 1.0, 8);
+            assert_eq!(render_summary(), "");
+        });
+        assert_eq!(emitted, 0);
+    }
+
+    #[test]
+    fn registry_updates_summarize_and_snapshot() {
+        let (_, lines) = with_captured(|| {
+            reset_metrics();
+            counter_add("t.spikes", 2);
+            counter_add("t.spikes", 3);
+            gauge_set("t.lambda", 2.0);
+            gauge_set("t.lambda", 0.5);
+            gauge_set_indexed("t.lambda_site", 1, 4.0);
+            hist_record("t.rate", 0.25, 1.0, 4);
+            let summary = render_summary();
+            assert!(summary.contains("t.spikes"));
+            assert!(summary.contains("5"));
+            assert!(summary.contains("t.lambda_site[1]"));
+            write_metrics_snapshot();
+        });
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            crate::json::validate_line(line).expect("snapshot line must be valid JSON");
+        }
+        assert!(lines.iter().any(|l| l.contains("\"type\":\"counter\"")
+            && l.contains("\"t.spikes\"")
+            && l.contains("\"value\":5")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"gauge\"") && l.contains("\"min\":0.5")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"hist\"") && l.contains("\"counts\":[0,1,0,0]")));
+    }
+}

@@ -1,0 +1,128 @@
+//! The JSONL event sink: stderr, an append-only file, or an in-memory
+//! capture buffer (tests).
+//!
+//! Destination resolution happens once, from the value of `TCL_TRACE`:
+//! `1`/`true`-ish values stream to stderr, anything else is treated as a
+//! file path. Every emitted line is a complete JSON object; a global mutex
+//! serializes writers so lines from concurrent worker threads never
+//! interleave.
+
+use crate::json;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Where JSONL events go.
+enum Destination {
+    /// Stream to stderr (`TCL_TRACE=1`).
+    Stderr,
+    /// Append to a file (`TCL_TRACE=<path>`); errors fall back to stderr.
+    File(std::fs::File),
+    /// In-memory buffer drained by `test_support::with_captured`.
+    Capture(Vec<String>),
+}
+
+static SINK: OnceLock<Mutex<Destination>> = OnceLock::new();
+/// Count of JSONL events emitted since process start (all destinations).
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+fn sink() -> MutexGuard<'static, Destination> {
+    SINK.get_or_init(|| Mutex::new(destination_from_env()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn destination_from_env() -> Destination {
+    let value = std::env::var("TCL_TRACE").unwrap_or_default();
+    match value.as_str() {
+        "" | "1" | "true" | "on" => Destination::Stderr,
+        path => match OpenOptions::new().create(true).append(true).open(path) {
+            Ok(file) => Destination::File(file),
+            Err(e) => {
+                eprintln!("[telemetry] cannot open TCL_TRACE={path}: {e}; using stderr");
+                Destination::Stderr
+            }
+        },
+    }
+}
+
+/// Emits one already-serialized JSONL line.
+pub(crate) fn emit_line(line: String) {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+    match &mut *sink() {
+        Destination::Stderr => eprintln!("{line}"),
+        Destination::File(file) => {
+            if writeln!(file, "{line}").is_err() {
+                eprintln!("{line}");
+            }
+        }
+        Destination::Capture(buf) => buf.push(line),
+    }
+}
+
+/// Number of JSONL events emitted since process start.
+///
+/// The disabled-path guarantee is that instrumented code emits **zero**
+/// events while `TCL_TRACE`/`TCL_METRICS` are unset; tests assert it by
+/// differencing this counter.
+pub fn events_emitted() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}
+
+/// Flushes the sink (meaningful for file destinations).
+pub fn flush() {
+    if let Destination::File(file) = &mut *sink() {
+        let _ = file.flush();
+    }
+}
+
+/// Routes a human-readable progress line through the telemetry layer.
+///
+/// The line is always printed to stderr as `[component] message` — callers
+/// keep their own verbosity gating — and, when tracing is enabled, a
+/// structured `{"type":"log",...}` event is mirrored into the JSONL stream.
+pub fn log(component: &str, message: &str) {
+    eprintln!("[{component}] {message}");
+    if crate::trace_enabled() {
+        let mut line = String::with_capacity(64 + message.len());
+        line.push_str("{\"type\":\"log\",\"component\":\"");
+        json::escape_into(component, &mut line);
+        line.push_str("\",\"message\":\"");
+        json::escape_into(message, &mut line);
+        line.push_str("\"}");
+        emit_line(line);
+    }
+}
+
+/// Switches the sink to an empty in-memory capture buffer.
+pub(crate) fn begin_capture() {
+    *sink() = Destination::Capture(Vec::new());
+}
+
+/// Restores the environment-resolved sink and returns the captured lines.
+pub(crate) fn end_capture() -> Vec<String> {
+    let mut guard = sink();
+    let captured = match &mut *guard {
+        Destination::Capture(buf) => std::mem::take(buf),
+        _ => Vec::new(),
+    };
+    *guard = destination_from_env();
+    captured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_lines_and_counts_events() {
+        let (_, lines) = crate::test_support::with_captured(|| {
+            let before = events_emitted();
+            emit_line("{\"type\":\"log\",\"component\":\"t\",\"message\":\"x\"}".to_string());
+            assert_eq!(events_emitted() - before, 1);
+        });
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"type\":\"log\""));
+    }
+}

@@ -1,0 +1,246 @@
+//! Hierarchical RAII spans.
+//!
+//! [`span`] / [`span_with`] return a [`SpanGuard`]; dropping it emits one
+//! JSONL record carrying the span's name, id, parent id, thread id, start
+//! offset, and wall-clock duration. Parent linkage is a thread-local stack
+//! of active span ids; [`propagate_parent`] seeds that linkage on freshly
+//! spawned worker threads (`std::thread::scope` workers do not inherit the
+//! spawner's thread-locals) so `par.worker` spans nest under the kernel
+//! span that fanned them out.
+
+use crate::json;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic span id allocator (0 is never issued; ids start at 1).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Monotonic telemetry thread id allocator (distinct from OS thread ids so
+/// the JSONL stream stays small and stable-looking across runs).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+/// Process epoch that `start_us` offsets are measured from.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Stack of active span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Parent span id inherited from a spawning thread via
+    /// [`propagate_parent`]; used when the local stack is empty.
+    static INHERITED_PARENT: Cell<Option<u64>> = const { Cell::new(None) };
+    /// This thread's telemetry id, assigned on first use.
+    static THREAD_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|cell| match cell.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(id));
+            id
+        }
+    })
+}
+
+/// The innermost active span id on this thread, if any.
+///
+/// Falls back to the parent seeded by [`propagate_parent`] when the local
+/// stack is empty, so it can be called on a worker thread before the worker
+/// opens its own span. Returns `None` when tracing is disabled.
+pub fn current_span_id() -> Option<u64> {
+    if !crate::trace_enabled() {
+        return None;
+    }
+    SPAN_STACK
+        .with(|stack| stack.borrow().last().copied())
+        .or_else(|| INHERITED_PARENT.with(Cell::get))
+}
+
+/// Seeds the current thread's parent span linkage with an id captured on
+/// the spawning thread via [`current_span_id`].
+///
+/// Call this first thing inside a `std::thread::scope` worker closure;
+/// spans opened on the worker then report `parent` correctly. `None` is a
+/// no-op, so callers can pass the captured value through unconditionally.
+pub fn propagate_parent(parent: Option<u64>) {
+    if let Some(id) = parent {
+        INHERITED_PARENT.with(|cell| cell.set(Some(id)));
+    }
+}
+
+/// A span that is actually being recorded.
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_us: u64,
+    attrs: Vec<(&'static str, f64)>,
+}
+
+/// RAII guard for one span; emits a single JSONL record on drop.
+///
+/// When tracing is disabled the guard is inert: no id allocation, no clock
+/// read, no emission.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+/// Opens a span named `name`. See [`span_with`] to attach attributes.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_with(name, Vec::new)
+}
+
+/// Opens a span named `name` with numeric attributes.
+///
+/// `attrs` is only invoked when tracing is enabled, so building the
+/// attribute vector costs nothing on the disabled path.
+#[inline]
+pub fn span_with(
+    name: &'static str,
+    attrs: impl FnOnce() -> Vec<(&'static str, f64)>,
+) -> SpanGuard {
+    if !crate::trace_enabled() {
+        return SpanGuard { active: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK
+        .with(|stack| stack.borrow().last().copied())
+        .or_else(|| INHERITED_PARENT.with(Cell::get));
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
+    let start = Instant::now();
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name,
+            id,
+            parent,
+            start,
+            start_us: start.duration_since(epoch()).as_micros() as u64,
+            attrs: attrs(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_us = active.start.elapsed().as_micros() as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in LIFO order in well-formed code; retain() keeps
+            // the stack consistent even if a guard is dropped out of order.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != active.id);
+            }
+        });
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"type\":\"span\",\"name\":\"");
+        json::escape_into(active.name, &mut line);
+        line.push_str(&format!(
+            "\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}",
+            active.id,
+            match active.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            },
+            thread_id(),
+            active.start_us,
+            dur_us,
+        ));
+        if !active.attrs.is_empty() {
+            line.push_str(",\"attrs\":{");
+            for (i, (key, value)) in active.attrs.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push('"');
+                json::escape_into(key, &mut line);
+                line.push_str("\":");
+                json::number_into(*value, &mut line);
+            }
+            line.push('}');
+        }
+        line.push('}');
+        crate::sink::emit_line(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{with_captured, with_disabled};
+
+    #[test]
+    fn disabled_spans_emit_nothing() {
+        let (_, emitted) = with_disabled(|| {
+            let _outer = span("outer");
+            let _inner = span_with("inner", || vec![("k", 1.0)]);
+        });
+        assert_eq!(emitted, 0);
+    }
+
+    #[test]
+    fn spans_nest_and_emit_valid_json() {
+        let (_, lines) = with_captured(|| {
+            let _outer = span("outer");
+            let _inner = span_with("inner", || vec![("m", 64.0), ("n", 16.0)]);
+        });
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            crate::json::validate_line(line).expect("span line must be valid JSON");
+        }
+        // Guards drop innermost-first, so "inner" is emitted first.
+        assert!(lines[0].contains("\"name\":\"inner\""));
+        assert!(lines[0].contains("\"attrs\":{\"m\":64.0,\"n\":16.0}"));
+        assert!(lines[1].contains("\"name\":\"outer\""));
+        assert!(lines[1].contains("\"parent\":null"));
+        let outer_id: u64 = field(&lines[1], "\"id\":");
+        let inner_parent: u64 = field(&lines[0], "\"parent\":");
+        assert_eq!(inner_parent, outer_id);
+    }
+
+    #[test]
+    fn propagated_parent_links_worker_spans() {
+        let (ids, lines) = with_captured(|| {
+            let outer = span("kernel");
+            let parent = current_span_id();
+            assert!(parent.is_some());
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    propagate_parent(parent);
+                    let _w = span("worker");
+                });
+            });
+            drop(outer);
+            parent
+        });
+        let kernel_id = ids.unwrap();
+        let worker = lines
+            .iter()
+            .find(|l| l.contains("\"name\":\"worker\""))
+            .expect("worker span emitted");
+        assert_eq!(field::<u64>(worker, "\"parent\":"), kernel_id);
+    }
+
+    fn field<T: std::str::FromStr>(line: &str, key: &str) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        let start = line.find(key).expect("key present") + key.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        rest[..end].parse().expect("numeric field")
+    }
+}

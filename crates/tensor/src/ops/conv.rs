@@ -266,6 +266,15 @@ pub fn conv2d(
         }
     }
     let (out_h, out_w) = geom.output_hw(h, w)?;
+    let _span = tcl_telemetry::span_with("conv2d", || {
+        vec![
+            ("batch", n as f64),
+            ("in_c", c as f64),
+            ("out_c", out_c as f64),
+            ("out_h", out_h as f64),
+            ("out_w", out_w as f64),
+        ]
+    });
     let col_rows = c * kh * kw;
     let col_width = out_h * out_w;
     let mut out = Tensor::zeros([n, out_c, out_h, out_w]);

@@ -189,6 +189,9 @@ pub fn matmul_into_with(
     if n == 0 {
         return;
     }
+    let _span = tcl_telemetry::span_with("matmul", || {
+        vec![("m", m as f64), ("k", k as f64), ("n", n as f64)]
+    });
     // Split only if every worker gets enough rows to amortize a spawn.
     let min_rows = (PAR_MIN_VOLUME / (k * n).max(1)).max(MR);
     par::par_items_mut(par, out, n, MR, min_rows, |first_row, out_rows| {

@@ -37,6 +37,13 @@ pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor
     let (n, c, h, w) = input.shape().as_nchw()?;
     let geom = ConvGeometry::square(kernel, stride, 0)?;
     let (oh, ow) = geom.output_hw(h, w)?;
+    let _span = tcl_telemetry::span_with("avg_pool2d", || {
+        vec![
+            ("planes", (n * c) as f64),
+            ("kernel", kernel as f64),
+            ("stride", stride as f64),
+        ]
+    });
     let mut out = Tensor::zeros([n, c, oh, ow]);
     let inv = 1.0 / (kernel * kernel) as f32;
     let in_plane = h * w;

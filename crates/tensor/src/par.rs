@@ -24,6 +24,7 @@
 
 use std::cell::Cell;
 use std::sync::OnceLock;
+use tcl_telemetry as telemetry;
 
 /// A thread-count budget for the compute kernels.
 ///
@@ -132,6 +133,31 @@ pub fn in_serial_scope() -> bool {
     SERIAL_SCOPE.with(Cell::get)
 }
 
+/// Runs one fan-out worker under telemetry instrumentation: a `par.worker`
+/// span linked to the spawning kernel's span (`parent` is captured on the
+/// spawning thread; pass `None` for the chunk that runs inline, whose span
+/// stack already carries the parent) and a `par.worker_ms` wall-time
+/// histogram sample for imbalance analysis. With `TCL_TRACE`/`TCL_METRICS`
+/// unset this is two relaxed flag loads per *worker* — never per item.
+fn instrumented_worker<F: FnOnce()>(parent: Option<u64>, first_item: usize, items: usize, f: F) {
+    telemetry::propagate_parent(parent);
+    let _span = telemetry::span_with("par.worker", || {
+        vec![("first", first_item as f64), ("items", items as f64)]
+    });
+    if telemetry::metrics_enabled() {
+        let start = std::time::Instant::now();
+        f();
+        telemetry::hist_record(
+            "par.worker_ms",
+            start.elapsed().as_secs_f64() * 1e3,
+            50.0,
+            25,
+        );
+    } else {
+        f();
+    }
+}
+
 /// Computes per-worker contiguous item counts: `items` split across `workers`
 /// in runs that are multiples of `granularity` (except possibly the last).
 fn run_len(items: usize, granularity: usize, workers: usize) -> usize {
@@ -168,6 +194,7 @@ pub fn par_items_mut<T, F>(
         return;
     }
     let per_worker = run_len(items, granularity, workers);
+    let parent = telemetry::current_span_id();
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest = data;
@@ -180,9 +207,11 @@ pub fn par_items_mut<T, F>(
             first_item += take;
             if rest.is_empty() {
                 // Run the final chunk on the current thread.
-                with_serial(|| f(start, run));
+                instrumented_worker(None, start, take, || with_serial(|| f(start, run)));
             } else {
-                scope.spawn(move || with_serial(|| f(start, run)));
+                scope.spawn(move || {
+                    instrumented_worker(parent, start, take, || with_serial(|| f(start, run)))
+                });
             }
         }
     });
@@ -217,6 +246,7 @@ pub fn par_items_mut2<T, U, F>(
         return;
     }
     let per_worker = run_len(items, granularity, workers);
+    let parent = telemetry::current_span_id();
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest_a = a;
@@ -231,9 +261,13 @@ pub fn par_items_mut2<T, U, F>(
             let start = first_item;
             first_item += take;
             if rest_a.is_empty() {
-                with_serial(|| f(start, run_a, run_b));
+                instrumented_worker(None, start, take, || with_serial(|| f(start, run_a, run_b)));
             } else {
-                scope.spawn(move || with_serial(|| f(start, run_a, run_b)));
+                scope.spawn(move || {
+                    instrumented_worker(parent, start, take, || {
+                        with_serial(|| f(start, run_a, run_b))
+                    })
+                });
             }
         }
     });

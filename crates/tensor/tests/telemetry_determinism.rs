@@ -1,0 +1,108 @@
+//! The telemetry layer's two contracts with the kernels:
+//!
+//! 1. **Disabled path**: with tracing and metrics off, instrumented kernels
+//!    emit zero events and produce bitwise-identical results to an
+//!    instrumented run — telemetry must never perturb numerics.
+//! 2. **Span nesting**: when tracing is on, `par.worker` spans nest under
+//!    the kernel span that spawned them, across `std::thread::scope`
+//!    boundaries (thread-locals do not propagate there by themselves).
+
+use tcl_telemetry::test_support::{with_captured, with_disabled};
+use tcl_tensor::ops::matmul_into_with;
+use tcl_tensor::{Parallelism, SeededRng};
+
+fn random_vec(rng: &mut SeededRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+/// Extracts a `"key":<integer>` field from one JSONL line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// `(id, parent)` of every span line with the given name.
+fn spans_named(lines: &[String], name: &str) -> Vec<(u64, Option<u64>)> {
+    let tag = format!("\"name\":\"{name}\"");
+    lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"span\"") && l.contains(&tag))
+        .map(|l| {
+            (
+                field_u64(l, "id").expect("span line has an id"),
+                field_u64(l, "parent"),
+            )
+        })
+        .collect()
+}
+
+// Big enough that the matmul crosses the parallel-dispatch volume threshold
+// and genuinely fans out over multiple workers: the row split hands each
+// worker at least PAR_MIN_VOLUME/(k·n) = 64 rows, so 192 rows make 3.
+const M: usize = 192;
+const K: usize = 64;
+const N: usize = 64;
+
+#[test]
+fn disabled_telemetry_is_silent_and_bitwise_identical() {
+    let mut rng = SeededRng::new(42);
+    let a = random_vec(&mut rng, M * K);
+    let b = random_vec(&mut rng, K * N);
+
+    let mut instrumented = vec![0.0f32; M * N];
+    let ((), lines) = with_captured(|| {
+        matmul_into_with(Parallelism::new(4), &a, &b, &mut instrumented, M, K, N);
+    });
+    assert!(!lines.is_empty(), "tracing enabled but nothing was emitted");
+
+    let mut plain = vec![0.0f32; M * N];
+    let ((), events) = with_disabled(|| {
+        matmul_into_with(Parallelism::new(4), &a, &b, &mut plain, M, K, N);
+    });
+    assert_eq!(events, 0, "disabled path emitted telemetry events");
+    assert_eq!(instrumented, plain, "telemetry changed kernel numerics");
+}
+
+#[test]
+fn worker_spans_nest_under_the_kernel_span() {
+    let mut rng = SeededRng::new(7);
+    let a = random_vec(&mut rng, M * K);
+    let b = random_vec(&mut rng, K * N);
+    let mut out = vec![0.0f32; M * N];
+
+    let ((), lines) = with_captured(|| {
+        let _outer = tcl_telemetry::span("test.outer");
+        matmul_into_with(Parallelism::new(4), &a, &b, &mut out, M, K, N);
+    });
+    for line in &lines {
+        tcl_telemetry::json::validate_line(line)
+            .unwrap_or_else(|e| panic!("invalid JSONL {line:?}: {e}"));
+    }
+
+    let outer = spans_named(&lines, "test.outer");
+    assert_eq!(outer.len(), 1, "exactly one outer span");
+    let matmul = spans_named(&lines, "matmul");
+    assert_eq!(matmul.len(), 1, "exactly one matmul span");
+    assert_eq!(
+        matmul[0].1,
+        Some(outer[0].0),
+        "matmul span must nest under the enclosing span"
+    );
+
+    let workers = spans_named(&lines, "par.worker");
+    assert!(
+        workers.len() >= 2,
+        "expected a multi-worker fan-out, got {} worker spans",
+        workers.len()
+    );
+    for (id, parent) in &workers {
+        assert_eq!(
+            *parent,
+            Some(matmul[0].0),
+            "worker span {id} not parented to the matmul span"
+        );
+    }
+}

@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "  node {n:2} ({:<8}) first spike @t={first:<3} {bars}  mean {:.3}",
                 trace.node_kinds[n],
-                trace.mean_rate(n)
+                trace.mean_rate(n).unwrap_or(0.0)
             );
         }
         println!();

@@ -1,0 +1,97 @@
+//! Telemetry smoke check for CI: runs a tiny conversion + SNN evaluation
+//! with whatever `TCL_TRACE`/`TCL_METRICS` the environment provides, then —
+//! when `TCL_TRACE` names a file — reads the JSONL stream back and verifies
+//! it is well-formed and contains the spans and gauges the instrumentation
+//! promises.
+//!
+//! ```text
+//! TCL_TRACE=target/telemetry_smoke.jsonl TCL_METRICS=1 \
+//!   cargo run --release -p tcl-core --example telemetry_smoke
+//! ```
+//!
+//! Exits non-zero (panics) if the stream is malformed or a required record
+//! is missing, so `ci.sh` can gate on it.
+
+use tcl_core::{diagnose_conversion, Converter, NormStrategy};
+use tcl_models::{Architecture, ModelConfig};
+use tcl_snn::{evaluate, Readout, SimConfig};
+use tcl_tensor::SeededRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SeededRng::new(0x51301);
+    let cfg = ModelConfig::new((3, 8, 8), 4)
+        .with_base_width(2)
+        .with_clip_lambda(Some(2.0));
+    let net = Architecture::Cnn6.build(&cfg, &mut rng)?;
+    let calibration = rng.uniform_tensor([8, 3, 8, 8], -1.0, 1.0);
+    let conversion = Converter::new(NormStrategy::TrainedClip).convert(&net, &calibration)?;
+
+    // A short evaluation drives every instrumented path: conv/matmul
+    // kernels, IF neuron steps, spike/synop counters, firing-rate
+    // histograms.
+    let stimulus = rng.uniform_tensor([4, 3, 8, 8], -1.0, 1.0);
+    let labels = vec![0usize, 1, 2, 3];
+    let sim = SimConfig::new(vec![4, 16], 2, Readout::SpikeCount)?;
+    let sweep = evaluate(&conversion.snn, &stimulus, &labels, &sim)?;
+    println!(
+        "smoke evaluation ran: {} checkpoints, mean firing rate {:.4}",
+        sweep.accuracies.len(),
+        sweep.mean_firing_rate
+    );
+
+    // Per-layer conversion diagnostics (residual must shrink with T).
+    let diag = diagnose_conversion(&net, &conversion, &stimulus, &[8, 64])?;
+    let (short, long) = (
+        diag.mean_residual(0).expect("window 0"),
+        diag.mean_residual(1).expect("window 1"),
+    );
+    println!("diagnostics: mean residual {short:.4} @T=8 -> {long:.4} @T=64");
+    assert!(
+        long <= short,
+        "rate-coding residual grew with T: {short:.4} -> {long:.4}"
+    );
+
+    tcl_telemetry::emit_summary();
+
+    // When TCL_TRACE names a file, read the stream back and verify it.
+    let trace = std::env::var("TCL_TRACE").unwrap_or_default();
+    if tcl_telemetry::trace_enabled() && !matches!(trace.as_str(), "" | "1" | "true" | "on") {
+        let text = std::fs::read_to_string(&trace)?;
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "trace file {trace} is empty");
+        for line in &lines {
+            tcl_telemetry::json::validate_line(line)
+                .map_err(|e| format!("malformed JSONL {line:?}: {e}"))?;
+        }
+        for required in [
+            "\"name\":\"convert\"",
+            "\"name\":\"conv2d\"",
+            "\"name\":\"matmul\"",
+            "\"name\":\"neuron.step\"",
+            "\"name\":\"snn.evaluate\"",
+            "\"name\":\"diagnose\"",
+        ] {
+            assert!(
+                lines.iter().any(|l| l.contains(required)),
+                "no span {required} in {trace}"
+            );
+        }
+        if tcl_telemetry::metrics_enabled() {
+            for required in [
+                "\"name\":\"convert.lambda[0]\"",
+                "\"name\":\"snn.spikes\"",
+                "\"name\":\"snn.firing_rate\"",
+                "\"name\":\"diag.residual[0]\"",
+            ] {
+                assert!(
+                    lines.iter().any(|l| l.contains(required)),
+                    "no metric {required} in {trace}"
+                );
+            }
+        }
+        println!("validated {} JSONL telemetry lines in {trace}", lines.len());
+    } else {
+        println!("TCL_TRACE not set to a file; skipped stream validation");
+    }
+    Ok(())
+}
