@@ -13,8 +13,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
+echo "==> cargo test (budget: ${TCL_TEST_BUDGET_S:-1200}s, incl. thread matrix)"
+test_start=$(date +%s)
 cargo test --workspace -q
+
+# Determinism matrix: the engine, kernels, and golden snapshots must produce
+# identical results for every worker count.
+for t in 1 4; do
+  echo "==> cargo test -p tcl-snn --tests (TCL_THREADS=$t)"
+  TCL_THREADS=$t cargo test -q -p tcl-snn --tests
+done
+
+elapsed=$(( $(date +%s) - test_start ))
+budget="${TCL_TEST_BUDGET_S:-1200}"
+if [ "$elapsed" -gt "$budget" ]; then
+  echo "FAIL: test suite took ${elapsed}s, over the ${budget}s budget" >&2
+  exit 1
+fi
+echo "tests finished in ${elapsed}s (budget ${budget}s)"
 
 echo "==> telemetry smoke (traced mini conversion + JSONL validation)"
 rm -f target/telemetry_smoke.jsonl
@@ -23,7 +39,7 @@ TCL_TRACE=target/telemetry_smoke.jsonl TCL_METRICS=1 \
 test -s target/telemetry_smoke.jsonl
 
 echo "==> bench binaries answer --help"
-for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay; do
+for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay engine_bench; do
   cargo run --release -q -p tcl-bench --bin "$bin" -- --help | grep -q TCL_TRACE
 done
 

@@ -17,6 +17,11 @@
 //! The crossover T where the SNN stops being cheaper is exactly the
 //! latency/energy trade-off TCL's low norm-factors improve.
 //!
+//! A second table reports synops *measured* by the engine's `snn.synops`
+//! telemetry counter on the TCL conversion, fixed-T vs per-sample early
+//! exit — the early-exit saving column is the energy the margin-stability
+//! criterion recovers on top of sparsity.
+//!
 //! ```text
 //! cargo run --release -p tcl-bench --bin energy
 //! ```
@@ -24,7 +29,7 @@
 use tcl_bench::{help_requested, pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
 use tcl_core::{Converter, NormStrategy};
 use tcl_models::Architecture;
-use tcl_snn::{SpikingNetwork, SpikingNode, SynapticOp};
+use tcl_snn::{Engine, ExitPolicy, Readout, SimConfig, SpikingNetwork, SpikingNode, SynapticOp};
 use tcl_tensor::Tensor;
 
 /// Dense MACs for one application of a synaptic operator on `input`.
@@ -97,6 +102,10 @@ fn main() {
     ) {
         return;
     }
+    // The measured-synops section below reads the `snn.synops` counter the
+    // kernels maintain; enable metrics before the first telemetry call
+    // initializes the flag from the environment.
+    std::env::set_var("TCL_METRICS", "1");
     let scale = Scale::from_env();
     let dataset = DatasetKind::Cifar;
     println!(
@@ -118,6 +127,8 @@ fn main() {
         h
     };
     let mut rows = Vec::new();
+    let mut engine = Engine::new();
+    let mut measured: Vec<Vec<String>> = Vec::new();
     for arch in [Architecture::Cnn6, Architecture::Vgg16] {
         let tcl_net = train_or_load(arch, dataset, &data, Some(dataset.lambda0()), scale);
         let base_net = train_or_load(arch, dataset, &data, None, scale);
@@ -160,8 +171,66 @@ fn main() {
             eprintln!("[done] {} / {label}", arch.name());
             rows.push(row);
         }
+
+        // The estimate above is static; the engine also *measures* synaptic
+        // operations (nonzero-driven weight touches, via the `snn.synops`
+        // counter) and shows what per-sample early exit saves on top.
+        let conversion = Converter::new(NormStrategy::TrainedClip)
+            .convert(&tcl_net, calibration.images())
+            .expect("tcl conversion");
+        let eval_set = data.test.take(32);
+        let max_t = *t_grid.last().expect("nonempty grid");
+        let sim = SimConfig::new(vec![max_t], 16, Readout::SpikeCount).expect("valid config");
+        let synops_of = |engine: &mut Engine, policy| {
+            let before = tcl_telemetry::counter_value("snn.synops").unwrap_or(0);
+            let r = engine
+                .evaluate(
+                    &conversion.snn,
+                    eval_set.images(),
+                    eval_set.labels(),
+                    &sim,
+                    policy,
+                )
+                .expect("engine evaluation");
+            let after = tcl_telemetry::counter_value("snn.synops").unwrap_or(0);
+            (r, after - before)
+        };
+        let (fixed, fixed_ops) = synops_of(&mut engine, ExitPolicy::Off);
+        let policy = ExitPolicy::Adaptive {
+            patience: 6,
+            min_margin: 2.0,
+            min_steps: (max_t / 5).max(2),
+        };
+        let (adaptive, adaptive_ops) = synops_of(&mut engine, policy);
+        let saved = 1.0 - adaptive_ops as f64 / fixed_ops.max(1) as f64;
+        measured.push(vec![
+            arch.name().to_string(),
+            format!("{fixed_ops}"),
+            pct(fixed.sweep.final_accuracy()),
+            format!("{adaptive_ops}"),
+            pct(adaptive.adaptive_accuracy),
+            format!("{:.1}", adaptive.mean_exit_step),
+            format!("{:.1}%", saved * 100.0),
+        ]);
     }
     println!("{}", render_table(&header, &rows));
+    println!(
+        "measured synops through the engine @T={} (32 samples, tcl conversion):",
+        t_grid.last().expect("nonempty grid")
+    );
+    let measured_header: Vec<String> = [
+        "Network",
+        "fixed synops",
+        "fixed acc",
+        "early-exit synops",
+        "early-exit acc",
+        "mean exit T",
+        "saved",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", render_table(&measured_header, &measured));
     println!(
         "ops ratio < 1x means the SNN performs fewer synaptic operations than\n\
          one dense ANN inference; TCL's tighter λ raises firing rates, so it\n\
@@ -170,6 +239,5 @@ fn main() {
     );
     let csv = write_csv("energy", &header, &rows);
     println!("csv: {}", csv.display());
-    let _ = pct(0.0);
     tcl_telemetry::emit_summary();
 }

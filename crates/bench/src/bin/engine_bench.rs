@@ -1,0 +1,292 @@
+//! Benchmarks the persistent inference engine: fixed-T sweeps vs per-sample
+//! early exit on the Table-1 mini workload (TCL-trained CNN-6), measuring
+//! wall-clock time, measured synaptic operations (the `snn.synops` telemetry
+//! counter), and the mean number of simulated timesteps per sample.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin engine_bench
+//! ```
+//!
+//! Output: a candidate table on stdout and `BENCH_engine.json` at the repo
+//! root. The JSON records the fixed-T=256 reference, every early-exit
+//! policy candidate, and the selected operating point (the candidate that
+//! saves the most steps while staying within 0.2% of the fixed accuracy).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use tcl_bench::{help_requested, pct, render_table, train_or_load, DatasetKind, Scale};
+use tcl_core::{Converter, NormStrategy};
+use tcl_models::Architecture;
+use tcl_snn::{Engine, EngineResult, ExitPolicy, Readout, SimConfig};
+
+const CHECKPOINTS: [usize; 4] = [32, 64, 128, 256];
+
+/// One timed engine evaluation: result + wall-clock + measured synops.
+struct Run {
+    name: &'static str,
+    policy: ExitPolicy,
+    result: EngineResult,
+    wall_ms: f64,
+    synops: u64,
+}
+
+fn policy_json(policy: ExitPolicy) -> String {
+    match policy {
+        ExitPolicy::Off => "{ \"mode\": \"off\" }".to_string(),
+        ExitPolicy::Adaptive {
+            patience,
+            min_margin,
+            min_steps,
+        } => format!(
+            "{{ \"mode\": \"adaptive\", \"patience\": {patience}, \
+             \"min_margin\": {min_margin:.1}, \"min_steps\": {min_steps} }}"
+        ),
+    }
+}
+
+fn run_json(run: &Run, max_t: usize) -> String {
+    let exits = run.result.exited.iter().filter(|&&e| e).count();
+    let mut s = String::new();
+    let _ = writeln!(s, "    {{");
+    let _ = writeln!(s, "      \"name\": \"{}\",", run.name);
+    let _ = writeln!(s, "      \"policy\": {},", policy_json(run.policy));
+    let _ = writeln!(
+        s,
+        "      \"accuracy\": {:.4},",
+        if run.policy.is_adaptive() {
+            run.result.adaptive_accuracy
+        } else {
+            run.result.sweep.final_accuracy()
+        }
+    );
+    let _ = writeln!(
+        s,
+        "      \"mean_exit_step\": {:.2},",
+        run.result.mean_exit_step
+    );
+    let _ = writeln!(
+        s,
+        "      \"early_exits\": {exits}, \"samples\": {},",
+        run.result.exited.len()
+    );
+    let _ = writeln!(s, "      \"saved_steps\": {},", run.result.saved_steps);
+    let _ = writeln!(
+        s,
+        "      \"step_reduction\": {:.4},",
+        1.0 - run.result.mean_exit_step as f64 / max_t as f64
+    );
+    let _ = writeln!(s, "      \"wall_ms\": {:.1},", run.wall_ms);
+    let _ = writeln!(s, "      \"synops\": {}", run.synops);
+    let _ = write!(s, "    }}");
+    s
+}
+
+fn main() {
+    // The synops comparison reads the `snn.synops` counter; enable metrics
+    // before the first telemetry call initializes the flag from the
+    // environment.
+    std::env::set_var("TCL_METRICS", "1");
+    if help_requested(
+        "engine_bench",
+        "fixed-T vs early-exit engine comparison (wall-clock, synops, \
+         mean exit step); writes BENCH_engine.json",
+    ) {
+        return;
+    }
+    let scale = Scale::from_env();
+    let dataset = DatasetKind::Cifar;
+    let max_t = *CHECKPOINTS.last().expect("nonempty checkpoints");
+    println!(
+        "== engine benchmark: fixed T={max_t} vs early exit (scale: {}) ==\n",
+        scale.name()
+    );
+    let data = dataset.generate(scale);
+    let net = train_or_load(
+        Architecture::Cnn6,
+        dataset,
+        &data,
+        Some(dataset.lambda0()),
+        scale,
+    );
+    let calibration = data.train.take(200);
+    let eval_set = data.test.take(scale.eval_subset());
+    let sim = SimConfig::new(CHECKPOINTS.to_vec(), 50, Readout::SpikeCount).expect("valid config");
+    let ann_accuracy = tcl_nn::evaluate(&net, eval_set.images(), eval_set.labels(), sim.batch_size)
+        .expect("ann evaluation");
+    let conversion = Converter::new(NormStrategy::TrainedClip)
+        .convert(&net, calibration.images())
+        .expect("tcl conversion");
+    let snn = Arc::new(conversion.snn);
+
+    let mut engine = Engine::new();
+    // Warm the pool once (spawns workers, clones per-worker replicas) so the
+    // timed runs measure steady-state inference, not setup.
+    let warmup = SimConfig::new(vec![4], 50, Readout::SpikeCount).expect("valid config");
+    engine
+        .evaluate_shared(
+            &snn,
+            eval_set.images(),
+            eval_set.labels(),
+            &warmup,
+            ExitPolicy::Off,
+        )
+        .expect("warmup");
+
+    let timed = |engine: &mut Engine, name: &'static str, policy: ExitPolicy| -> Run {
+        let before = tcl_telemetry::counter_value("snn.synops").unwrap_or(0);
+        let start = Instant::now();
+        let result = engine
+            .evaluate_shared(&snn, eval_set.images(), eval_set.labels(), &sim, policy)
+            .expect("engine evaluation");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let synops = tcl_telemetry::counter_value("snn.synops").unwrap_or(0) - before;
+        eprintln!("[run] {name}: {wall_ms:.0} ms, {synops} synops");
+        Run {
+            name,
+            policy,
+            result,
+            wall_ms,
+            synops,
+        }
+    };
+
+    let fixed = timed(&mut engine, "fixed", ExitPolicy::Off);
+    let candidates: Vec<Run> = [
+        ("aggressive", 4, 2.0, 16),
+        ("balanced", 8, 2.0, 32),
+        ("conservative", 16, 4.0, 32),
+        ("cautious", 32, 4.0, 64),
+    ]
+    .into_iter()
+    .map(|(name, patience, min_margin, min_steps)| {
+        timed(
+            &mut engine,
+            name,
+            ExitPolicy::Adaptive {
+                patience,
+                min_margin,
+                min_steps,
+            },
+        )
+    })
+    .collect();
+
+    let fixed_acc = fixed.result.sweep.final_accuracy();
+    let header: Vec<String> = [
+        "policy",
+        "accuracy",
+        "Δacc",
+        "exit T",
+        "step red.",
+        "wall ms",
+        "synops",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = vec![vec![
+        "fixed".to_string(),
+        pct(fixed_acc),
+        "-".to_string(),
+        format!("{max_t}"),
+        "-".to_string(),
+        format!("{:.0}", fixed.wall_ms),
+        format!("{}", fixed.synops),
+    ]];
+    for run in &candidates {
+        rows.push(vec![
+            run.name.to_string(),
+            pct(run.result.adaptive_accuracy),
+            format!(
+                "{:+.2}%",
+                (run.result.adaptive_accuracy - fixed_acc) * 100.0
+            ),
+            format!("{:.1}", run.result.mean_exit_step),
+            format!(
+                "{:.1}%",
+                (1.0 - run.result.mean_exit_step as f64 / max_t as f64) * 100.0
+            ),
+            format!("{:.0}", run.wall_ms),
+            format!("{}", run.synops),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+
+    // Operating point: most steps saved among candidates within 0.2% of the
+    // fixed-T accuracy; if none qualifies, the closest-accuracy candidate.
+    let within: Vec<&Run> = candidates
+        .iter()
+        .filter(|r| (r.result.adaptive_accuracy - fixed_acc).abs() <= 2e-3 + 1e-6)
+        .collect();
+    let selected = within
+        .iter()
+        .copied()
+        .max_by_key(|r| r.result.saved_steps)
+        .or_else(|| {
+            candidates.iter().min_by(|a, b| {
+                let da = (a.result.adaptive_accuracy - fixed_acc).abs();
+                let db = (b.result.adaptive_accuracy - fixed_acc).abs();
+                da.partial_cmp(&db).expect("finite accuracies")
+            })
+        })
+        .expect("at least one candidate");
+    let delta = selected.result.adaptive_accuracy - fixed_acc;
+    let step_reduction = 1.0 - selected.result.mean_exit_step as f64 / max_t as f64;
+    let synops_reduction = 1.0 - selected.synops as f64 / fixed.synops.max(1) as f64;
+    let speedup = fixed.wall_ms / selected.wall_ms.max(1e-9);
+    println!(
+        "selected: {} (Δacc {:+.2}%, step reduction {:.1}%, synops reduction {:.1}%, \
+         {:.2}x wall-clock)",
+        selected.name,
+        delta * 100.0,
+        step_reduction * 100.0,
+        synops_reduction * 100.0,
+        speedup
+    );
+    let ok = delta.abs() <= 2e-3 + 1e-6 && step_reduction >= 0.25;
+    println!(
+        "acceptance (|Δacc| <= 0.2% and step reduction >= 25%): {}",
+        if ok { "PASS" } else { "FAIL" }
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"cifar_synth cnn6 ({} scale, {} samples, checkpoints {:?})\",",
+        scale.name(),
+        eval_set.len(),
+        CHECKPOINTS
+    );
+    let _ = writeln!(json, "  \"threads\": {},", engine.threads());
+    let _ = writeln!(json, "  \"ann_accuracy\": {ann_accuracy:.4},");
+    let _ = writeln!(
+        json,
+        "  \"fixed\": {},",
+        run_json(&fixed, max_t).trim_start()
+    );
+    let _ = writeln!(json, "  \"candidates\": [");
+    for (i, run) in candidates.iter().enumerate() {
+        let comma = if i + 1 < candidates.len() { "," } else { "" };
+        let _ = writeln!(json, "{}{comma}", run_json(run, max_t));
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"selected\": {{");
+    let _ = writeln!(json, "    \"name\": \"{}\",", selected.name);
+    let _ = writeln!(json, "    \"accuracy_delta\": {delta:.4},");
+    let _ = writeln!(json, "    \"step_reduction\": {step_reduction:.4},");
+    let _ = writeln!(json, "    \"synops_reduction\": {synops_reduction:.4},");
+    let _ = writeln!(json, "    \"wall_clock_speedup\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "    \"acceptance\": \"{}\"",
+        if ok { "pass" } else { "fail" }
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    std::fs::write(&path, json).expect("write BENCH_engine.json");
+    println!("json: {}", path.display());
+    tcl_telemetry::emit_summary();
+}

@@ -21,6 +21,7 @@ use tcl_core::{
 };
 use tcl_models::Architecture;
 use tcl_nn::evaluate;
+use tcl_snn::{Engine, ExitPolicy, Readout, SimConfig};
 use tcl_tensor::Histogram;
 
 /// The activation site the paper plots: the 2nd convolution's output.
@@ -155,6 +156,47 @@ fn main() {
         path.display(),
         diag.mean_residual(0).unwrap_or(0.0),
         diag.mean_residual(1).unwrap_or(0.0)
+    );
+
+    // The same tight-λ story through the inference engine: a tight clipping
+    // bound makes the top-1 margin stabilize early, so per-sample early
+    // exit retires most samples well before the full latency budget.
+    let eval_set = data.test.take(scale.eval_subset());
+    let sim = SimConfig::new(scale.checkpoints(), 50, Readout::SpikeCount).expect("valid config");
+    let mut engine = Engine::new();
+    let fixed = engine
+        .evaluate(
+            &conversion.snn,
+            eval_set.images(),
+            eval_set.labels(),
+            &sim,
+            ExitPolicy::Off,
+        )
+        .expect("fixed-T sweep");
+    let adaptive = engine
+        .evaluate(
+            &conversion.snn,
+            eval_set.images(),
+            eval_set.labels(),
+            &sim,
+            ExitPolicy::Adaptive {
+                patience: 8,
+                min_margin: 2.0,
+                min_steps: sim.checkpoints.last().expect("nonempty checkpoints") / 4,
+            },
+        )
+        .expect("early-exit sweep");
+    let exits = adaptive.exited.iter().filter(|&&e| e).count();
+    println!(
+        "engine: fixed T={} accuracy {} | early-exit accuracy {} \
+         (mean exit T {:.1}, {}/{} retired early, {} steps saved)",
+        sim.checkpoints.last().expect("nonempty checkpoints"),
+        pct(fixed.sweep.final_accuracy()),
+        pct(adaptive.adaptive_accuracy),
+        adaptive.mean_exit_step,
+        exits,
+        adaptive.exited.len(),
+        adaptive.saved_steps
     );
     tcl_telemetry::emit_summary();
 }

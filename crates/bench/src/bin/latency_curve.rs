@@ -1,7 +1,10 @@
 //! **Ablation A** — the accuracy/latency trade-off curve behind the paper's
 //! motivation (Sections 1 and 7): dense accuracy-vs-T sweeps for all three
 //! norm-factor strategies on the same trained networks, plus the firing
-//! rate (an energy proxy) at each strategy's operating point.
+//! rate (an energy proxy) at each strategy's operating point. The sweeps
+//! run on one persistent [`tcl_snn::Engine`]; the `tcl early-exit` row adds
+//! the anytime view of the same curve, with the mean per-sample exit step
+//! in the `exit T` column.
 //!
 //! ```text
 //! cargo run --release -p tcl-bench --bin latency_curve
@@ -11,9 +14,9 @@
 //! `results/latency_curve_<arch>.csv`.
 
 use tcl_bench::{help_requested, pct, render_table, train_or_load, write_csv, DatasetKind, Scale};
-use tcl_core::{convert_and_evaluate, Converter, NormStrategy};
+use tcl_core::{convert_and_evaluate_with, Converter, NormStrategy};
 use tcl_models::Architecture;
-use tcl_snn::{Readout, SimConfig};
+use tcl_snn::{Engine, ExitPolicy, Readout, SimConfig};
 
 fn main() {
     if help_requested(
@@ -33,6 +36,13 @@ fn main() {
         scale.name()
     );
     let data = dataset.generate(scale);
+    // One persistent engine across both architectures and all strategies.
+    let mut engine = Engine::new();
+    let early_exit = ExitPolicy::Adaptive {
+        patience: 8,
+        min_margin: 2.0,
+        min_steps: (checkpoints.last().expect("nonempty") / 4).max(2),
+    };
     for arch in [Architecture::Cnn6, Architecture::Vgg16] {
         let tcl_net = train_or_load(arch, dataset, &data, Some(dataset.lambda0()), scale);
         let base_net = train_or_load(arch, dataset, &data, None, scale);
@@ -43,30 +53,45 @@ fn main() {
         let mut header = vec!["Method".to_string(), "ANN".to_string()];
         header.extend(checkpoints.iter().map(|t| format!("T={t}")));
         header.push("rate".to_string());
+        header.push("exit T".to_string());
         let mut rows = Vec::new();
-        for (label, strategy) in [
-            ("tcl", NormStrategy::TrainedClip),
-            ("max-norm", NormStrategy::MaxActivation),
-            ("p99.9", NormStrategy::percentile_999()),
-            ("spike-norm", NormStrategy::SpikeNorm),
+        for (label, strategy, policy) in [
+            ("tcl", NormStrategy::TrainedClip, ExitPolicy::Off),
+            ("tcl early-exit", NormStrategy::TrainedClip, early_exit),
+            ("max-norm", NormStrategy::MaxActivation, ExitPolicy::Off),
+            ("p99.9", NormStrategy::percentile_999(), ExitPolicy::Off),
+            ("spike-norm", NormStrategy::SpikeNorm, ExitPolicy::Off),
         ] {
             let mut net = if strategy == NormStrategy::TrainedClip {
                 tcl_net.clone()
             } else {
                 base_net.clone()
             };
-            let report = convert_and_evaluate(
+            let report = convert_and_evaluate_with(
+                &mut engine,
                 &mut net,
                 calibration.images(),
                 eval_set.images(),
                 eval_set.labels(),
                 &Converter::new(strategy),
                 &sim,
+                policy,
             )
             .expect("conversion succeeds");
             let mut row = vec![label.to_string(), pct(report.ann_accuracy)];
-            row.extend(report.sweep.accuracies.iter().map(|(_, a)| pct(*a)));
-            row.push(format!("{:.4}", report.sweep.mean_firing_rate));
+            row.extend(report.result.sweep.accuracies.iter().map(|(_, a)| pct(*a)));
+            row.push(format!("{:.4}", report.result.sweep.mean_firing_rate));
+            if policy.is_adaptive() {
+                row.push(format!("{:.1}", report.result.mean_exit_step));
+                eprintln!(
+                    "[exit] {} / {label}: mean exit T {:.1}, {} steps saved",
+                    arch.name(),
+                    report.result.mean_exit_step,
+                    report.result.saved_steps
+                );
+            } else {
+                row.push("-".to_string());
+            }
             rows.push(row);
         }
         println!("--- {} ---", arch.name());

@@ -6,6 +6,11 @@
 //! * `max-norm` — Diehl et al. 2015 baseline, on the unconstrained ANN;
 //! * `p99.9%` — Rueckauer et al. 2017 baseline, on the unconstrained ANN.
 //!
+//! Every sweep runs on the persistent [`tcl_snn::Engine`], and the TCL
+//! conversion gets an extra **early-exit** row (per-sample margin-stability
+//! retirement) whose `exit T` column reports the mean number of timesteps
+//! actually simulated per sample.
+//!
 //! ```text
 //! cargo run --release -p tcl-bench --bin table1 [-- --dataset cifar|imagenet|all]
 //! TCL_SCALE=quick|standard|full  controls experiment size.
@@ -18,8 +23,8 @@ use tcl_bench::{
     help_requested, pct, render_table, train_or_load, write_csv, write_diagnostics, DatasetKind,
     Scale,
 };
-use tcl_core::{convert_and_evaluate, diagnose_conversion, Converter, NormStrategy};
-use tcl_snn::{Readout, SimConfig};
+use tcl_core::{convert_and_evaluate_with, diagnose_conversion, Converter, NormStrategy};
+use tcl_snn::{Engine, ExitPolicy, Readout, SimConfig};
 
 fn main() {
     if help_requested(
@@ -50,6 +55,19 @@ fn main() {
     println!("== Table 1 reproduction (scale: {}) ==", scale.name());
     println!("strategies: tcl (ours) vs max-norm (Diehl'15) vs p99.9% (Rueckauer'17)\n");
 
+    // One persistent engine for every conversion in the run: the worker pool
+    // and per-worker network replicas survive across strategies and
+    // architectures instead of being rebuilt per evaluate call.
+    let mut engine = Engine::new();
+    // The extra adaptive row: retire a sample once its top-1 margin has been
+    // stable for `patience` consecutive steps, but give the rate code at
+    // least a quarter of the budget to converge first.
+    let early_exit = ExitPolicy::Adaptive {
+        patience: 8,
+        min_margin: 2.0,
+        min_steps: checkpoints[0].max(checkpoints.last().expect("nonempty") / 4),
+    };
+
     for dataset in datasets {
         let data = dataset.generate(scale);
         println!(
@@ -65,6 +83,7 @@ fn main() {
             "ANN".to_string(),
         ];
         header.extend(checkpoints.iter().map(|t| format!("T={t}")));
+        header.push("exit T".to_string());
         let mut rows: Vec<Vec<String>> = Vec::new();
         for arch in dataset.architectures() {
             let tcl_net = train_or_load(arch, dataset, &data, Some(dataset.lambda0()), scale);
@@ -73,24 +92,39 @@ fn main() {
             let eval_set = data.test.take(scale.eval_subset());
             let sim = SimConfig::new(checkpoints.clone(), 50, Readout::SpikeCount)
                 .expect("valid checkpoints");
-            let cases: Vec<(&str, NormStrategy)> = vec![
-                ("Ours (TCL)", NormStrategy::TrainedClip),
-                ("Diehl'15 max-norm", NormStrategy::MaxActivation),
-                ("Rueckauer'17 p99.9", NormStrategy::percentile_999()),
+            let cases: Vec<(&str, NormStrategy, ExitPolicy)> = vec![
+                ("Ours (TCL)", NormStrategy::TrainedClip, ExitPolicy::Off),
+                (
+                    "Ours (TCL) early-exit",
+                    NormStrategy::TrainedClip,
+                    early_exit,
+                ),
+                (
+                    "Diehl'15 max-norm",
+                    NormStrategy::MaxActivation,
+                    ExitPolicy::Off,
+                ),
+                (
+                    "Rueckauer'17 p99.9",
+                    NormStrategy::percentile_999(),
+                    ExitPolicy::Off,
+                ),
             ];
-            for (label, strategy) in cases {
+            for (label, strategy, policy) in cases {
                 let mut net = if strategy == NormStrategy::TrainedClip {
                     tcl_net.clone()
                 } else {
                     base_net.clone()
                 };
-                let report = convert_and_evaluate(
+                let report = convert_and_evaluate_with(
+                    &mut engine,
                     &mut net,
                     calibration.images(),
                     eval_set.images(),
                     eval_set.labels(),
                     &Converter::new(strategy),
                     &sim,
+                    policy,
                 )
                 .expect("conversion succeeds on preset networks");
                 let mut row = vec![
@@ -98,12 +132,34 @@ fn main() {
                     label.to_string(),
                     pct(report.ann_accuracy),
                 ];
-                row.extend(report.sweep.accuracies.iter().map(|(_, acc)| pct(*acc)));
+                row.extend(
+                    report
+                        .result
+                        .sweep
+                        .accuracies
+                        .iter()
+                        .map(|(_, acc)| pct(*acc)),
+                );
+                if policy.is_adaptive() {
+                    let exits = report.result.exited.iter().filter(|&&e| e).count();
+                    row.push(format!("{:.1}", report.result.mean_exit_step));
+                    eprintln!(
+                        "[exit] {} / {}: {exits}/{} samples retired early, mean exit T {:.1}, \
+                         {} simulated steps saved",
+                        arch.name(),
+                        label,
+                        report.result.exited.len(),
+                        report.result.mean_exit_step,
+                        report.result.saved_steps
+                    );
+                } else {
+                    row.push("-".to_string());
+                }
                 eprintln!(
                     "[done] {} / {} (firing rate {:.4})",
                     arch.name(),
                     label,
-                    report.sweep.mean_firing_rate
+                    report.result.sweep.mean_firing_rate
                 );
                 rows.push(row);
             }

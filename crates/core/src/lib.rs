@@ -57,5 +57,7 @@ pub use convert::{Conversion, Converter, NormStrategy};
 pub use diagnostics::{diagnose_conversion, ConversionDiagnostics, SiteDiagnostic};
 pub use error::{ConvertError, Result};
 pub use fold::fold_batch_norm;
-pub use pipeline::{convert_and_evaluate, ConversionReport};
+pub use pipeline::{
+    convert_and_evaluate, convert_and_evaluate_with, ConversionReport, EngineReport,
+};
 pub use stats::{collect_activation_stats, collect_site_histogram, count_sites, SiteStats};

@@ -5,7 +5,7 @@ use crate::convert::{Conversion, Converter};
 use crate::error::Result;
 use serde::{Deserialize, Serialize};
 use tcl_nn::{evaluate as ann_evaluate, Network};
-use tcl_snn::{evaluate as snn_evaluate, SimConfig, SweepResult};
+use tcl_snn::{evaluate as snn_evaluate, Engine, EngineResult, ExitPolicy, SimConfig, SweepResult};
 use tcl_tensor::Tensor;
 
 /// Outcome of converting one trained ANN and sweeping its SNN over a
@@ -85,6 +85,53 @@ pub fn convert_and_evaluate(
     })
 }
 
+/// Like [`ConversionReport`], but produced by the persistent inference
+/// engine, so it additionally carries the per-sample early-exit diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Test accuracy of the source ANN (evaluation mode).
+    pub ann_accuracy: f32,
+    /// Engine evaluation: checkpoint sweep plus exit steps, anytime
+    /// accuracy, and the margin trajectory.
+    pub result: EngineResult,
+    /// Resolved norm-factors (one per activation site; last is the output
+    /// site).
+    pub lambdas: Vec<f32>,
+    /// Human-readable name of the norm strategy used.
+    pub strategy_name: String,
+}
+
+/// [`convert_and_evaluate`] on a caller-provided [`Engine`], under an
+/// explicit [`ExitPolicy`]. The engine's worker pool and cached replicas
+/// survive across calls, which is what the benchmark drivers want when they
+/// sweep many strategies over the same data; `ExitPolicy::Adaptive` turns on
+/// per-sample early exit.
+///
+/// # Errors
+///
+/// Propagates conversion, evaluation, and shape errors.
+#[allow(clippy::too_many_arguments)] // one argument per pipeline stage
+pub fn convert_and_evaluate_with(
+    engine: &mut Engine,
+    net: &mut Network,
+    calibration: &Tensor,
+    test_images: &Tensor,
+    test_labels: &[usize],
+    converter: &Converter,
+    sim: &SimConfig,
+    policy: ExitPolicy,
+) -> Result<EngineReport> {
+    let ann_accuracy = ann_evaluate(net, test_images, test_labels, sim.batch_size)?;
+    let Conversion { snn, lambdas, .. } = converter.convert(net, calibration)?;
+    let result = engine.evaluate(&snn, test_images, test_labels, sim, policy)?;
+    Ok(EngineReport {
+        ann_accuracy,
+        result,
+        lambdas,
+        strategy_name: converter.strategy.name(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +163,40 @@ mod tests {
         assert!(report.gap_at(7).is_none());
         assert_eq!(report.strategy_name, "tcl");
         assert_eq!(report.lambdas.len(), 6);
+    }
+
+    #[test]
+    fn engine_pipeline_matches_one_shot_pipeline_with_exit_off() {
+        let mut rng = SeededRng::new(0);
+        let cfg = ModelConfig::new((3, 8, 8), 4)
+            .with_base_width(2)
+            .with_clip_lambda(Some(2.0));
+        let mut net = Architecture::Cnn6.build(&cfg, &mut rng).unwrap();
+        let images = rng.uniform_tensor([8, 3, 8, 8], -1.0, 1.0);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let sim = SimConfig::new(vec![5, 20], 4, Readout::SpikeCount).unwrap();
+        let converter = Converter::new(NormStrategy::TrainedClip);
+        let reference =
+            convert_and_evaluate(&mut net, &images, &images, &labels, &converter, &sim).unwrap();
+        let mut engine = Engine::with_threads(2);
+        let report = convert_and_evaluate_with(
+            &mut engine,
+            &mut net,
+            &images,
+            &images,
+            &labels,
+            &converter,
+            &sim,
+            ExitPolicy::Off,
+        )
+        .unwrap();
+        assert_eq!(report.ann_accuracy, reference.ann_accuracy);
+        assert_eq!(report.result.sweep.accuracies, reference.sweep.accuracies);
+        assert_eq!(
+            report.result.sweep.total_spikes,
+            reference.sweep.total_spikes
+        );
+        assert_eq!(report.lambdas, reference.lambdas);
+        assert_eq!(report.result.saved_steps, 0);
     }
 }

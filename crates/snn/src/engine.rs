@@ -1,0 +1,1050 @@
+//! Persistent batched inference engine with per-sample early exit.
+//!
+//! [`evaluate`](crate::evaluate) is a one-shot API: every call clones the
+//! network for each worker and spins a fresh thread scope. That is the right
+//! shape for a single sweep, but the benchmark drivers evaluate the *same*
+//! converted network dozens of times (per strategy, per checkpoint grid, per
+//! ablation), re-paying the clone and spawn cost each time. [`Engine`] keeps
+//! a long-lived worker pool whose threads cache a per-worker network replica
+//! keyed by an epoch counter, so repeated sweeps of one network clone it once
+//! per worker and then only `reset()` between presentations.
+//!
+//! The engine also adds **per-sample early exit** ([`ExitPolicy::Adaptive`]):
+//! rate-coded evidence accumulates monotonically, so once a sample's top-1
+//! readout margin has stayed on one class for a while, more timesteps almost
+//! never change the prediction — they only cost synaptic operations. A sample
+//! *retires* when its margin has been at least `min_margin` with an unchanged
+//! argmax for `patience` consecutive steps (and at least `min_steps` steps
+//! have run). Retired samples are compacted out of the active batch —
+//! [`SpikingNetwork::retain_rows`] drops their membrane rows from every bank —
+//! so the surviving samples simulate in a genuinely smaller batch and the
+//! saved work is real wall-clock, not bookkeeping. Because every kernel
+//! computes batch items independently, compaction leaves the survivors'
+//! trajectories bit-for-bit unchanged, and [`ExitPolicy::Off`] (the
+//! `patience = ∞` limit) reproduces the fixed-T sweep bitwise.
+//!
+//! Results come back as an [`EngineResult`]: the usual checkpoint sweep plus
+//! per-sample exit steps, predictions at exit, the aggregated margin
+//! trajectory ([`MarginTrace`]), and the total timesteps saved.
+
+use crate::network::SpikingNetwork;
+use crate::sim::{InputCoding, Readout, SimConfig, SweepResult};
+use crate::trace::MarginTrace;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use tcl_tensor::{ops, par, Result, SeededRng, Shape, Tensor, TensorError};
+
+/// When a sample may stop simulating before the final checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ExitPolicy {
+    /// No early exit: every sample runs to the largest checkpoint. This is
+    /// the `patience = ∞` limit and reproduces [`crate::evaluate`] bitwise.
+    #[default]
+    Off,
+    /// Retire a sample once its readout margin has been *stable*: the top-1
+    /// class unchanged and the top-1/top-2 score gap at least `min_margin`
+    /// for `patience` consecutive timesteps.
+    Adaptive {
+        /// Consecutive stable steps required before a sample retires.
+        /// Larger values trade saved timesteps for fewer anytime violations.
+        patience: usize,
+        /// Minimum top-1 minus top-2 readout score gap for a step to count
+        /// as stable (in readout-score units: spikes for
+        /// [`Readout::SpikeCount`], integrated current for
+        /// [`Readout::Membrane`]).
+        min_margin: f32,
+        /// No sample retires before this many timesteps, regardless of
+        /// margin — guards against confident-looking transients while the
+        /// spike wavefront is still propagating.
+        min_steps: usize,
+    },
+}
+
+impl ExitPolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for `patience == 0` or a negative/NaN `min_margin`.
+    pub fn validate(&self) -> Result<()> {
+        if let ExitPolicy::Adaptive {
+            patience,
+            min_margin,
+            ..
+        } = self
+        {
+            if *patience == 0 {
+                return Err(TensorError::InvalidArgument {
+                    detail: "exit policy: patience must be at least 1".into(),
+                });
+            }
+            if !min_margin.is_finite() || *min_margin < 0.0 {
+                return Err(TensorError::InvalidArgument {
+                    detail: format!("exit policy: min_margin {min_margin} must be finite and ≥ 0"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this policy can retire samples early.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, ExitPolicy::Adaptive { .. })
+    }
+}
+
+/// Results of an engine evaluation: the checkpoint sweep plus per-sample
+/// early-exit diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineResult {
+    /// The latency-checkpoint sweep. Under [`ExitPolicy::Adaptive`],
+    /// checkpoint scores for retired samples are frozen at their exit step —
+    /// the anytime-prediction view of the sweep.
+    pub sweep: SweepResult,
+    /// Per-sample predicted class, in input order: the class at the exit
+    /// step for retired samples, at the final checkpoint otherwise.
+    pub predictions: Vec<usize>,
+    /// Per-sample timestep at which the prediction was read out (the exit
+    /// step for retired samples, `max_t` otherwise).
+    pub exit_steps: Vec<usize>,
+    /// Per-sample flag: did this sample retire before the final checkpoint?
+    pub exited: Vec<bool>,
+    /// Accuracy of [`EngineResult::predictions`] — the anytime accuracy the
+    /// early-exit run actually delivers.
+    pub adaptive_accuracy: f32,
+    /// Mean of [`EngineResult::exit_steps`].
+    pub mean_exit_step: f32,
+    /// Total timesteps *not* simulated thanks to early exit:
+    /// `Σ (max_t − exit_step)`. 0 under [`ExitPolicy::Off`].
+    pub saved_steps: u64,
+    /// Aggregated per-step margin trajectory (empty under
+    /// [`ExitPolicy::Off`], which never computes margins).
+    pub margins: MarginTrace,
+}
+
+/// Per-batch simulation results, folded in batch order.
+struct BatchOutcome {
+    /// Correct predictions at each checkpoint, in checkpoint order.
+    correct: Vec<usize>,
+    /// Spikes emitted during this presentation.
+    spikes: u64,
+    /// Neuron count of the network at full batch width (constant across
+    /// batches, carried here so the fold does not need the network).
+    neurons: usize,
+    /// Predicted class per sample, in within-batch order.
+    preds: Vec<usize>,
+    /// Readout timestep per sample.
+    exit_steps: Vec<usize>,
+    /// Early-exit flag per sample.
+    exited: Vec<bool>,
+    /// Per-step margins over this batch's samples.
+    margins: MarginTrace,
+}
+
+/// One queued evaluation, shared by the calling thread and the worker pool.
+/// Batches are claimed through `next` (work stealing) and results land in
+/// `slots` by batch index, so the fold is batch-ordered and bitwise
+/// independent of which worker ran what.
+struct Job {
+    epoch: u64,
+    net: Arc<SpikingNetwork>,
+    images: Tensor,
+    labels: Vec<usize>,
+    config: SimConfig,
+    policy: ExitPolicy,
+    n: usize,
+    max_t: usize,
+    batch_count: usize,
+    next: AtomicUsize,
+    slots: Mutex<Vec<Option<Result<BatchOutcome>>>>,
+    done: mpsc::Sender<()>,
+    parent: Option<u64>,
+}
+
+struct Worker {
+    sender: mpsc::Sender<Arc<Job>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A persistent batched inference engine (see the module docs).
+///
+/// Worker threads are spawned lazily on the first evaluation that can use
+/// them and live until the engine is dropped. Each worker caches a network
+/// replica keyed by an *epoch*: [`Engine::evaluate_shared`] re-uses the
+/// cached replicas whenever it sees the same `Arc` as the previous call, so
+/// only the first sweep of a network pays the per-worker clone.
+pub struct Engine {
+    threads: usize,
+    workers: Vec<Worker>,
+    epoch: u64,
+    shared: Option<(u64, Arc<SpikingNetwork>)>,
+    /// The calling thread's own replica cache (it participates in the drain
+    /// loop just like a pool worker).
+    local: Option<(u64, SpikingNetwork)>,
+}
+
+impl Engine {
+    /// An engine sized by the process-wide parallelism budget
+    /// (`TCL_THREADS`).
+    pub fn new() -> Self {
+        Self::with_threads(par::current().threads())
+    }
+
+    /// An engine with an explicit thread budget (including the calling
+    /// thread; `1` means fully inline).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+            workers: Vec::new(),
+            epoch: 0,
+            shared: None,
+            local: None,
+        }
+    }
+
+    /// The thread budget this engine was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `net` over the checkpoint sweep in `config` under `policy`.
+    ///
+    /// Clones the network into the engine once per call; when evaluating the
+    /// same network repeatedly, prefer [`Engine::evaluate_shared`], which
+    /// recognises a repeated `Arc` and skips the re-clone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid configuration/policy, empty or
+    /// mismatched data, or network shape failures. With multiple failing
+    /// batches, the error of the earliest batch is returned.
+    pub fn evaluate(
+        &mut self,
+        net: &SpikingNetwork,
+        images: &Tensor,
+        labels: &[usize],
+        config: &SimConfig,
+        policy: ExitPolicy,
+    ) -> Result<EngineResult> {
+        self.evaluate_shared(&Arc::new(net.clone()), images, labels, config, policy)
+    }
+
+    /// Like [`Engine::evaluate`], but takes the network behind an `Arc`:
+    /// consecutive calls with the *same* `Arc` (pointer identity) keep every
+    /// worker's cached replica, so only `reset()` separates the sweeps.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::evaluate`].
+    pub fn evaluate_shared(
+        &mut self,
+        net: &Arc<SpikingNetwork>,
+        images: &Tensor,
+        labels: &[usize],
+        config: &SimConfig,
+        policy: ExitPolicy,
+    ) -> Result<EngineResult> {
+        config.validate()?;
+        policy.validate()?;
+        let n = images.dims().first().copied().unwrap_or(0);
+        if n == 0 || labels.len() != n {
+            return Err(TensorError::InvalidArgument {
+                detail: format!("engine: {n} images vs {} labels", labels.len()),
+            });
+        }
+        let max_t = *config.checkpoints.last().expect("validated nonempty");
+        let batch_count = n.div_ceil(config.batch_size);
+        let _span = tcl_telemetry::span_with("engine.evaluate", || {
+            vec![
+                ("samples", n as f64),
+                ("max_t", max_t as f64),
+                ("batches", batch_count as f64),
+                ("adaptive", f64::from(u8::from(policy.is_adaptive()))),
+            ]
+        });
+        let epoch = self.epoch_for(net);
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut slots: Vec<Option<Result<BatchOutcome>>> = Vec::with_capacity(batch_count);
+        slots.resize_with(batch_count, || None);
+        let job = Arc::new(Job {
+            epoch,
+            net: net.clone(),
+            images: images.clone(),
+            labels: labels.to_vec(),
+            config: config.clone(),
+            policy,
+            n,
+            max_t,
+            batch_count,
+            next: AtomicUsize::new(0),
+            slots: Mutex::new(slots),
+            done: done_tx,
+            parent: tcl_telemetry::current_span_id(),
+        });
+        if self.threads.min(batch_count) > 1 {
+            self.ensure_workers();
+            // Prune workers whose channel is gone (the thread died); the
+            // unclaimed-slot sweep below re-runs anything they dropped.
+            self.workers
+                .retain(|w| w.sender.send(Arc::clone(&job)).is_ok());
+            let sent = self.workers.len();
+            // The calling thread drains alongside the pool, in a serial
+            // scope like any other coarse-grained worker.
+            let replica = Self::replica_for(&mut self.local, epoch, net);
+            par::with_serial(|| drain(&job, replica));
+            for _ in 0..sent {
+                if done_rx.recv().is_err() {
+                    break;
+                }
+            }
+        } else {
+            // Single-worker path runs inline and keeps kernel-level fan-out
+            // available, exactly like the one-shot evaluator's serial path.
+            let replica = Self::replica_for(&mut self.local, epoch, net);
+            drain(&job, replica);
+        }
+        let mut slots = {
+            let mut guard = job.slots.lock().expect("engine slots");
+            std::mem::take(&mut *guard)
+        };
+        for (b, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                let replica = Self::replica_for(&mut self.local, epoch, net);
+                *slot = Some(run_batch(replica, &job, b));
+            }
+        }
+        fold_outcomes(config, labels, n, max_t, slots)
+    }
+
+    /// The epoch for `net`, bumping it when the pointer differs from the
+    /// previous evaluation's network.
+    fn epoch_for(&mut self, net: &Arc<SpikingNetwork>) -> u64 {
+        if let Some((e, cached)) = &self.shared {
+            if Arc::ptr_eq(cached, net) {
+                return *e;
+            }
+        }
+        self.epoch += 1;
+        self.shared = Some((self.epoch, Arc::clone(net)));
+        self.epoch
+    }
+
+    /// The calling thread's replica, re-cloned only on epoch change.
+    fn replica_for<'a>(
+        cache: &'a mut Option<(u64, SpikingNetwork)>,
+        epoch: u64,
+        net: &Arc<SpikingNetwork>,
+    ) -> &'a mut SpikingNetwork {
+        let stale = cache.as_ref().is_none_or(|(e, _)| *e != epoch);
+        if stale {
+            *cache = Some((epoch, (**net).clone()));
+        }
+        &mut cache.as_mut().expect("replica just ensured").1
+    }
+
+    /// Spawns the pool (thread budget minus the participating caller).
+    fn ensure_workers(&mut self) {
+        while self.workers.len() + 1 < self.threads {
+            let (tx, rx) = mpsc::channel::<Arc<Job>>();
+            let handle = std::thread::Builder::new()
+                .name("tcl-engine".into())
+                .spawn(move || worker_loop(&rx))
+                .expect("spawn engine worker");
+            self.workers.push(Worker {
+                sender: tx,
+                handle: Some(handle),
+            });
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Closing the channel ends the worker's receive loop.
+            let Worker { sender, handle } = worker;
+            drop(std::mem::replace(sender, mpsc::channel().0));
+            if let Some(handle) = handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// A pool worker: caches one network replica across jobs, re-cloning only
+/// when the job's epoch differs from the cached one.
+fn worker_loop(rx: &mpsc::Receiver<Arc<Job>>) {
+    let mut replica: Option<(u64, SpikingNetwork)> = None;
+    for job in rx.iter() {
+        let first = job.next.fetch_add(1, Ordering::Relaxed);
+        if first < job.batch_count {
+            tcl_telemetry::propagate_parent(job.parent);
+            let _span = tcl_telemetry::span("engine.worker");
+            let net = Engine::replica_for(&mut replica, job.epoch, &job.net);
+            par::with_serial(|| {
+                store(&job, first, run_batch(net, &job, first));
+                drain(&job, net);
+            });
+            tcl_telemetry::propagate_parent(None);
+        }
+        let _ = job.done.send(());
+    }
+}
+
+/// Claims and runs batches until the job's counter is exhausted.
+fn drain(job: &Job, net: &mut SpikingNetwork) {
+    loop {
+        let b = job.next.fetch_add(1, Ordering::Relaxed);
+        if b >= job.batch_count {
+            return;
+        }
+        store(job, b, run_batch(net, job, b));
+    }
+}
+
+fn store(job: &Job, batch: usize, outcome: Result<BatchOutcome>) {
+    job.slots.lock().expect("engine slots")[batch] = Some(outcome);
+}
+
+/// Gathers rows of `data` along the first dimension.
+fn gather_rows(data: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    let dims = data.dims();
+    let n = dims[0];
+    if end > n {
+        return Err(TensorError::InvalidArgument {
+            detail: format!("batch range {start}..{end} out of bounds for {n} rows"),
+        });
+    }
+    let row = data.len() / n.max(1);
+    let mut out_dims = dims.to_vec();
+    out_dims[0] = end - start;
+    Tensor::from_vec(
+        Shape::new(out_dims),
+        data.data()[start * row..end * row].to_vec(),
+    )
+}
+
+/// Gathers arbitrary rows (`lanes`) of `data` along the first dimension.
+fn gather_lanes(data: &Tensor, lanes: &[usize]) -> Result<Tensor> {
+    let dims = data.dims();
+    let n = dims[0];
+    let row = data.len() / n.max(1);
+    let mut out = Vec::with_capacity(lanes.len() * row);
+    for &lane in lanes {
+        if lane >= n {
+            return Err(TensorError::InvalidArgument {
+                detail: format!("lane {lane} out of bounds for {n} rows"),
+            });
+        }
+        out.extend_from_slice(&data.data()[lane * row..(lane + 1) * row]);
+    }
+    let mut out_dims = dims.to_vec();
+    out_dims[0] = lanes.len();
+    Tensor::from_vec(Shape::new(out_dims), out)
+}
+
+/// Top-1 index and top-1 minus top-2 gap of a score row, with the same tie
+/// rule as [`ops::argmax_rows`] (strict `>`, first index wins). A one-class
+/// row has an infinite margin (there is no runner-up to overtake).
+fn top2(row: &[f32]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_v = row[0];
+    let mut second = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > best_v {
+            second = best_v;
+            best_v = v;
+            best = i;
+        } else if v > second {
+            second = v;
+        }
+    }
+    if row.len() < 2 {
+        (best, f32::INFINITY)
+    } else {
+        (best, best_v - second)
+    }
+}
+
+fn run_batch(net: &mut SpikingNetwork, job: &Job, batch_index: usize) -> Result<BatchOutcome> {
+    let start = batch_index * job.config.batch_size;
+    let end = (start + job.config.batch_size).min(job.n);
+    match job.policy {
+        ExitPolicy::Off => run_batch_fixed(
+            net,
+            &job.images,
+            &job.labels,
+            &job.config,
+            start,
+            end,
+            batch_index as u64,
+            job.max_t,
+        ),
+        ExitPolicy::Adaptive {
+            patience,
+            min_margin,
+            min_steps,
+        } => run_batch_adaptive(
+            net,
+            &job.images,
+            &job.labels,
+            &job.config,
+            start,
+            end,
+            batch_index as u64,
+            job.max_t,
+            patience,
+            min_margin,
+            min_steps,
+        ),
+    }
+}
+
+/// Derives the per-batch Poisson stream (independent of execution order).
+fn batch_rng(input_coding: InputCoding, batch_index: u64) -> Option<SeededRng> {
+    match input_coding {
+        InputCoding::Analog => None,
+        InputCoding::Poisson { seed } => {
+            Some(SeededRng::new(seed ^ batch_index.wrapping_mul(0x9E37_79B9)))
+        }
+    }
+}
+
+/// Draws one step of signed Bernoulli impulses for the whole batch tensor:
+/// expectation equals the clamped analog value, so rate coding is unbiased
+/// for |v| ≤ 1 (standardized pixels mostly are).
+fn poisson_step(x: &Tensor, rng: &mut SeededRng) -> Tensor {
+    x.map(|v| {
+        let p = v.abs().min(1.0);
+        if rng.uniform(0.0, 1.0) < p {
+            v.signum()
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Readout scores for the current spike counts (and membrane state).
+fn readout_scores(net: &SpikingNetwork, counts: &Tensor, readout: Readout) -> Result<Tensor> {
+    match readout {
+        Readout::SpikeCount => Ok(counts.clone()),
+        Readout::Membrane => {
+            let thr = net.output_threshold().unwrap_or(1.0);
+            let mut s = counts.scale(thr);
+            if let Some(v) = net.output_potential() {
+                s.add_assign(v)?;
+            }
+            Ok(s)
+        }
+    }
+}
+
+/// Presents one mini-batch for `max_t` timesteps on a fresh (reset) network.
+/// This is the fixed-T reference path: it must stay operation-for-operation
+/// identical to the pre-engine serial evaluator, because the equivalence
+/// suite pins [`ExitPolicy::Off`] results to it bitwise.
+#[allow(clippy::too_many_arguments)] // engine worker body; args are the batch slice
+fn run_batch_fixed(
+    net: &mut SpikingNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SimConfig,
+    start: usize,
+    end: usize,
+    batch_index: u64,
+    max_t: usize,
+) -> Result<BatchOutcome> {
+    let x = gather_rows(images, start, end)?;
+    // The Poisson stream is seeded from the batch index, not from a shared
+    // RNG, so batches can run in any order (or concurrently) and still draw
+    // the exact impulses the serial sweep would.
+    let mut input_rng = batch_rng(config.input_coding, batch_index);
+    net.reset();
+    let mut correct = vec![0usize; config.checkpoints.len()];
+    let mut counts: Option<Tensor> = None;
+    let mut checkpoint_idx = 0usize;
+    let mut final_preds: Vec<usize> = Vec::new();
+    for t in 1..=max_t {
+        let stimulus = match &mut input_rng {
+            None => x.clone(),
+            Some(rng) => poisson_step(&x, rng),
+        };
+        let spikes = net.step(&stimulus)?;
+        match &mut counts {
+            Some(c) => c.add_assign(&spikes)?,
+            None => counts = Some(spikes),
+        }
+        if checkpoint_idx < config.checkpoints.len() && t == config.checkpoints[checkpoint_idx] {
+            let counts = counts.as_ref().expect("set on first step");
+            let scores = readout_scores(net, counts, config.readout)?;
+            let preds = ops::argmax_rows(&scores)?;
+            correct[checkpoint_idx] += preds
+                .iter()
+                .zip(&labels[start..end])
+                .filter(|(p, l)| p == l)
+                .count();
+            checkpoint_idx += 1;
+            if checkpoint_idx == config.checkpoints.len() {
+                final_preds = preds;
+            }
+        }
+    }
+    Ok(BatchOutcome {
+        correct,
+        spikes: net.total_spikes(),
+        neurons: net.neurons_per_node().iter().sum(),
+        preds: final_preds,
+        exit_steps: vec![max_t; end - start],
+        exited: vec![false; end - start],
+        margins: MarginTrace::default(),
+    })
+}
+
+/// The early-exit path: like [`run_batch_fixed`] but each step computes the
+/// per-sample readout margin, retires samples whose margin has been stable
+/// for `patience` steps, and compacts the batch so retired lanes stop
+/// costing simulation work. Checkpoint scores for retired lanes are frozen
+/// at their exit step.
+#[allow(clippy::too_many_arguments)] // engine worker body; args are the batch slice
+fn run_batch_adaptive(
+    net: &mut SpikingNetwork,
+    images: &Tensor,
+    labels: &[usize],
+    config: &SimConfig,
+    start: usize,
+    end: usize,
+    batch_index: u64,
+    max_t: usize,
+    patience: usize,
+    min_margin: f32,
+    min_steps: usize,
+) -> Result<BatchOutcome> {
+    let b = end - start;
+    let x = gather_rows(images, start, end)?;
+    let mut input_rng = batch_rng(config.input_coding, batch_index);
+    net.reset();
+    let mut correct = vec![0usize; config.checkpoints.len()];
+    let mut checkpoint_idx = 0usize;
+    // `active[p]` is the original lane of compacted row `p`.
+    let mut active: Vec<usize> = (0..b).collect();
+    let mut x_active = x.clone();
+    let mut counts: Option<Tensor> = None;
+    let mut frozen: Vec<Option<Vec<f32>>> = vec![None; b];
+    let mut last_top = vec![0usize; b];
+    let mut stable = vec![0usize; b];
+    let mut exit_steps = vec![max_t; b];
+    let mut exited = vec![false; b];
+    let mut margins = MarginTrace::new(max_t);
+    let mut neurons = 0usize;
+    let mut classes = 0usize;
+    for t in 1..=max_t {
+        // Poisson impulses are drawn for the FULL batch and then gathered,
+        // so each sample consumes the same RNG stream it would without
+        // compaction — retirement of a neighbour never shifts its draws.
+        let stimulus = match &mut input_rng {
+            None => x_active.clone(),
+            Some(rng) => {
+                let full = poisson_step(&x, rng);
+                gather_lanes(&full, &active)?
+            }
+        };
+        let spikes = net.step(&stimulus)?;
+        match &mut counts {
+            Some(c) => c.add_assign(&spikes)?,
+            None => counts = Some(spikes),
+        }
+        if t == 1 {
+            neurons = net.neurons_per_node().iter().sum();
+        }
+        let scores = readout_scores(
+            net,
+            counts.as_ref().expect("set on first step"),
+            config.readout,
+        )?;
+        let (_, score_classes) = scores.shape().as_matrix()?;
+        classes = score_classes;
+        // Margin tracking and retirement decisions, per active lane.
+        let mut retiring = false;
+        for (p, &lane) in active.iter().enumerate() {
+            let row = &scores.data()[p * classes..(p + 1) * classes];
+            let (top, margin) = top2(row);
+            margins.record(t - 1, margin);
+            if margin >= min_margin && top == last_top[lane] && stable[lane] > 0 {
+                stable[lane] += 1;
+            } else if margin >= min_margin {
+                stable[lane] = 1;
+            } else {
+                stable[lane] = 0;
+            }
+            last_top[lane] = top;
+            if t >= min_steps && t < max_t && stable[lane] >= patience {
+                frozen[lane] = Some(row.to_vec());
+                exit_steps[lane] = t;
+                exited[lane] = true;
+                retiring = true;
+            }
+        }
+        // Checkpoint accounting over the full batch: frozen rows keep their
+        // exit-step scores (just-retired lanes freeze this step's scores, so
+        // the order of retirement vs checkpointing does not matter).
+        if checkpoint_idx < config.checkpoints.len() && t == config.checkpoints[checkpoint_idx] {
+            let mut full_scores = vec![0f32; b * classes];
+            for (p, &lane) in active.iter().enumerate() {
+                full_scores[lane * classes..(lane + 1) * classes]
+                    .copy_from_slice(&scores.data()[p * classes..(p + 1) * classes]);
+            }
+            for (lane, f) in frozen.iter().enumerate() {
+                if let Some(row) = f {
+                    full_scores[lane * classes..(lane + 1) * classes].copy_from_slice(row);
+                }
+            }
+            let preds = ops::argmax_rows(&Tensor::from_vec([b, classes], full_scores)?)?;
+            correct[checkpoint_idx] += preds
+                .iter()
+                .zip(&labels[start..end])
+                .filter(|(p, l)| p == l)
+                .count();
+            checkpoint_idx += 1;
+        }
+        // Compact retired lanes out of the network, the counts, and the
+        // analog stimulus. Survivors keep their exact membrane rows.
+        if retiring {
+            let keep: Vec<usize> = (0..active.len()).filter(|&p| !exited[active[p]]).collect();
+            net.retain_rows(&keep)?;
+            counts = Some(gather_lanes(counts.as_ref().expect("set above"), &keep)?);
+            x_active = gather_lanes(&x_active, &keep)?;
+            active = keep.iter().map(|&p| active[p]).collect();
+            if active.is_empty() {
+                break;
+            }
+        }
+    }
+    // Remaining checkpoints after every lane retired: scores are all frozen
+    // and no longer change.
+    while checkpoint_idx < config.checkpoints.len() {
+        let mut full_scores = vec![0f32; b * classes];
+        for (lane, f) in frozen.iter().enumerate() {
+            if let Some(row) = f {
+                full_scores[lane * classes..(lane + 1) * classes].copy_from_slice(row);
+            }
+        }
+        let preds = ops::argmax_rows(&Tensor::from_vec([b, classes], full_scores)?)?;
+        correct[checkpoint_idx] += preds
+            .iter()
+            .zip(&labels[start..end])
+            .filter(|(p, l)| p == l)
+            .count();
+        checkpoint_idx += 1;
+    }
+    // Predictions: `last_top` already holds the top-1 at the last step each
+    // lane was scored (its exit step, or `max_t` if it never retired), with
+    // the same tie rule as `argmax_rows`.
+    Ok(BatchOutcome {
+        correct,
+        spikes: net.total_spikes(),
+        neurons,
+        preds: last_top,
+        exit_steps,
+        exited,
+        margins,
+    })
+}
+
+/// Folds per-batch outcomes (in batch order) into an [`EngineResult`].
+fn fold_outcomes(
+    config: &SimConfig,
+    labels: &[usize],
+    n: usize,
+    max_t: usize,
+    slots: Vec<Option<Result<BatchOutcome>>>,
+) -> Result<EngineResult> {
+    let mut correct = vec![0usize; config.checkpoints.len()];
+    let mut total_spikes = 0u64;
+    let mut rate_accum = 0.0f64;
+    let mut rate_batches = 0usize;
+    let mut predictions = Vec::with_capacity(n);
+    let mut exit_steps = Vec::with_capacity(n);
+    let mut exited = Vec::with_capacity(n);
+    let mut margins = MarginTrace::default();
+    for slot in slots {
+        let outcome = slot.expect("engine: every batch slot filled")?;
+        for (c, b) in correct.iter_mut().zip(&outcome.correct) {
+            *c += b;
+        }
+        total_spikes += outcome.spikes;
+        if outcome.neurons > 0 {
+            let rate = outcome.spikes as f64 / (outcome.neurons as f64 * max_t as f64);
+            rate_accum += rate;
+            rate_batches += 1;
+            // Per-batch mean firing rate distribution (rates live in [0, 1]).
+            tcl_telemetry::hist_record("snn.firing_rate", rate, 1.0, 20);
+        }
+        predictions.extend(outcome.preds);
+        exit_steps.extend(outcome.exit_steps);
+        exited.extend(outcome.exited);
+        margins.merge(&outcome.margins);
+    }
+    let accuracies = config
+        .checkpoints
+        .iter()
+        .zip(&correct)
+        .map(|(&t, &c)| (t, c as f32 / n as f32))
+        .collect();
+    let sweep = SweepResult {
+        accuracies,
+        mean_firing_rate: if rate_batches > 0 {
+            (rate_accum / rate_batches as f64) as f32
+        } else {
+            0.0
+        },
+        total_spikes,
+        samples: n,
+    };
+    let adaptive_correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    let saved_steps: u64 = exit_steps.iter().map(|&s| (max_t - s) as u64).sum();
+    let mean_exit_step = exit_steps.iter().sum::<usize>() as f32 / n as f32;
+    if tcl_telemetry::metrics_enabled() {
+        tcl_telemetry::counter_add("engine.samples", n as u64);
+        tcl_telemetry::counter_add(
+            "engine.early_exits",
+            exited.iter().filter(|&&e| e).count() as u64,
+        );
+        tcl_telemetry::counter_add("engine.saved_steps", saved_steps);
+    }
+    Ok(EngineResult {
+        sweep,
+        predictions,
+        exit_steps,
+        exited,
+        adaptive_accuracy: adaptive_correct as f32 / n as f32,
+        mean_exit_step,
+        saved_steps,
+        margins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neuron::{IfNeurons, ResetMode};
+    use crate::node::{SpikingLayer, SpikingNode};
+    use crate::synop::SynapticOp;
+
+    fn copy_net() -> SpikingNetwork {
+        SpikingNetwork::new(vec![SpikingNode::Spiking(SpikingLayer::new(
+            SynapticOp::Linear {
+                weight: Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+                bias: None,
+            },
+            IfNeurons::new(1.0, ResetMode::Subtract),
+        ))])
+    }
+
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let images =
+            Tensor::from_vec([4, 2], vec![0.9, 0.1, 0.8, 0.3, 0.2, 0.7, 0.05, 0.6]).unwrap();
+        (images, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn off_policy_matches_the_one_shot_evaluator() {
+        let net = copy_net();
+        let (x, y) = toy_data();
+        let cfg = SimConfig::new(vec![2, 30], 3, Readout::SpikeCount).unwrap();
+        let reference = crate::evaluate(&net, &x, &y, &cfg).unwrap();
+        for threads in [1, 4] {
+            let mut engine = Engine::with_threads(threads);
+            let result = engine
+                .evaluate(&net, &x, &y, &cfg, ExitPolicy::Off)
+                .unwrap();
+            assert_eq!(result.sweep.accuracies, reference.accuracies);
+            assert_eq!(result.sweep.total_spikes, reference.total_spikes);
+            assert_eq!(result.exit_steps, vec![30; 4]);
+            assert_eq!(result.exited, vec![false; 4]);
+            assert_eq!(result.saved_steps, 0);
+            assert_eq!(result.margins.steps(), 0);
+            // Off-policy predictions are the final-checkpoint predictions.
+            assert_eq!(result.adaptive_accuracy, reference.final_accuracy());
+        }
+    }
+
+    #[test]
+    fn adaptive_exits_early_on_confident_samples() {
+        let net = copy_net();
+        let (x, y) = toy_data();
+        let cfg = SimConfig::new(vec![100], 4, Readout::SpikeCount).unwrap();
+        let mut engine = Engine::with_threads(1);
+        let policy = ExitPolicy::Adaptive {
+            patience: 5,
+            min_margin: 3.0,
+            min_steps: 10,
+        };
+        let result = engine.evaluate(&net, &x, &y, &cfg, policy).unwrap();
+        assert!(result.exited.iter().any(|&e| e), "{result:?}");
+        assert!(result.saved_steps > 0);
+        assert!(result.mean_exit_step < 100.0);
+        assert_eq!(result.adaptive_accuracy, 1.0);
+        // Margins were tracked while samples were active.
+        assert!(result.margins.active_at(0) == 4);
+        // No sample exited before min_steps.
+        for (&step, &e) in result.exit_steps.iter().zip(&result.exited) {
+            if e {
+                assert!((10..100).contains(&step));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_with_unreachable_patience_matches_fixed_sweep() {
+        let net = copy_net();
+        let (x, y) = toy_data();
+        let cfg = SimConfig::new(vec![3, 40], 2, Readout::Membrane).unwrap();
+        let mut engine = Engine::with_threads(2);
+        let fixed = engine
+            .evaluate(&net, &x, &y, &cfg, ExitPolicy::Off)
+            .unwrap();
+        let never = ExitPolicy::Adaptive {
+            patience: usize::MAX,
+            min_margin: 0.0,
+            min_steps: 0,
+        };
+        let adaptive = engine.evaluate(&net, &x, &y, &cfg, never).unwrap();
+        assert_eq!(adaptive.sweep.accuracies, fixed.sweep.accuracies);
+        assert_eq!(adaptive.sweep.total_spikes, fixed.sweep.total_spikes);
+        assert_eq!(adaptive.predictions, fixed.predictions);
+        assert_eq!(adaptive.exited, vec![false; 4]);
+        // Unlike Off, the adaptive path tracked margins every step.
+        assert_eq!(adaptive.margins.steps(), 40);
+    }
+
+    #[test]
+    fn engine_reuses_shared_networks_across_calls() {
+        let net = Arc::new(copy_net());
+        let (x, y) = toy_data();
+        let cfg = SimConfig::new(vec![20], 2, Readout::SpikeCount).unwrap();
+        let mut engine = Engine::with_threads(2);
+        let a = engine
+            .evaluate_shared(&net, &x, &y, &cfg, ExitPolicy::Off)
+            .unwrap();
+        let epoch_after_first = engine.epoch;
+        let b = engine
+            .evaluate_shared(&net, &x, &y, &cfg, ExitPolicy::Off)
+            .unwrap();
+        assert_eq!(engine.epoch, epoch_after_first, "same Arc, same epoch");
+        assert_eq!(a.sweep.accuracies, b.sweep.accuracies);
+        assert_eq!(a.sweep.total_spikes, b.sweep.total_spikes);
+        // A different network bumps the epoch (replicas re-clone).
+        let other = Arc::new(copy_net());
+        engine
+            .evaluate_shared(&other, &x, &y, &cfg, ExitPolicy::Off)
+            .unwrap();
+        assert_eq!(engine.epoch, epoch_after_first + 1);
+    }
+
+    #[test]
+    fn poisson_streams_survive_compaction() {
+        // Early-exit must not shift surviving samples' Poisson draws: the
+        // non-exiting sample's prediction trajectory matches the fixed run.
+        let net = copy_net();
+        let x = Tensor::from_vec([2, 2], vec![0.9, 0.05, 0.5, 0.45]).unwrap();
+        let y = vec![0, 0];
+        let cfg = SimConfig::new(vec![60], 2, Readout::SpikeCount)
+            .unwrap()
+            .with_input_coding(InputCoding::Poisson { seed: 13 });
+        let mut engine = Engine::with_threads(1);
+        let fixed = engine
+            .evaluate(&net, &x, &y, &cfg, ExitPolicy::Off)
+            .unwrap();
+        let policy = ExitPolicy::Adaptive {
+            patience: 4,
+            min_margin: 5.0,
+            min_steps: 5,
+        };
+        let adaptive = engine.evaluate(&net, &x, &y, &cfg, policy).unwrap();
+        // Sample 0 is overwhelmingly class 0 and exits; sample 1 is nearly
+        // balanced and rides to max_t with an unshifted spike stream, so its
+        // final prediction matches the fixed sweep's.
+        assert_eq!(adaptive.predictions[1], fixed.predictions[1]);
+    }
+
+    #[test]
+    fn invalid_policies_and_configs_are_rejected() {
+        let net = copy_net();
+        let (x, y) = toy_data();
+        let cfg = SimConfig::new(vec![5], 2, Readout::SpikeCount).unwrap();
+        let mut engine = Engine::with_threads(1);
+        let bad_patience = ExitPolicy::Adaptive {
+            patience: 0,
+            min_margin: 1.0,
+            min_steps: 0,
+        };
+        assert!(engine.evaluate(&net, &x, &y, &cfg, bad_patience).is_err());
+        let bad_margin = ExitPolicy::Adaptive {
+            patience: 1,
+            min_margin: f32::NAN,
+            min_steps: 0,
+        };
+        assert!(engine.evaluate(&net, &x, &y, &cfg, bad_margin).is_err());
+        // Direct struct construction bypassing SimConfig::new gets a clear
+        // error instead of a panic.
+        let rogue = SimConfig {
+            checkpoints: vec![],
+            batch_size: 2,
+            readout: Readout::SpikeCount,
+            input_coding: InputCoding::Analog,
+        };
+        let err = engine
+            .evaluate(&net, &x, &y, &rogue, ExitPolicy::Off)
+            .unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn top2_uses_argmax_tie_rule() {
+        assert_eq!(top2(&[1.0, 3.0, 2.0]), (1, 1.0));
+        // Ties: first index wins, margin zero.
+        assert_eq!(top2(&[2.0, 2.0]), (0, 0.0));
+        assert_eq!(top2(&[5.0]), (0, f32::INFINITY));
+        let (i, m) = top2(&[1.0, 1.0, 1.0]);
+        assert_eq!((i, m), (0, 0.0));
+    }
+
+    #[test]
+    fn all_samples_exiting_still_scores_remaining_checkpoints() {
+        let net = copy_net();
+        let (x, y) = toy_data();
+        let cfg = SimConfig::new(vec![50, 100], 4, Readout::SpikeCount).unwrap();
+        let mut engine = Engine::with_threads(1);
+        let policy = ExitPolicy::Adaptive {
+            patience: 3,
+            min_margin: 1.0,
+            min_steps: 5,
+        };
+        let result = engine.evaluate(&net, &x, &y, &cfg, policy).unwrap();
+        assert_eq!(result.exited, vec![true; 4], "{result:?}");
+        assert_eq!(result.sweep.accuracies.len(), 2);
+        // Frozen scores carry both checkpoints.
+        assert_eq!(result.sweep.accuracies[0].1, result.sweep.accuracies[1].1);
+    }
+}

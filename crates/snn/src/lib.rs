@@ -14,7 +14,9 @@
 //! stateless pooling/flatten transforms, and the converted residual block
 //! [`SpikingResidual`] with its NS/OS dual-input structure (the paper's
 //! Figure 3C). The `tcl-core` crate produces [`SpikingNetwork`]s from
-//! trained ANNs; [`evaluate`] sweeps them over latency checkpoints.
+//! trained ANNs; [`evaluate`] sweeps them over latency checkpoints, and the
+//! persistent [`Engine`] amortizes worker setup across repeated sweeps and
+//! adds per-sample early exit ([`ExitPolicy::Adaptive`]).
 //!
 //! ## Example: rate coding in one layer
 //!
@@ -42,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod engine;
 mod network;
 mod neuron;
 mod node;
@@ -49,9 +52,10 @@ mod sim;
 mod synop;
 mod trace;
 
+pub use engine::{Engine, EngineResult, ExitPolicy};
 pub use network::SpikingNetwork;
 pub use neuron::{IfNeurons, ResetMode};
 pub use node::{SpikingLayer, SpikingNode, SpikingResidual};
 pub use sim::{evaluate, InputCoding, Readout, SimConfig, SweepResult};
 pub use synop::SynapticOp;
-pub use trace::{trace_activity, ActivityTrace};
+pub use trace::{trace_activity, ActivityTrace, MarginTrace};

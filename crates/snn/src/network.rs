@@ -65,6 +65,28 @@ impl SpikingNetwork {
         Ok(x)
     }
 
+    /// Compacts every neuron bank's batch dimension to the rows listed in
+    /// `keep` (indices into the current leading dimension, in order).
+    ///
+    /// This is the primitive behind the inference engine's early-exit lane
+    /// compaction: retiring a sample drops its membrane row from every bank
+    /// so the remaining samples simulate in a smaller batch. Because every
+    /// kernel computes batch items independently, the surviving samples'
+    /// trajectories are bit-for-bit unchanged by the compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range for a shaped bank.
+    pub fn retain_rows(&mut self, keep: &[usize]) -> Result<()> {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.retain_rows(keep)
+                .map_err(|e| TensorError::InvalidArgument {
+                    detail: format!("node {i} ({}): {e}", node.kind_name()),
+                })?;
+        }
+        Ok(())
+    }
+
     /// The final node's membrane potentials (used by the membrane readout),
     /// if the final node has neurons and at least one step has run.
     pub fn output_potential(&self) -> Option<&Tensor> {
@@ -193,6 +215,34 @@ mod tests {
         let bad = Tensor::from_vec([1, 3], vec![0.0; 3]).unwrap();
         let err = net.step(&bad).unwrap_err();
         assert!(err.to_string().contains("node 0"), "{err}");
+    }
+
+    #[test]
+    fn retain_rows_preserves_surviving_samples_bitwise() {
+        // Run a 3-sample batch; in a clone, compact to samples {0, 2} after
+        // step 2 and check the survivors' outputs match the full batch's.
+        let x3 = Tensor::from_vec([3, 2], vec![0.8, 0.3, 0.1, 0.9, 0.6, 0.6]).unwrap();
+        let x2 = Tensor::from_vec([2, 2], vec![0.8, 0.3, 0.6, 0.6]).unwrap();
+        let mut full = two_layer_net();
+        let mut compact = two_layer_net();
+        for _ in 0..2 {
+            full.step(&x3).unwrap();
+            compact.step(&x3).unwrap();
+        }
+        compact.retain_rows(&[0, 2]).unwrap();
+        for _ in 0..4 {
+            let yf = full.step(&x3).unwrap();
+            let yc = compact.step(&x2).unwrap();
+            assert_eq!(yc.at(0), yf.at(0));
+            assert_eq!(yc.at(1), yf.at(2));
+        }
+        assert_eq!(compact.output_potential().unwrap().dims(), &[2, 1]);
+        // Out-of-range rows are rejected and name the failing node.
+        let err = compact.retain_rows(&[5]).unwrap_err();
+        assert!(err.to_string().contains("node 0"), "{err}");
+        // Before any step there is no state, so compaction is a no-op.
+        let mut fresh = two_layer_net();
+        fresh.retain_rows(&[7]).unwrap();
     }
 
     #[test]

@@ -158,6 +158,40 @@ impl IfNeurons {
         self.potential.as_ref()
     }
 
+    /// Compacts the bank's batch dimension to the rows listed in `keep`
+    /// (indices into the current leading dimension, in the order given).
+    ///
+    /// Used by the inference engine's early-exit lane compaction: when a
+    /// sample retires, its membrane row is dropped from every bank so the
+    /// remaining samples keep simulating in a smaller batch. Kept rows are
+    /// moved bit-for-bit, so surviving samples' trajectories are unchanged.
+    /// A no-op before the first step (no potential is shaped yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index in `keep` is out of range.
+    pub fn retain_rows(&mut self, keep: &[usize]) -> Result<(), tcl_tensor::TensorError> {
+        let Some(v) = &self.potential else {
+            return Ok(());
+        };
+        let dims = v.dims();
+        let batch = dims.first().copied().unwrap_or(0);
+        if let Some(&bad) = keep.iter().find(|&&r| r >= batch) {
+            return Err(tcl_tensor::TensorError::InvalidArgument {
+                detail: format!("retain_rows: row {bad} out of range for batch {batch}"),
+            });
+        }
+        let row = v.len() / batch.max(1);
+        let mut data = Vec::with_capacity(keep.len() * row);
+        for &r in keep {
+            data.extend_from_slice(&v.data()[r * row..(r + 1) * row]);
+        }
+        let mut out_dims = dims.to_vec();
+        out_dims[0] = keep.len();
+        self.potential = Some(Tensor::from_vec(Shape::new(out_dims), data)?);
+        Ok(())
+    }
+
     /// Total spikes emitted since the last reset.
     pub fn spikes_emitted(&self) -> u64 {
         self.spikes_emitted
@@ -237,6 +271,25 @@ mod tests {
         // A different shape is accepted after reset.
         bank.step(&Tensor::zeros([4])).unwrap();
         assert_eq!(bank.shape().unwrap().dims(), &[4]);
+    }
+
+    #[test]
+    fn retain_rows_compacts_the_batch_dimension() {
+        let mut bank = IfNeurons::new(1.0, ResetMode::Subtract);
+        // Before the first step there is nothing to compact.
+        assert!(bank.retain_rows(&[0]).is_ok());
+        let z = Tensor::from_vec([3, 2], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap();
+        bank.step(&z).unwrap();
+        bank.retain_rows(&[0, 2]).unwrap();
+        let v = bank.potential().unwrap();
+        assert_eq!(v.dims(), &[2, 2]);
+        assert_eq!(v.data(), &[0.1, 0.2, 0.5, 0.6]);
+        // Subsequent steps accept the compacted batch.
+        let z2 = Tensor::from_vec([2, 2], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        bank.step(&z2).unwrap();
+        assert!(bank.retain_rows(&[5]).is_err());
+        bank.retain_rows(&[]).unwrap();
+        assert_eq!(bank.potential().unwrap().dims(), &[0, 2]);
     }
 
     #[test]

@@ -72,6 +72,16 @@ impl SpikingResidual {
         self.ns_neurons.reset();
         self.os_neurons.reset();
     }
+
+    /// Compacts both banks' batch dimensions (see [`IfNeurons::retain_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range.
+    pub fn retain_rows(&mut self, keep: &[usize]) -> Result<()> {
+        self.ns_neurons.retain_rows(keep)?;
+        self.os_neurons.retain_rows(keep)
+    }
 }
 
 /// A node of a spiking network.
@@ -124,6 +134,22 @@ impl SpikingNode {
             SpikingNode::Spiking(layer) => layer.neurons.reset(),
             SpikingNode::Residual(block) => block.reset(),
             SpikingNode::AvgPool { .. } | SpikingNode::GlobalAvgPool | SpikingNode::Flatten => {}
+        }
+    }
+
+    /// Compacts any neuron state's batch dimension to the rows in `keep`
+    /// (stateless nodes have no per-sample state and are no-ops).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any index is out of range.
+    pub fn retain_rows(&mut self, keep: &[usize]) -> Result<()> {
+        match self {
+            SpikingNode::Spiking(layer) => layer.neurons.retain_rows(keep),
+            SpikingNode::Residual(block) => block.retain_rows(keep),
+            SpikingNode::AvgPool { .. } | SpikingNode::GlobalAvgPool | SpikingNode::Flatten => {
+                Ok(())
+            }
         }
     }
 

@@ -1,8 +1,9 @@
 //! Batched SNN evaluation with latency checkpoints.
 
+use crate::engine::{Engine, ExitPolicy};
 use crate::network::SpikingNetwork;
 use serde::{Deserialize, Serialize};
-use tcl_tensor::{ops, par, Result, SeededRng, Shape, Tensor, TensorError};
+use tcl_tensor::{par, Result, Tensor, TensorError};
 
 /// How class scores are read out of the output layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -58,27 +59,43 @@ impl SimConfig {
     /// Returns an error if `checkpoints` is empty, unsorted, or contains 0,
     /// or if `batch_size` is 0.
     pub fn new(checkpoints: Vec<usize>, batch_size: usize, readout: Readout) -> Result<Self> {
-        if checkpoints.is_empty() {
-            return Err(TensorError::InvalidArgument {
-                detail: "at least one checkpoint required".into(),
-            });
-        }
-        if checkpoints[0] == 0 || checkpoints.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(TensorError::InvalidArgument {
-                detail: "checkpoints must be strictly increasing and nonzero".into(),
-            });
-        }
-        if batch_size == 0 {
-            return Err(TensorError::InvalidArgument {
-                detail: "batch size must be nonzero".into(),
-            });
-        }
-        Ok(SimConfig {
+        let config = SimConfig {
             checkpoints,
             batch_size,
             readout,
             input_coding: InputCoding::Analog,
-        })
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the invariants [`SimConfig::new`] establishes. All fields are
+    /// public (so configs can be literal-constructed and deserialized), which
+    /// means a config can reach [`evaluate`] without ever passing through
+    /// `new` — the evaluators therefore re-validate instead of panicking on
+    /// an empty or unsorted checkpoint list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `checkpoints` is empty, unsorted, or contains 0,
+    /// or if `batch_size` is 0.
+    pub fn validate(&self) -> Result<()> {
+        if self.checkpoints.is_empty() {
+            return Err(TensorError::InvalidArgument {
+                detail: "at least one checkpoint required".into(),
+            });
+        }
+        if self.checkpoints[0] == 0 || self.checkpoints.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(TensorError::InvalidArgument {
+                detail: "checkpoints must be strictly increasing and nonzero".into(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(TensorError::InvalidArgument {
+                detail: "batch size must be nonzero".into(),
+            });
+        }
+        Ok(())
     }
 
     /// Switches the input injection scheme.
@@ -130,110 +147,6 @@ impl SweepResult {
     }
 }
 
-/// Gathers rows of `data` along the first dimension.
-fn gather_rows(data: &Tensor, start: usize, end: usize) -> Result<Tensor> {
-    let dims = data.dims();
-    let n = dims[0];
-    if end > n {
-        return Err(TensorError::InvalidArgument {
-            detail: format!("batch range {start}..{end} out of bounds for {n} rows"),
-        });
-    }
-    let row = data.len() / n.max(1);
-    let mut out_dims = dims.to_vec();
-    out_dims[0] = end - start;
-    Tensor::from_vec(
-        Shape::new(out_dims),
-        data.data()[start * row..end * row].to_vec(),
-    )
-}
-
-/// Per-batch simulation results, folded in batch order by [`evaluate`].
-struct BatchOutcome {
-    /// Correct predictions at each checkpoint, in checkpoint order.
-    correct: Vec<usize>,
-    /// Spikes emitted during this presentation.
-    spikes: u64,
-    /// Neuron count of the network (constant across batches, carried here so
-    /// the fold does not need the network).
-    neurons: usize,
-}
-
-/// Presents one mini-batch for `max_t` timesteps on a fresh (reset) network.
-#[allow(clippy::too_many_arguments)] // worker body for evaluate(); args are the batch slice
-fn run_batch(
-    net: &mut SpikingNetwork,
-    images: &Tensor,
-    labels: &[usize],
-    config: &SimConfig,
-    start: usize,
-    end: usize,
-    batch_index: u64,
-    max_t: usize,
-) -> Result<BatchOutcome> {
-    let x = gather_rows(images, start, end)?;
-    // The Poisson stream is seeded from the batch index, not from a shared
-    // RNG, so batches can run in any order (or concurrently) and still draw
-    // the exact impulses the serial sweep would.
-    let mut input_rng = match config.input_coding {
-        InputCoding::Analog => None,
-        InputCoding::Poisson { seed } => {
-            Some(SeededRng::new(seed ^ batch_index.wrapping_mul(0x9E37_79B9)))
-        }
-    };
-    net.reset();
-    let mut correct = vec![0usize; config.checkpoints.len()];
-    let mut counts: Option<Tensor> = None;
-    let mut checkpoint_idx = 0usize;
-    for t in 1..=max_t {
-        let stimulus = match &mut input_rng {
-            None => x.clone(),
-            Some(rng) => x.map(|v| {
-                // Signed Bernoulli impulse: expectation equals the
-                // clamped analog value, so rate coding is unbiased for
-                // |v| ≤ 1 (standardized pixels mostly are).
-                let p = v.abs().min(1.0);
-                if rng.uniform(0.0, 1.0) < p {
-                    v.signum()
-                } else {
-                    0.0
-                }
-            }),
-        };
-        let spikes = net.step(&stimulus)?;
-        match &mut counts {
-            Some(c) => c.add_assign(&spikes)?,
-            None => counts = Some(spikes),
-        }
-        if checkpoint_idx < config.checkpoints.len() && t == config.checkpoints[checkpoint_idx] {
-            let counts = counts.as_ref().expect("set on first step");
-            let scores = match config.readout {
-                Readout::SpikeCount => counts.clone(),
-                Readout::Membrane => {
-                    let thr = net.output_threshold().unwrap_or(1.0);
-                    let mut s = counts.scale(thr);
-                    if let Some(v) = net.output_potential() {
-                        s.add_assign(v)?;
-                    }
-                    s
-                }
-            };
-            let preds = ops::argmax_rows(&scores)?;
-            correct[checkpoint_idx] += preds
-                .iter()
-                .zip(&labels[start..end])
-                .filter(|(p, l)| p == l)
-                .count();
-            checkpoint_idx += 1;
-        }
-    }
-    Ok(BatchOutcome {
-        correct,
-        spikes: net.total_spikes(),
-        neurons: net.neurons_per_node().iter().sum(),
-    })
-}
-
 /// Evaluates SNN classification accuracy over a latency sweep.
 ///
 /// For every mini-batch the network is reset, the analog stimulus is
@@ -241,17 +154,20 @@ fn run_batch(
 /// accumulated, and predictions are recorded at each checkpoint.
 ///
 /// Mini-batches are independent presentations (the network is reset between
-/// them), so they run in parallel: each worker thread simulates a contiguous
-/// range of batches on its own clone of the network, and the per-batch
-/// tallies are folded in batch order on the calling thread. The result is
-/// bitwise identical to a serial sweep for every thread count; set
-/// `TCL_THREADS=1` to force serial execution.
+/// them), so they run in parallel: this is a one-shot wrapper over the
+/// persistent [`Engine`] with early exit off, and each engine worker
+/// simulates batches on its own clone of the network with the per-batch
+/// tallies folded in batch order. The result is bitwise identical to a
+/// serial sweep for every thread count; set `TCL_THREADS=1` to force serial
+/// execution. Callers evaluating the same network repeatedly should hold an
+/// [`Engine`] and use [`Engine::evaluate_shared`] to keep the per-worker
+/// replicas across calls.
 ///
 /// # Errors
 ///
-/// Returns an error for empty/mismatched data or network shape failures.
-/// With multiple failing batches, the error of the earliest batch is
-/// returned.
+/// Returns an error for invalid configuration, empty/mismatched data, or
+/// network shape failures. With multiple failing batches, the error of the
+/// earliest batch is returned.
 ///
 /// # Examples
 ///
@@ -264,13 +180,8 @@ pub fn evaluate(
     config: &SimConfig,
 ) -> Result<SweepResult> {
     let n = images.dims().first().copied().unwrap_or(0);
-    if n == 0 || labels.len() != n {
-        return Err(TensorError::InvalidArgument {
-            detail: format!("evaluate: {n} images vs {} labels", labels.len()),
-        });
-    }
-    let max_t = *config.checkpoints.last().expect("validated nonempty");
-    let batch_count = n.div_ceil(config.batch_size);
+    let max_t = config.checkpoints.last().copied().unwrap_or(0);
+    let batch_count = n.div_ceil(config.batch_size.max(1));
     let _span = tcl_telemetry::span_with("snn.evaluate", || {
         vec![
             ("samples", n as f64),
@@ -278,62 +189,10 @@ pub fn evaluate(
             ("batches", batch_count as f64),
         ]
     });
-    let mut slots: Vec<Option<Result<BatchOutcome>>> = Vec::with_capacity(batch_count);
-    slots.resize_with(batch_count, || None);
-    par::par_items_mut(par::current(), &mut slots, 1, 1, 1, |first, run| {
-        // One network clone per worker run, reset before each batch — the
-        // same state a serial sweep would present each batch with.
-        let mut worker_net = net.clone();
-        for (offset, slot) in run.iter_mut().enumerate() {
-            let batch_index = first + offset;
-            let start = batch_index * config.batch_size;
-            let end = (start + config.batch_size).min(n);
-            *slot = Some(run_batch(
-                &mut worker_net,
-                images,
-                labels,
-                config,
-                start,
-                end,
-                batch_index as u64,
-                max_t,
-            ));
-        }
-    });
-    let mut correct = vec![0usize; config.checkpoints.len()];
-    let mut total_spikes = 0u64;
-    let mut rate_accum = 0.0f64;
-    let mut rate_batches = 0usize;
-    for slot in slots {
-        let outcome = slot.expect("evaluate: every batch slot filled")?;
-        for (c, b) in correct.iter_mut().zip(&outcome.correct) {
-            *c += b;
-        }
-        total_spikes += outcome.spikes;
-        if outcome.neurons > 0 {
-            let rate = outcome.spikes as f64 / (outcome.neurons as f64 * max_t as f64);
-            rate_accum += rate;
-            rate_batches += 1;
-            // Per-batch mean firing rate distribution (rates live in [0, 1]).
-            tcl_telemetry::hist_record("snn.firing_rate", rate, 1.0, 20);
-        }
-    }
-    let accuracies = config
-        .checkpoints
-        .iter()
-        .zip(&correct)
-        .map(|(&t, &c)| (t, c as f32 / n as f32))
-        .collect();
-    Ok(SweepResult {
-        accuracies,
-        mean_firing_rate: if rate_batches > 0 {
-            (rate_accum / rate_batches as f64) as f32
-        } else {
-            0.0
-        },
-        total_spikes,
-        samples: n,
-    })
+    let mut engine = Engine::with_threads(par::current().threads());
+    engine
+        .evaluate(net, images, labels, config, ExitPolicy::Off)
+        .map(|r| r.sweep)
 }
 
 #[cfg(test)]

@@ -49,12 +49,6 @@ fn linear_current(input: &Tensor, weight: &Tensor) -> Result<Tensor> {
         });
     }
     let nonzero = input.data().iter().filter(|&&v| v != 0.0).count();
-    if tcl_telemetry::metrics_enabled() {
-        // A synaptic operation is one weight application driven by a nonzero
-        // input (spike or analog current); skipped zeros are counted
-        // separately so the sparse kernel's win is observable.
-        tcl_telemetry::counter_add("snn.synops", (nonzero * out_f) as u64);
-    }
     if nonzero * 4 >= rows * in_f {
         return ops::matmul_nt(input, weight);
     }
@@ -75,15 +69,11 @@ impl SynapticOp {
     ///
     /// Propagates shape errors from the underlying kernel.
     pub fn apply(&self, input: &Tensor) -> Result<Tensor> {
+        if tcl_telemetry::metrics_enabled() {
+            tcl_telemetry::counter_add("snn.synops", self.synop_estimate(input));
+        }
         match self {
             SynapticOp::Conv { weight, bias, geom } => {
-                if tcl_telemetry::metrics_enabled() {
-                    // Fan-out estimate: each nonzero input drives up to
-                    // out_c·kh·kw weight applications (borders ignored).
-                    let nonzero = input.data().iter().filter(|&&v| v != 0.0).count();
-                    let fanout = weight.len() / weight.dims().get(1).copied().unwrap_or(1).max(1);
-                    tcl_telemetry::counter_add("snn.synops", (nonzero * fanout) as u64);
-                }
                 ops::conv2d(input, weight, bias.as_ref(), *geom)
             }
             SynapticOp::Linear { weight, bias } => {
@@ -108,6 +98,28 @@ impl SynapticOp {
                 Ok(out)
             }
         }
+    }
+
+    /// Estimated synaptic operations for one application of this operator
+    /// to `input` — one weight application per nonzero input entry (spike or
+    /// analog current), the event-driven energy proxy the paper's Section 4
+    /// comparisons assume. Convolutions use the per-input fan-out
+    /// `out_c·kh·kw` and ignore border truncation.
+    ///
+    /// This is the quantity `apply` accumulates into the `snn.synops`
+    /// telemetry counter; it is public so the engine can report per-sample
+    /// synop savings without a metrics sink attached.
+    pub fn synop_estimate(&self, input: &Tensor) -> u64 {
+        let nonzero = input.data().iter().filter(|&&v| v != 0.0).count();
+        let fanout = match self {
+            SynapticOp::Conv { weight, .. } => {
+                weight.len() / weight.dims().get(1).copied().unwrap_or(1).max(1)
+            }
+            SynapticOp::Linear { weight, .. } => {
+                weight.shape().as_matrix().map_or(0, |(out_f, _)| out_f)
+            }
+        };
+        (nonzero * fanout) as u64
     }
 
     /// Number of synaptic weights (a cost/energy proxy).
@@ -161,6 +173,23 @@ mod tests {
             bias: Some(Tensor::zeros([3])),
         };
         assert!(op.apply(&Tensor::zeros([1, 2])).is_err());
+    }
+
+    #[test]
+    fn synop_estimate_counts_nonzero_driven_weights() {
+        let linear = SynapticOp::Linear {
+            weight: Tensor::ones([3, 4]),
+            bias: None,
+        };
+        let x = Tensor::from_vec([1, 4], vec![1.0, 0.0, 0.5, 0.0]).unwrap();
+        assert_eq!(linear.synop_estimate(&x), 6); // 2 nonzeros × 3 outputs
+        let conv = SynapticOp::Conv {
+            weight: Tensor::ones([2, 1, 2, 2]),
+            bias: None,
+            geom: ConvGeometry::square(2, 1, 0).unwrap(),
+        };
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(conv.synop_estimate(&x), 16); // 2 nonzeros × (2·2·2)
     }
 
     #[test]

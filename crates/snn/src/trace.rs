@@ -67,6 +67,74 @@ impl ActivityTrace {
     }
 }
 
+/// Aggregated per-timestep top-1 logit margins, recorded by the inference
+/// engine's early-exit tracking.
+///
+/// At each timestep the engine computes, for every still-active sample, the
+/// gap between the best and second-best readout score (the "margin" the
+/// early-exit criterion watches). `MarginTrace` folds those per-sample
+/// observations into a per-step mean over active samples, which makes the
+/// margin trajectory — the paper's latency/accuracy trade-off seen from the
+/// decision boundary — inspectable without storing `samples × T` floats.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MarginTrace {
+    /// Sum of margins observed at each timestep (index 0 = step 1).
+    margin_sum: Vec<f64>,
+    /// Number of active samples observed at each timestep.
+    active: Vec<u64>,
+}
+
+impl MarginTrace {
+    /// An empty trace sized for `steps` timesteps.
+    pub fn new(steps: usize) -> Self {
+        MarginTrace {
+            margin_sum: vec![0.0; steps],
+            active: vec![0; steps],
+        }
+    }
+
+    /// Number of timesteps the trace covers.
+    pub fn steps(&self) -> usize {
+        self.margin_sum.len()
+    }
+
+    /// Records one sample's margin at 0-indexed timestep `t`. Non-finite
+    /// margins (single-class readouts) and out-of-range steps are ignored.
+    pub fn record(&mut self, t: usize, margin: f32) {
+        if t < self.margin_sum.len() && margin.is_finite() {
+            self.margin_sum[t] += f64::from(margin);
+            self.active[t] += 1;
+        }
+    }
+
+    /// Folds another trace into this one (used to merge per-batch traces in
+    /// batch order). Steps beyond `self`'s length extend it.
+    pub fn merge(&mut self, other: &MarginTrace) {
+        if other.margin_sum.len() > self.margin_sum.len() {
+            self.margin_sum.resize(other.margin_sum.len(), 0.0);
+            self.active.resize(other.active.len(), 0);
+        }
+        for (i, (&s, &n)) in other.margin_sum.iter().zip(&other.active).enumerate() {
+            self.margin_sum[i] += s;
+            self.active[i] += n;
+        }
+    }
+
+    /// Mean margin over the samples active at 0-indexed step `t`, or `None`
+    /// if no sample was active there (or `t` is out of range).
+    pub fn mean_at(&self, t: usize) -> Option<f32> {
+        match (self.margin_sum.get(t), self.active.get(t)) {
+            (Some(&s), Some(&n)) if n > 0 => Some((s / n as f64) as f32),
+            _ => None,
+        }
+    }
+
+    /// Number of samples still active at 0-indexed step `t` (0 out of range).
+    pub fn active_at(&self, t: usize) -> u64 {
+        self.active.get(t).copied().unwrap_or(0)
+    }
+}
+
 /// Presents `input` to a (reset) network for `steps` timesteps and records
 /// per-node firing rates.
 ///
@@ -206,6 +274,31 @@ mod tests {
         let mut net = deep_net(1);
         let x = Tensor::from_vec([1, 1], vec![0.3]).unwrap();
         assert!(trace_activity(&mut net, &x, 0).is_err());
+    }
+
+    #[test]
+    fn margin_trace_records_merges_and_averages() {
+        let mut a = MarginTrace::new(3);
+        a.record(0, 2.0);
+        a.record(0, 4.0);
+        a.record(1, 1.0);
+        a.record(5, 9.0); // out of range: ignored
+        a.record(2, f32::INFINITY); // non-finite: ignored
+        assert_eq!(a.mean_at(0), Some(3.0));
+        assert_eq!(a.mean_at(1), Some(1.0));
+        assert_eq!(a.mean_at(2), None);
+        assert_eq!(a.mean_at(7), None);
+        assert_eq!(a.active_at(0), 2);
+        let mut b = MarginTrace::new(4);
+        b.record(0, 6.0);
+        b.record(3, 0.5);
+        a.merge(&b);
+        assert_eq!(a.steps(), 4);
+        assert_eq!(a.mean_at(0), Some(4.0));
+        assert_eq!(a.mean_at(3), Some(0.5));
+        // Merging a shorter (even empty) trace leaves the tail untouched.
+        a.merge(&MarginTrace::new(0));
+        assert_eq!(a.steps(), 4);
     }
 
     #[test]

@@ -67,8 +67,8 @@ mod sink;
 mod span;
 
 pub use metrics::{
-    counter_add, gauge_set, gauge_set_indexed, hist_record, render_summary, write_metrics_snapshot,
-    FixedHistogram,
+    counter_add, counter_value, gauge_set, gauge_set_indexed, hist_record, render_summary,
+    write_metrics_snapshot, FixedHistogram,
 };
 pub use sink::{events_emitted, flush, log};
 pub use span::{current_span_id, propagate_parent, span, span_with, SpanGuard};

@@ -208,6 +208,22 @@ pub fn hist_record(name: &str, value: f64, upper: f64, bins: usize) {
     }
 }
 
+/// Current value of the counter `name`, if metrics are enabled and the name
+/// is registered as a counter.
+///
+/// Counters are process-global and monotonic; callers measuring one phase
+/// (e.g. the engine bench comparing fixed-T vs early-exit synops) snapshot
+/// the value before and after and take the difference.
+pub fn counter_value(name: &str) -> Option<u64> {
+    if !crate::metrics_enabled() {
+        return None;
+    }
+    match registry().get(name) {
+        Some(Metric::Counter(v)) => Some(*v),
+        _ => None,
+    }
+}
+
 /// Renders the registry as a human-readable end-of-run table.
 ///
 /// Returns an empty string when nothing was recorded.
@@ -327,6 +343,23 @@ mod tests {
             gauge_set("t.gauge", 1.0);
             hist_record("t.hist", 0.5, 1.0, 8);
             assert_eq!(render_summary(), "");
+        });
+        assert_eq!(emitted, 0);
+    }
+
+    #[test]
+    fn counter_value_reads_back_counters_only() {
+        let (_, _lines) = with_captured(|| {
+            reset_metrics();
+            assert_eq!(counter_value("t.readback"), None);
+            counter_add("t.readback", 4);
+            counter_add("t.readback", 2);
+            assert_eq!(counter_value("t.readback"), Some(6));
+            gauge_set("t.not_a_counter", 1.0);
+            assert_eq!(counter_value("t.not_a_counter"), None);
+        });
+        let (_, emitted) = with_disabled(|| {
+            assert_eq!(counter_value("t.readback"), None);
         });
         assert_eq!(emitted, 0);
     }
