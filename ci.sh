@@ -38,9 +38,13 @@ TCL_TRACE=target/telemetry_smoke.jsonl TCL_METRICS=1 \
   cargo run --release -q -p tcl-core --example telemetry_smoke
 test -s target/telemetry_smoke.jsonl
 
-echo "==> bench binaries answer --help"
+echo "==> bench binaries answer --help (incl. --resume pass-through)"
 for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay engine_bench; do
   cargo run --release -q -p tcl-bench --bin "$bin" -- --help | grep -q TCL_TRACE
+  cargo run --release -q -p tcl-bench --bin "$bin" -- --resume --help | grep -q TCL_CKPT_EVERY
 done
+
+echo "==> checkpoint/resume crash-safety suite (bit-exact kill-and-resume)"
+cargo test --release -q -p tcl-nn --test checkpoint_resume
 
 echo "CI OK"

@@ -17,7 +17,7 @@ use std::fs;
 use std::path::PathBuf;
 use tcl_data::{SynthSpec, SynthVision};
 use tcl_models::{Architecture, ModelConfig};
-use tcl_nn::{load_network, save_network, train, Network, TrainConfig};
+use tcl_nn::{load_network, save_network, Network, TrainConfig};
 use tcl_tensor::SeededRng;
 
 /// Master seed shared by every harness so experiments are reproducible and
@@ -191,6 +191,12 @@ pub fn results_dir() -> PathBuf {
 /// The cache key encodes everything that affects the trained weights; rerun
 /// with a fresh `TCL_MODEL_DIR` to retrain from scratch.
 ///
+/// Training is crash-safe: full state (parameters, momentum, RNG streams)
+/// is checkpointed under `<cache>/<key>.ckpt/` every `TCL_CKPT_EVERY`
+/// epochs (default 5), and a killed run resumes bit-exactly from the
+/// newest valid snapshot on the next invocation. The checkpoint directory
+/// is cleared once the finished model lands in the cache.
+///
 /// # Panics
 ///
 /// Panics on unrecoverable harness errors (invalid presets, I/O failures) —
@@ -246,18 +252,22 @@ pub fn train_or_load(
             data.train.len()
         ),
     );
-    train(
+    let ckpt_dir = dir.join(format!("{key}.ckpt"));
+    tcl_core::train_resumable(
         &mut net,
         data.train.images(),
         data.train.labels(),
         Some((data.test.images(), data.test.labels())),
         &train_cfg,
+        Some(&ckpt_dir),
     )
     .expect("training succeeds on preset data");
     fs::create_dir_all(&dir).expect("create model cache dir");
     let mut file = fs::File::create(&path).expect("create model cache file");
     save_network(&mut file, &net).expect("serialize trained model");
     tcl_telemetry::log("cache", &format!("saved {}", path.display()));
+    // The finished model is cached; its training checkpoints are now stale.
+    tcl_nn::checkpoint::clear_store(&ckpt_dir);
     net
 }
 
@@ -266,11 +276,17 @@ pub fn help_text(bin: &str, about: &str) -> String {
     format!(
         "{bin} — {about}\n\
          \n\
-         usage: {bin} [--help]\n\
+         usage: {bin} [--resume] [--help]\n\
+         \n\
+         flags:\n\
+         \x20 --resume                       continue an interrupted training run from its\n\
+         \x20                                newest valid checkpoint; resume is automatic,\n\
+         \x20                                the flag only states the intent explicitly\n\
          \n\
          environment:\n\
          \x20 TCL_SCALE=quick|standard|full  experiment size (default standard)\n\
          \x20 TCL_MODEL_DIR=DIR              trained-model cache (default target/tcl-models)\n\
+         \x20 TCL_CKPT_EVERY=N               training checkpoint interval in epochs (default 5)\n\
          \x20 TCL_RESULTS_DIR=DIR            output directory (default results)\n\
          \x20 TCL_TRACE=1|PATH               stream JSONL telemetry to stderr or PATH\n\
          \x20 TCL_METRICS=1                  metrics registry + end-of-run summary\n\
@@ -412,7 +428,14 @@ mod tests {
     fn help_text_names_the_binary_and_knobs() {
         let text = help_text("table1", "regenerates Table 1");
         assert!(text.starts_with("table1 — regenerates Table 1"));
-        for knob in ["TCL_SCALE", "TCL_TRACE", "TCL_METRICS", "TCL_THREADS"] {
+        for knob in [
+            "TCL_SCALE",
+            "TCL_CKPT_EVERY",
+            "TCL_TRACE",
+            "TCL_METRICS",
+            "TCL_THREADS",
+            "--resume",
+        ] {
             assert!(text.contains(knob), "missing {knob}");
         }
     }

@@ -58,6 +58,7 @@ pub use diagnostics::{diagnose_conversion, ConversionDiagnostics, SiteDiagnostic
 pub use error::{ConvertError, Result};
 pub use fold::fold_batch_norm;
 pub use pipeline::{
-    convert_and_evaluate, convert_and_evaluate_with, ConversionReport, EngineReport,
+    convert_and_evaluate, convert_and_evaluate_with, train_resumable, ConversionReport,
+    EngineReport,
 };
 pub use stats::{collect_activation_stats, collect_site_histogram, count_sites, SiteStats};

@@ -4,7 +4,10 @@
 use crate::convert::{Conversion, Converter};
 use crate::error::Result;
 use serde::{Deserialize, Serialize};
-use tcl_nn::{evaluate as ann_evaluate, Network};
+use std::path::Path;
+use tcl_nn::{
+    evaluate as ann_evaluate, CheckpointConfig, Network, TrainConfig, TrainReport, Trainer,
+};
 use tcl_snn::{evaluate as snn_evaluate, Engine, EngineResult, ExitPolicy, SimConfig, SweepResult};
 use tcl_tensor::Tensor;
 
@@ -29,6 +32,38 @@ impl ConversionReport {
     pub fn gap_at(&self, t: usize) -> Option<f32> {
         self.sweep.accuracy_at(t).map(|a| self.ann_accuracy - a)
     }
+}
+
+/// Trains the ANN leg of the pipeline with crash-safe checkpointing.
+///
+/// Training is by far the most expensive stage of train → convert →
+/// simulate, so this is the stage that must survive interruption. When
+/// `checkpoint_dir` is given, full training state (parameters, momentum,
+/// RNG streams, epoch cursor) is snapshotted every `TCL_CKPT_EVERY` epochs
+/// (default 5) and an interrupted run transparently resumes **bit-exactly**
+/// from the newest valid snapshot — a corrupted newest snapshot falls back
+/// to the previous one. With `checkpoint_dir = None` this is plain
+/// [`tcl_nn::train`].
+///
+/// # Errors
+///
+/// Propagates training and checkpoint errors (including a refusal to
+/// resume when the snapshot was written with different hyper-parameters).
+pub fn train_resumable(
+    net: &mut Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    eval: Option<(&Tensor, &[usize])>,
+    config: &TrainConfig,
+    checkpoint_dir: Option<&Path>,
+) -> Result<TrainReport> {
+    let _span =
+        tcl_telemetry::span_with("pipeline.train", || vec![("epochs", config.epochs as f64)]);
+    let mut trainer = Trainer::new(config.clone());
+    if let Some(dir) = checkpoint_dir {
+        trainer = trainer.with_checkpoints(CheckpointConfig::new(dir));
+    }
+    Ok(trainer.run_resumable(net, inputs, labels, eval)?)
 }
 
 /// Converts `net` with `converter` and evaluates both the ANN and the SNN

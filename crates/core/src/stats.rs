@@ -61,7 +61,11 @@ impl SiteStats {
             self.sorted = false;
         } else {
             // Vitter's algorithm R: keep each seen value with prob cap/seen.
-            let j = (self.rng.uniform(0.0, 1.0) * self.seen as f32) as u64;
+            // The index must be drawn in integer space: deriving it from a
+            // `f32` uniform sample quantizes `j` to a ~2^24-point grid, so
+            // once `seen` exceeds 2^24 most reservoir slots become
+            // unreachable and the sample over-weights the early stream.
+            let j = self.rng.below_u64(self.seen);
             if (j as usize) < self.cap {
                 self.reservoir[j as usize] = v;
                 self.sorted = false;
@@ -74,6 +78,15 @@ impl SiteStats {
         for &v in values {
             self.record(v);
         }
+    }
+
+    /// Pretends `seen` values have already streamed past (test hook for
+    /// exercising large-stream replacement behaviour without feeding
+    /// billions of records).
+    #[cfg(test)]
+    fn force_seen(&mut self, seen: u64) {
+        assert!(self.reservoir.len() >= self.cap, "reservoir must be full");
+        self.seen = seen.max(self.seen);
     }
 
     /// Largest value seen.
@@ -395,6 +408,66 @@ mod tests {
         assert!((q - 0.5).abs() < 0.05, "median {q}");
         assert!(s.max() >= 0.999);
         assert_eq!(s.count(), 100_000);
+    }
+
+    #[test]
+    fn reservoir_replacement_reaches_all_slots_at_large_seen() {
+        // Regression for the biased algorithm-R index: with the index drawn
+        // as `(uniform(0,1) * seen as f32) as u64`, a stream position past
+        // 2^24 quantizes `j` to a coarse grid (spacing seen/2^24 ≈ 16 at
+        // seen = 2^28), so odd-indexed reservoir slots can never be
+        // replaced again and the sample permanently over-weights the early
+        // stream. The u64 draw must keep every slot reachable.
+        let cap = 4096usize;
+        let mut s = SiteStats::new(cap, 42);
+        for _ in 0..cap {
+            s.record(0.0);
+        }
+        s.force_seen(1 << 28);
+        for _ in 0..2_000_000u32 {
+            s.record(1.0);
+        }
+        let odd_replaced = s
+            .reservoir
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| i % 2 == 1 && v == 1.0)
+            .count();
+        let total_replaced = s.reservoir.iter().filter(|&&v| v == 1.0).count();
+        // ~cap·ln((2^28+2M)/2^28) ≈ 30 replacements expected; the exact
+        // count is seed-dependent, but roughly half must land on odd slots.
+        assert!(
+            total_replaced > 5,
+            "replacement starved: {total_replaced} slots touched"
+        );
+        assert!(
+            odd_replaced > 0,
+            "no odd-indexed slot was ever replaced ({total_replaced} total): \
+             the index draw has lost integer precision"
+        );
+    }
+
+    #[test]
+    fn reservoir_replacement_rate_matches_algorithm_r() {
+        // P(replace) = cap/seen per record; over k records starting at seen₀
+        // the expected number of replacements is ≈ cap·ln((seen₀+k)/seen₀).
+        let cap = 1024usize;
+        let mut s = SiteStats::new(cap, 7);
+        for _ in 0..cap {
+            s.record(0.0);
+        }
+        s.force_seen(1 << 26);
+        let k = 4_000_000u64;
+        for _ in 0..k {
+            s.record(1.0);
+        }
+        let replaced = s.reservoir.iter().filter(|&&v| v == 1.0).count() as f64;
+        let seen0 = (1u64 << 26) as f64;
+        let expected = cap as f64 * ((seen0 + k as f64) / seen0).ln();
+        assert!(
+            (replaced - expected).abs() < expected * 0.5 + 10.0,
+            "replacements {replaced} vs expected {expected:.1}"
+        );
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub enum NnError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A training checkpoint could not be written, read, or validated
+    /// (I/O failure, bad magic, CRC mismatch, config fingerprint drift…).
+    Checkpoint {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -29,6 +35,7 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Graph { detail } => write!(f, "graph error: {detail}"),
             NnError::Training { detail } => write!(f, "training error: {detail}"),
+            NnError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
         }
     }
 }

@@ -8,7 +8,20 @@
 //! refactors.
 //!
 //! Only parameter *values* and structural hyper-parameters are stored;
-//! gradients, momentum, and layer caches are reset on load.
+//! gradients, momentum, and layer caches are reset on load. (Full training
+//! state — momentum buffers, RNG streams, the epoch cursor — is the job of
+//! [`crate::checkpoint`], which embeds this codec.)
+//!
+//! ## Versions
+//!
+//! * **v1** stored dropout layers as their probability only; the mask seed
+//!   was silently reset to 0 on load, so a saved-then-loaded network
+//!   trained with a different dropout stream than the original.
+//! * **v2** (current) persists each dropout layer's seed and call cursor.
+//!   v1 files still load — dropout is an inference no-op, so evaluation and
+//!   conversion are unaffected — but their dropout layers are tagged
+//!   ([`crate::layers::Dropout::has_legacy_seed`]) and the trainer refuses
+//!   to resume training through them.
 
 use crate::error::{NnError, Result};
 use crate::layer::Layer;
@@ -22,51 +35,64 @@ use tcl_tensor::ops::ConvGeometry;
 use tcl_tensor::{Shape, Tensor};
 
 const MAGIC: &[u8; 4] = b"TCLN";
-const VERSION: u32 = 1;
+/// Version written by [`save_network`].
+const VERSION: u32 = 2;
+/// Oldest version [`load_network`] still reads.
+const MIN_VERSION: u32 = 1;
 
-fn io_err(e: std::io::Error) -> NnError {
+pub(crate) fn io_err(e: std::io::Error) -> NnError {
     NnError::Graph {
         detail: format!("model io: {e}"),
     }
 }
 
-fn format_err(detail: impl Into<String>) -> NnError {
+pub(crate) fn format_err(detail: impl Into<String>) -> NnError {
     NnError::Graph {
         detail: format!("model format: {}", detail.into()),
     }
 }
 
-fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<()> {
     w.write_all(&v.to_le_bytes()).map_err(io_err)
 }
 
-fn write_f32<W: Write>(w: &mut W, v: f32) -> Result<()> {
+pub(crate) fn write_f32<W: Write>(w: &mut W, v: f32) -> Result<()> {
     w.write_all(&v.to_le_bytes()).map_err(io_err)
 }
 
-fn write_u8<W: Write>(w: &mut W, v: u8) -> Result<()> {
+pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> Result<()> {
     w.write_all(&[v]).map_err(io_err)
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b).map_err(io_err)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_f32<R: Read>(r: &mut R) -> Result<f32> {
+pub(crate) fn read_f32<R: Read>(r: &mut R) -> Result<f32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b).map_err(io_err)?;
     Ok(f32::from_le_bytes(b))
 }
 
-fn read_u8<R: Read>(r: &mut R) -> Result<u8> {
+pub(crate) fn read_u8<R: Read>(r: &mut R) -> Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b).map_err(io_err)?;
     Ok(b[0])
 }
 
-fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<()> {
+pub(crate) fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<()> {
     write_u32(w, t.shape().rank() as u32)?;
     for &d in t.dims() {
         write_u32(w, d as u32)?;
@@ -77,7 +103,7 @@ fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<()> {
     Ok(())
 }
 
-fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor> {
+pub(crate) fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor> {
     let rank = read_u32(r)? as usize;
     if rank > 8 {
         return Err(format_err(format!("implausible tensor rank {rank}")));
@@ -86,14 +112,36 @@ fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor> {
     for _ in 0..rank {
         dims.push(read_u32(r)? as usize);
     }
-    let shape = Shape::new(dims);
-    let len = shape.len();
+    // Checked product: corrupt dims must yield a format error, not an
+    // overflow panic inside `Shape::len`.
+    let mut len = 1usize;
+    for &d in &dims {
+        len = len
+            .checked_mul(d)
+            .ok_or_else(|| format_err("tensor size overflows"))?;
+    }
     if len > 256 * 1024 * 1024 {
         return Err(format_err(format!("implausible tensor size {len}")));
     }
-    let mut data = Vec::with_capacity(len);
-    for _ in 0..len {
-        data.push(read_f32(r)?);
+    let shape = Shape::new(dims);
+    // Read the payload in bounded chunks: the length field is attacker- or
+    // corruption-controlled, so nothing may be reserved up front beyond one
+    // chunk (~256 KiB). A lying header then fails at the first short read
+    // instead of after a ~1 GiB pre-allocation.
+    const CHUNK_ELEMS: usize = 64 * 1024;
+    let mut data = Vec::with_capacity(len.min(CHUNK_ELEMS));
+    let mut buf = vec![0u8; 4 * len.min(CHUNK_ELEMS)];
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(CHUNK_ELEMS);
+        let bytes = &mut buf[..4 * n];
+        r.read_exact(bytes).map_err(io_err)?;
+        data.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= n;
     }
     Ok(Tensor::from_vec(shape, data)?)
 }
@@ -152,7 +200,27 @@ fn read_bn<R: Read>(r: &mut R) -> Result<BatchNorm2d> {
     let var = read_tensor(r)?;
     let eps = read_f32(r)?;
     let momentum = read_f32(r)?;
-    let mut bn = BatchNorm2d::new(gamma.len())?;
+    // All four vectors must agree on the channel count. A corrupt file that
+    // shrinks one of them would otherwise build a malformed BatchNorm2d
+    // that only fails (with a shape error, far from the load site) on its
+    // first forward pass.
+    let channels = gamma.len();
+    for (name, t) in [
+        ("beta", &beta),
+        ("running_mean", &mean),
+        ("running_var", &var),
+    ] {
+        if t.len() != channels {
+            return Err(format_err(format!(
+                "batch-norm {name} length {} != gamma length {channels}",
+                t.len()
+            )));
+        }
+    }
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(format_err(format!("batch-norm eps {eps} not positive")));
+    }
+    let mut bn = BatchNorm2d::new(channels)?;
     bn.gamma.value = gamma;
     bn.beta.value = beta;
     bn.running_mean = mean;
@@ -262,6 +330,10 @@ pub fn save_network<W: Write>(writer: &mut W, net: &Network) -> Result<()> {
             Layer::Dropout(d) => {
                 write_u8(writer, 10)?;
                 write_f32(writer, d.p)?;
+                // v2: persist the mask stream (seed + call cursor) so a
+                // reloaded network trains with the same dropout draws.
+                write_u64(writer, d.seed())?;
+                write_u64(writer, d.calls())?;
             }
             Layer::Residual(block) => {
                 write_u8(writer, 9)?;
@@ -298,7 +370,7 @@ pub fn load_network<R: Read>(reader: &mut R) -> Result<Network> {
         return Err(format_err("bad magic"));
     }
     let version = read_u32(reader)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(format_err(format!("unsupported version {version}")));
     }
     let count = read_u32(reader)? as usize;
@@ -358,7 +430,16 @@ pub fn load_network<R: Read>(reader: &mut R) -> Result<Network> {
             }
             10 => {
                 let p = read_f32(reader)?;
-                Layer::Dropout(Dropout::new(p, 0)?)
+                if version >= 2 {
+                    let seed = read_u64(reader)?;
+                    let calls = read_u64(reader)?;
+                    Layer::Dropout(Dropout::from_saved(p, seed, calls)?)
+                } else {
+                    // v1 never stored the seed; tag the layer so the
+                    // trainer can refuse to silently resume with a
+                    // different mask stream.
+                    Layer::Dropout(Dropout::from_legacy_record(p)?)
+                }
             }
             other => return Err(format_err(format!("unknown layer tag {other}"))),
         };
@@ -465,6 +546,90 @@ mod tests {
         buf.extend_from_slice(&1u32.to_le_bytes());
         buf.push(200); // bogus tag
         assert!(load_network(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn dropout_seed_and_cursor_survive_roundtrip() {
+        let mut d = Dropout::new(0.4, 0xD00D).unwrap();
+        // Advance the mask stream so the cursor is nonzero.
+        d.forward(&Tensor::ones([8]), Mode::Train);
+        d.forward(&Tensor::ones([8]), Mode::Train);
+        let net = Network::new(vec![Layer::Dropout(d)]);
+        let back = roundtrip(&net);
+        if let Layer::Dropout(b) = &back.layers()[0] {
+            assert_eq!(b.seed(), 0xD00D);
+            assert_eq!(b.calls(), 2);
+            assert!(!b.has_legacy_seed());
+        } else {
+            panic!("expected dropout layer");
+        }
+    }
+
+    #[test]
+    fn v1_dropout_records_load_as_legacy() {
+        // Hand-built v1 file: magic, version 1, one dropout layer (p only).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TCLN");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(10);
+        buf.extend_from_slice(&0.5f32.to_le_bytes());
+        let net = load_network(&mut buf.as_slice()).unwrap();
+        if let Layer::Dropout(d) = &net.layers()[0] {
+            assert!(d.has_legacy_seed());
+            assert_eq!(d.p, 0.5);
+        } else {
+            panic!("expected dropout layer");
+        }
+    }
+
+    #[test]
+    fn mismatched_batch_norm_lengths_are_rejected() {
+        // Serialize a batch-norm whose beta is shorter than gamma.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TCLN");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(2); // batch-norm tag
+        let vec_tensor = |n: usize| {
+            let mut b = Vec::new();
+            b.extend_from_slice(&1u32.to_le_bytes()); // rank 1
+            b.extend_from_slice(&(n as u32).to_le_bytes());
+            for _ in 0..n {
+                b.extend_from_slice(&1.0f32.to_le_bytes());
+            }
+            b
+        };
+        buf.extend_from_slice(&vec_tensor(4)); // gamma
+        buf.extend_from_slice(&vec_tensor(3)); // beta: wrong length
+        buf.extend_from_slice(&vec_tensor(4)); // running_mean
+        buf.extend_from_slice(&vec_tensor(4)); // running_var
+        buf.extend_from_slice(&1e-5f32.to_le_bytes());
+        buf.extend_from_slice(&0.1f32.to_le_bytes());
+        let err = load_network(&mut buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("beta length 3"), "{msg}");
+    }
+
+    #[test]
+    fn lying_tensor_header_fails_without_pre_allocating() {
+        // A header that claims a near-cap tensor (192M elements ≈ 768 MB)
+        // followed by no payload: the chunked reader must fail at the first
+        // short read rather than reserving the full claimed size up front.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"TCLN");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(1); // linear tag → weight tensor first
+        buf.extend_from_slice(&2u32.to_le_bytes()); // rank 2
+        buf.extend_from_slice(&(16 * 1024u32).to_le_bytes());
+        buf.extend_from_slice(&(12 * 1024u32).to_le_bytes());
+        // No payload bytes at all.
+        let start = std::time::Instant::now();
+        assert!(load_network(&mut buf.as_slice()).is_err());
+        // Failing fast is the point: reading must not attempt the full
+        // claimed payload.
+        assert!(start.elapsed().as_secs() < 5);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct Dropout {
     pub p: f32,
     seed: u64,
     calls: u64,
+    legacy_seed: bool,
     mask: Option<Vec<bool>>,
 }
 
@@ -40,8 +41,54 @@ impl Dropout {
             p,
             seed,
             calls: 0,
+            legacy_seed: false,
             mask: None,
         })
+    }
+
+    /// Rebuilds a layer from persisted state (v2 model files and training
+    /// checkpoints), continuing the mask stream exactly where it left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error unless `0 ≤ p < 1`.
+    pub fn from_saved(p: f32, seed: u64, calls: u64) -> Result<Self> {
+        let mut d = Dropout::new(p, seed)?;
+        d.calls = calls;
+        Ok(d)
+    }
+
+    /// Rebuilds a layer from a v1 model record, which stored only `p`.
+    ///
+    /// The original seed is unknown, so the layer is tagged: evaluation and
+    /// conversion work normally (dropout is an inference no-op), but the
+    /// trainer refuses to *resume training* through it — a silently
+    /// different mask stream would break reproducibility guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error unless `0 ≤ p < 1`.
+    pub fn from_legacy_record(p: f32) -> Result<Self> {
+        let mut d = Dropout::new(p, 0)?;
+        d.legacy_seed = true;
+        Ok(d)
+    }
+
+    /// Seed the per-batch masks are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of training-mode forward calls made so far (the mask-stream
+    /// cursor).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Whether this layer came from a v1 model record whose dropout seed
+    /// was not persisted (see [`Dropout::from_legacy_record`]).
+    pub fn has_legacy_seed(&self) -> bool {
+        self.legacy_seed
     }
 
     /// Forward pass: identity in evaluation mode, random masking in
@@ -171,5 +218,28 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut d = Dropout::new(0.5, 0).unwrap();
         assert!(d.backward(&Tensor::ones([4])).is_err());
+    }
+
+    #[test]
+    fn saved_state_continues_the_mask_stream() {
+        let mut a = Dropout::new(0.5, 11).unwrap();
+        let x = Tensor::ones([256]);
+        let y0 = a.forward(&x, Mode::Train);
+        let _ = y0;
+        let y1 = a.forward(&x, Mode::Train);
+        // Restore from (seed, calls) captured after the first call.
+        let mut b = Dropout::from_saved(0.5, 11, 1).unwrap();
+        assert_eq!(b.calls(), 1);
+        assert_eq!(b.seed(), 11);
+        let z1 = b.forward(&x, Mode::Train);
+        assert_eq!(y1, z1, "restored layer replays the same mask stream");
+    }
+
+    #[test]
+    fn legacy_records_are_tagged() {
+        let d = Dropout::from_legacy_record(0.3).unwrap();
+        assert!(d.has_legacy_seed());
+        assert!(!Dropout::new(0.3, 0).unwrap().has_legacy_seed());
+        assert!(Dropout::from_legacy_record(1.5).is_err());
     }
 }

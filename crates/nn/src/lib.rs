@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod augment;
+pub mod checkpoint;
 mod error;
 mod io;
 mod layer;
@@ -56,6 +57,7 @@ mod param;
 mod trainer;
 
 pub use augment::{augment_batch, AugmentConfig};
+pub use checkpoint::{config_fingerprint, CheckpointConfig, CheckpointStore, TrainCheckpoint};
 pub use error::{NnError, Result};
 pub use io::{load_network, save_network};
 pub use layer::{Layer, Mode};
@@ -63,4 +65,4 @@ pub use loss::{softmax_cross_entropy, LossOutput};
 pub use network::Network;
 pub use optim::{Sgd, StepSchedule, LAMBDA_FLOOR};
 pub use param::{Param, ParamKind};
-pub use trainer::{evaluate, select_rows, train, EpochStats, TrainConfig, TrainReport};
+pub use trainer::{evaluate, select_rows, train, EpochStats, TrainConfig, TrainReport, Trainer};

@@ -78,6 +78,21 @@ impl Sgd {
         self.lr
     }
 
+    /// Momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// L2 decay applied to weights.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// L2 decay applied to clipping bounds.
+    pub fn lambda_decay(&self) -> f32 {
+        self.lambda_decay
+    }
+
     /// Replaces the learning rate (used by schedules).
     ///
     /// # Panics

@@ -1,8 +1,9 @@
 //! Mini-batch training loop.
 
 use crate::augment::{augment_batch, AugmentConfig};
+use crate::checkpoint::{config_fingerprint, CheckpointConfig, CheckpointStore, TrainCheckpoint};
 use crate::error::{NnError, Result};
-use crate::layer::Mode;
+use crate::layer::{Layer, Mode};
 use crate::loss::softmax_cross_entropy;
 use crate::network::Network;
 use crate::optim::{Sgd, StepSchedule};
@@ -196,21 +197,27 @@ pub fn evaluate(
     Ok(correct as f32 / n as f32)
 }
 
-/// Trains `net` on `(inputs, labels)` with softmax cross-entropy.
-///
-/// When `eval` is supplied, held-out accuracy is computed after every epoch
-/// and recorded in the report.
-///
-/// # Errors
-///
-/// Returns an error for empty/mismatched data or layer failures.
-pub fn train(
-    net: &mut Network,
-    inputs: &Tensor,
-    labels: &[usize],
-    eval: Option<(&Tensor, &[usize])>,
-    config: &TrainConfig,
-) -> Result<TrainReport> {
+/// Rejects resuming *training* through a network whose dropout layers came
+/// from a v1 model record: their original seed was never persisted, so the
+/// mask stream cannot be reproduced and bit-exact resume is impossible.
+fn reject_legacy_dropout(net: &Network) -> Result<()> {
+    for layer in net.layers() {
+        if let Layer::Dropout(d) = layer {
+            if d.has_legacy_seed() {
+                return Err(NnError::Checkpoint {
+                    detail: "network contains a dropout layer loaded from a v1 model \
+                             record (seed not persisted); it can be evaluated and \
+                             converted but not resumed for training"
+                        .into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates `(inputs, labels, config)` and returns the row count.
+fn validate_train_args(inputs: &Tensor, labels: &[usize], config: &TrainConfig) -> Result<usize> {
     let n = inputs.dims().first().copied().unwrap_or(0);
     if n == 0 || labels.len() != n {
         return Err(NnError::Training {
@@ -222,66 +229,273 @@ pub fn train(
             detail: "epochs and batch size must be nonzero".into(),
         });
     }
-    let mut rng = SeededRng::new(config.shuffle_seed);
-    let mut optimizer = config.optimizer.clone();
-    let mut report = TrainReport { epochs: Vec::new() };
-    for epoch in 0..config.epochs {
-        let _span = tcl_telemetry::span_with("train.epoch", || vec![("epoch", epoch as f64)]);
-        let lr = config.schedule.rate_at(epoch);
-        optimizer.set_learning_rate(lr);
-        let perm = rng.permutation(n);
-        let mut epoch_loss = 0.0f64;
-        let mut correct = 0usize;
-        let mut batches = 0usize;
-        for chunk in perm.chunks(config.batch_size) {
-            let mut x = select_rows(inputs, chunk)?;
-            if let Some(aug) = &config.augment {
-                x = augment_batch(&x, aug, &mut rng)?;
-            }
-            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-            net.zero_grad();
-            let logits = net.forward(&x, Mode::Train)?;
-            let out = softmax_cross_entropy(&logits, &y)?;
-            net.backward(&out.grad)?;
-            optimizer.step(net);
-            epoch_loss += out.loss as f64;
-            batches += 1;
-            let preds = ops::argmax_rows(&logits)?;
-            correct += preds.iter().zip(&y).filter(|(p, l)| p == l).count();
+    Ok(n)
+}
+
+/// Runs one training epoch (shuffle, mini-batch SGD, optional eval) and
+/// appends its statistics to `report`.
+#[allow(clippy::too_many_arguments)] // one argument per piece of loop state
+fn run_epoch(
+    net: &mut Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    eval: Option<(&Tensor, &[usize])>,
+    config: &TrainConfig,
+    optimizer: &mut Sgd,
+    rng: &mut SeededRng,
+    report: &mut TrainReport,
+    epoch: usize,
+) -> Result<()> {
+    let n = labels.len();
+    let _span = tcl_telemetry::span_with("train.epoch", || vec![("epoch", epoch as f64)]);
+    let lr = config.schedule.rate_at(epoch);
+    optimizer.set_learning_rate(lr);
+    let perm = rng.permutation(n);
+    let mut epoch_loss = 0.0f64;
+    let mut correct = 0usize;
+    let mut batches = 0usize;
+    for chunk in perm.chunks(config.batch_size) {
+        let mut x = select_rows(inputs, chunk)?;
+        if let Some(aug) = &config.augment {
+            x = augment_batch(&x, aug, rng)?;
         }
-        let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
-        let train_accuracy = correct as f32 / n as f32;
-        let eval_accuracy = match eval {
-            Some((ex, ey)) => Some(evaluate(net, ex, ey, config.batch_size)?),
-            None => None,
-        };
-        if tcl_telemetry::metrics_enabled() {
-            tcl_telemetry::gauge_set("train.loss", f64::from(train_loss));
-            tcl_telemetry::gauge_set("train.accuracy", f64::from(train_accuracy));
-            if let Some(ea) = eval_accuracy {
-                tcl_telemetry::gauge_set("train.eval_accuracy", f64::from(ea));
-            }
-        }
-        if config.verbose {
-            let line = match eval_accuracy {
-                Some(ea) => format!(
-                    "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {train_accuracy:.4}  eval-acc {ea:.4}"
-                ),
-                None => format!(
-                    "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {train_accuracy:.4}"
-                ),
-            };
-            tcl_telemetry::log("trainer", &line);
-        }
-        report.epochs.push(EpochStats {
-            epoch,
-            train_loss,
-            train_accuracy,
-            eval_accuracy,
-            learning_rate: lr,
-        });
+        let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+        net.zero_grad();
+        let logits = net.forward(&x, Mode::Train)?;
+        let out = softmax_cross_entropy(&logits, &y)?;
+        net.backward(&out.grad)?;
+        optimizer.step(net);
+        epoch_loss += out.loss as f64;
+        batches += 1;
+        let preds = ops::argmax_rows(&logits)?;
+        correct += preds.iter().zip(&y).filter(|(p, l)| p == l).count();
     }
-    Ok(report)
+    let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
+    let train_accuracy = correct as f32 / n as f32;
+    let eval_accuracy = match eval {
+        Some((ex, ey)) => Some(evaluate(net, ex, ey, config.batch_size)?),
+        None => None,
+    };
+    if tcl_telemetry::metrics_enabled() {
+        tcl_telemetry::gauge_set("train.loss", f64::from(train_loss));
+        tcl_telemetry::gauge_set("train.accuracy", f64::from(train_accuracy));
+        if let Some(ea) = eval_accuracy {
+            tcl_telemetry::gauge_set("train.eval_accuracy", f64::from(ea));
+        }
+    }
+    if config.verbose {
+        let line = match eval_accuracy {
+            Some(ea) => format!(
+                "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {train_accuracy:.4}  eval-acc {ea:.4}"
+            ),
+            None => format!(
+                "epoch {epoch:3}  lr {lr:.4}  loss {train_loss:.4}  train-acc {train_accuracy:.4}"
+            ),
+        };
+        tcl_telemetry::log("trainer", &line);
+    }
+    report.epochs.push(EpochStats {
+        epoch,
+        train_loss,
+        train_accuracy,
+        eval_accuracy,
+        learning_rate: lr,
+    });
+    Ok(())
+}
+
+/// Trains `net` on `(inputs, labels)` with softmax cross-entropy.
+///
+/// When `eval` is supplied, held-out accuracy is computed after every epoch
+/// and recorded in the report.
+///
+/// This is the one-shot entry point; [`Trainer::run_resumable`] adds
+/// crash-safe checkpointing on top of the identical epoch loop, so the two
+/// produce bit-identical networks for the same configuration.
+///
+/// # Errors
+///
+/// Returns an error for empty/mismatched data or layer failures.
+pub fn train(
+    net: &mut Network,
+    inputs: &Tensor,
+    labels: &[usize],
+    eval: Option<(&Tensor, &[usize])>,
+    config: &TrainConfig,
+) -> Result<TrainReport> {
+    Trainer::new(config.clone()).run(net, inputs, labels, eval)
+}
+
+/// Training driver that owns the epoch loop and, optionally, crash-safe
+/// checkpointing.
+///
+/// Without a [`CheckpointConfig`] it behaves exactly like [`train`]. With
+/// one, [`Trainer::run_resumable`] snapshots full training state every
+/// `every` epochs and transparently restarts from the newest valid snapshot
+/// when re-invoked — bit-exactly: `N` epochs straight and `N/2` epochs +
+/// crash + resume produce identical weights.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tcl_nn::{CheckpointConfig, TrainConfig, Trainer};
+///
+/// let config = TrainConfig::standard(20, 32, 0.05, &[10])?;
+/// let trainer = Trainer::new(config)
+///     .with_checkpoints(CheckpointConfig::new("run.ckpt").with_every(5));
+/// # let _ = trainer;
+/// # Ok::<(), tcl_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    checkpoint: Option<CheckpointConfig>,
+}
+
+impl Trainer {
+    /// Creates a driver for `config` with checkpointing disabled.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer {
+            config,
+            checkpoint: None,
+        }
+    }
+
+    /// Enables crash-safe checkpointing into `checkpoint.dir`.
+    pub fn with_checkpoints(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// The training configuration this driver runs.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains start-to-finish without reading or writing checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/mismatched data, layer failures, or a
+    /// network whose dropout state cannot be reproduced (v1 records).
+    pub fn run(
+        &self,
+        net: &mut Network,
+        inputs: &Tensor,
+        labels: &[usize],
+        eval: Option<(&Tensor, &[usize])>,
+    ) -> Result<TrainReport> {
+        validate_train_args(inputs, labels, &self.config)?;
+        reject_legacy_dropout(net)?;
+        let mut rng = SeededRng::new(self.config.shuffle_seed);
+        let mut optimizer = self.config.optimizer.clone();
+        let mut report = TrainReport { epochs: Vec::new() };
+        for epoch in 0..self.config.epochs {
+            run_epoch(
+                net,
+                inputs,
+                labels,
+                eval,
+                &self.config,
+                &mut optimizer,
+                &mut rng,
+                &mut report,
+                epoch,
+            )?;
+        }
+        Ok(report)
+    }
+
+    /// Trains with crash-safe checkpointing: resumes from the newest valid
+    /// snapshot in the checkpoint directory (falling back to older ones if
+    /// the newest is corrupt) and snapshots every `every` completed epochs
+    /// plus once at completion.
+    ///
+    /// Resume is **bit-exact**: parameters, momentum buffers, the shuffle
+    /// RNG stream, and dropout mask cursors are all restored, so the run
+    /// continues on the identical trajectory. Telemetry counters
+    /// `ckpt.resumes`, `ckpt.writes`, `ckpt.bytes` and gauge
+    /// `ckpt.write_ms` track checkpoint activity.
+    ///
+    /// Calling without a [`CheckpointConfig`] degrades to [`Trainer::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid data, layer failures, checkpoint I/O
+    /// failures, or a snapshot whose configuration fingerprint does not
+    /// match `config` (training with different hyper-parameters must not
+    /// silently continue someone else's run).
+    pub fn run_resumable(
+        &self,
+        net: &mut Network,
+        inputs: &Tensor,
+        labels: &[usize],
+        eval: Option<(&Tensor, &[usize])>,
+    ) -> Result<TrainReport> {
+        let Some(ckpt_config) = &self.checkpoint else {
+            return self.run(net, inputs, labels, eval);
+        };
+        validate_train_args(inputs, labels, &self.config)?;
+        reject_legacy_dropout(net)?;
+        let store = CheckpointStore::new(ckpt_config);
+        let fingerprint = config_fingerprint(&self.config);
+
+        let mut rng = SeededRng::new(self.config.shuffle_seed);
+        let mut optimizer = self.config.optimizer.clone();
+        let mut report = TrainReport { epochs: Vec::new() };
+        let mut start_epoch = 0usize;
+
+        if let Some(snapshot) = store.load_latest() {
+            if snapshot.config_fingerprint != fingerprint {
+                return Err(NnError::Checkpoint {
+                    detail: format!(
+                        "checkpoint in {} was written by a run with different \
+                         hyper-parameters (fingerprint {:016x} != {:016x}); \
+                         refusing to resume",
+                        ckpt_config.dir.display(),
+                        snapshot.config_fingerprint,
+                        fingerprint
+                    ),
+                });
+            }
+            reject_legacy_dropout(&snapshot.network)?;
+            *net = snapshot.network;
+            rng = SeededRng::from_state(snapshot.rng_state);
+            report = snapshot.report;
+            start_epoch = snapshot.epochs_done;
+            if tcl_telemetry::metrics_enabled() {
+                tcl_telemetry::counter_add("ckpt.resumes", 1);
+            }
+            tcl_telemetry::log(
+                "ckpt",
+                &format!(
+                    "resuming from {} at epoch {start_epoch}/{}",
+                    ckpt_config.dir.display(),
+                    self.config.epochs
+                ),
+            );
+        }
+
+        for epoch in start_epoch..self.config.epochs {
+            run_epoch(
+                net,
+                inputs,
+                labels,
+                eval,
+                &self.config,
+                &mut optimizer,
+                &mut rng,
+                &mut report,
+                epoch,
+            )?;
+            let done = epoch + 1;
+            if done % ckpt_config.every == 0 || done == self.config.epochs {
+                let snapshot = TrainCheckpoint::capture(net, &rng, &report, &self.config, done);
+                store.write(&snapshot)?;
+            }
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,360 @@
+//! Crash-safety guarantees of the checkpoint/resume subsystem.
+//!
+//! The contract under test:
+//!
+//! 1. **Bit-exact resume** — training N epochs straight and training N/2
+//!    epochs, "crashing", and resuming for the remaining N/2 produce
+//!    identical networks at 0 ulp (parameters, momentum buffers, dropout
+//!    cursors, and per-epoch reports all match).
+//! 2. **Corruption fallback** — a corrupted newest snapshot silently falls
+//!    back to the previous one; with no valid snapshot at all, training
+//!    restarts from scratch. Neither case panics, and both still converge
+//!    to the bit-identical straight-run result.
+//! 3. **Detection** — any single-byte corruption of a snapshot is either
+//!    detected (structured error) or provably harmless (the parsed state is
+//!    bit-identical to the original). Never a panic, never a silently
+//!    wrong network.
+
+use proptest::prelude::*;
+use tcl_nn::layers::{Clip, Dropout, Linear, Relu};
+use tcl_nn::{
+    config_fingerprint, AugmentConfig, CheckpointConfig, CheckpointStore, Layer, Network, NnError,
+    TrainCheckpoint, TrainConfig, TrainReport, Trainer,
+};
+use tcl_tensor::{SeededRng, Tensor};
+
+fn blob_data(seed: u64, n_per_class: usize) -> (Tensor, Vec<usize>) {
+    let mut rng = SeededRng::new(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for class in 0..2usize {
+        let cx = if class == 0 { 1.5 } else { -1.5 };
+        for _ in 0..n_per_class {
+            xs.push(cx + 0.4 * rng.normal());
+            xs.push(cx + 0.4 * rng.normal());
+            ys.push(class);
+        }
+    }
+    (Tensor::from_vec([n_per_class * 2, 2], xs).unwrap(), ys)
+}
+
+/// Rank-4 variant of the blob data so augmentation (which requires NCHW
+/// inputs) draws from the shared RNG stream during training.
+fn image_blob_data(seed: u64, n_per_class: usize) -> (Tensor, Vec<usize>) {
+    let (flat, ys) = blob_data(seed, n_per_class);
+    let n = ys.len();
+    let mut xs = vec![0.0f32; n * 4];
+    for i in 0..n {
+        // Tile the 2-vector into a 1×2×2 "image".
+        xs[i * 4] = flat.data()[i * 2];
+        xs[i * 4 + 1] = flat.data()[i * 2 + 1];
+        xs[i * 4 + 2] = flat.data()[i * 2];
+        xs[i * 4 + 3] = flat.data()[i * 2 + 1];
+    }
+    (Tensor::from_vec([n, 1, 2, 2], xs).unwrap(), ys)
+}
+
+/// Dropout makes resume interesting: its mask stream has its own cursor
+/// that must be restored exactly.
+fn mlp(seed: u64) -> Network {
+    let mut rng = SeededRng::new(seed);
+    Network::new(vec![
+        Layer::Linear(Linear::new(2, 16, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Clip(Clip::new(2.0)),
+        Layer::Dropout(Dropout::new(0.25, 42).unwrap()),
+        Layer::Linear(Linear::new(16, 2, true, &mut rng).unwrap()),
+    ])
+}
+
+fn image_mlp(seed: u64) -> Network {
+    let mut rng = SeededRng::new(seed);
+    Network::new(vec![
+        Layer::Flatten(tcl_nn::layers::Flatten::new()),
+        Layer::Linear(Linear::new(4, 16, true, &mut rng).unwrap()),
+        Layer::Relu(Relu::new()),
+        Layer::Clip(Clip::new(2.0)),
+        Layer::Dropout(Dropout::new(0.25, 42).unwrap()),
+        Layer::Linear(Linear::new(16, 2, true, &mut rng).unwrap()),
+    ])
+}
+
+/// Bitwise fingerprint of every parameter value and momentum buffer, plus
+/// every dropout layer's mask cursor.
+fn bit_state(net: &Network) -> (Vec<u32>, Vec<u32>, Vec<(u64, u64)>) {
+    let mut net = net.clone();
+    let mut values = Vec::new();
+    let mut momenta = Vec::new();
+    net.visit_params(&mut |p| {
+        values.extend(p.value.data().iter().map(|v| v.to_bits()));
+        momenta.extend(p.momentum.data().iter().map(|v| v.to_bits()));
+    });
+    let mut dropout = Vec::new();
+    for layer in net.layers() {
+        if let Layer::Dropout(d) = layer {
+            dropout.push((d.seed(), d.calls()));
+        }
+    }
+    (values, momenta, dropout)
+}
+
+fn reports_bit_equal(a: &TrainReport, b: &TrainReport) {
+    assert_eq!(a.epochs.len(), b.epochs.len());
+    for (x, y) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(x.epoch, y.epoch);
+        assert_eq!(x.train_loss.to_bits(), y.train_loss.to_bits());
+        assert_eq!(x.train_accuracy.to_bits(), y.train_accuracy.to_bits());
+        assert_eq!(
+            x.eval_accuracy.map(f32::to_bits),
+            y.eval_accuracy.map(f32::to_bits)
+        );
+        assert_eq!(x.learning_rate.to_bits(), y.learning_rate.to_bits());
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tcl-resume-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn kill_and_resume_is_bit_exact() {
+    let (x, y) = blob_data(0, 30);
+    let (ex, ey) = blob_data(1, 10);
+    let mut cfg = TrainConfig::standard(10, 16, 0.05, &[6]).unwrap();
+    cfg.shuffle_seed = 0xBEEF;
+
+    // Straight 10-epoch run, no checkpointing at all.
+    let mut straight = mlp(3);
+    let straight_report = Trainer::new(cfg.clone())
+        .run(&mut straight, &x, &y, Some((&ex, &ey)))
+        .unwrap();
+
+    // "Crashed" run: 5 epochs with a snapshot at epoch 5, then a fresh
+    // process (fresh identically-constructed network) resumes to 10.
+    let dir = temp_dir("exact");
+    tcl_nn::checkpoint::clear_store(&dir);
+    let mut first_cfg = cfg.clone();
+    first_cfg.epochs = 5;
+    let mut victim = mlp(3);
+    Trainer::new(first_cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(5))
+        .run_resumable(&mut victim, &x, &y, Some((&ex, &ey)))
+        .unwrap();
+
+    let mut resumed = mlp(3);
+    let resumed_report = Trainer::new(cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(5))
+        .run_resumable(&mut resumed, &x, &y, Some((&ex, &ey)))
+        .unwrap();
+
+    let (sv, sm, sd) = bit_state(&straight);
+    let (rv, rm, rd) = bit_state(&resumed);
+    assert_eq!(sv, rv, "parameter values differ after resume");
+    assert_eq!(sm, rm, "momentum buffers differ after resume");
+    assert_eq!(sd, rd, "dropout cursors differ after resume");
+    reports_bit_equal(&straight_report, &resumed_report);
+
+    tcl_nn::checkpoint::clear_store(&dir);
+}
+
+#[test]
+fn kill_and_resume_is_bit_exact_with_augmentation() {
+    // Augmentation draws from the same RNG as the shuffle, so this covers
+    // resuming mid-stream of a heavier RNG consumption pattern.
+    let (x, y) = image_blob_data(5, 20);
+    let mut cfg = TrainConfig::standard(6, 8, 0.05, &[4]).unwrap();
+    cfg.augment = Some(AugmentConfig {
+        horizontal_flip: true,
+        max_shift: 1,
+    });
+
+    let mut straight = image_mlp(7);
+    Trainer::new(cfg.clone())
+        .run(&mut straight, &x, &y, None)
+        .unwrap();
+
+    let dir = temp_dir("augment");
+    tcl_nn::checkpoint::clear_store(&dir);
+    let mut first_cfg = cfg.clone();
+    first_cfg.epochs = 3;
+    let mut victim = image_mlp(7);
+    Trainer::new(first_cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(3))
+        .run_resumable(&mut victim, &x, &y, None)
+        .unwrap();
+    let mut resumed = image_mlp(7);
+    Trainer::new(cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(3))
+        .run_resumable(&mut resumed, &x, &y, None)
+        .unwrap();
+
+    let (sv, sm, sd) = bit_state(&straight);
+    let (rv, rm, rd) = bit_state(&resumed);
+    assert_eq!(sv, rv);
+    assert_eq!(sm, rm);
+    assert_eq!(sd, rd);
+
+    tcl_nn::checkpoint::clear_store(&dir);
+}
+
+#[test]
+fn corrupted_newest_snapshot_falls_back_and_still_matches() {
+    let (x, y) = blob_data(2, 20);
+    let cfg = TrainConfig::standard(8, 8, 0.05, &[5]).unwrap();
+
+    let mut straight = mlp(9);
+    Trainer::new(cfg.clone())
+        .run(&mut straight, &x, &y, None)
+        .unwrap();
+
+    // Snapshot every 2 epochs for 6 epochs, keeping 2 → snapshots at 4, 6.
+    let dir = temp_dir("fallback");
+    tcl_nn::checkpoint::clear_store(&dir);
+    let mut first_cfg = cfg.clone();
+    first_cfg.epochs = 6;
+    let mut victim = mlp(9);
+    Trainer::new(first_cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(2))
+        .run_resumable(&mut victim, &x, &y, None)
+        .unwrap();
+
+    // Corrupt the newest snapshot (epoch 6): the resume must fall back to
+    // epoch 4 and still reach the bit-identical straight-run result.
+    let store = CheckpointStore::new(&CheckpointConfig::new(&dir));
+    let snapshots = store.list();
+    assert_eq!(
+        snapshots.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+        vec![4, 6]
+    );
+    let newest = &snapshots.last().unwrap().1;
+    let mut bytes = std::fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(newest, &bytes).unwrap();
+
+    let mut resumed = mlp(9);
+    Trainer::new(cfg.clone())
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(2))
+        .run_resumable(&mut resumed, &x, &y, None)
+        .unwrap();
+    let (sv, sm, _) = bit_state(&straight);
+    let (rv, rm, _) = bit_state(&resumed);
+    assert_eq!(sv, rv, "fallback resume must still be bit-exact");
+    assert_eq!(sm, rm);
+
+    // Destroy every snapshot: training restarts from scratch and still
+    // matches the straight run (the network is reconstructed identically).
+    for (_, path) in store.list() {
+        std::fs::write(path, b"garbage").unwrap();
+    }
+    let mut from_scratch = mlp(9);
+    Trainer::new(cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(2))
+        .run_resumable(&mut from_scratch, &x, &y, None)
+        .unwrap();
+    let (fv, _, _) = bit_state(&from_scratch);
+    assert_eq!(sv, fv, "scratch restart after total corruption");
+
+    tcl_nn::checkpoint::clear_store(&dir);
+}
+
+#[test]
+fn mismatched_hyperparameters_refuse_to_resume() {
+    let (x, y) = blob_data(4, 10);
+    let cfg = TrainConfig::standard(2, 8, 0.05, &[]).unwrap();
+    let dir = temp_dir("fingerprint");
+    tcl_nn::checkpoint::clear_store(&dir);
+    let mut net = mlp(11);
+    Trainer::new(cfg.clone())
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(1))
+        .run_resumable(&mut net, &x, &y, None)
+        .unwrap();
+
+    let mut other = cfg.clone();
+    other.shuffle_seed ^= 1;
+    assert_ne!(config_fingerprint(&cfg), config_fingerprint(&other));
+    let mut net2 = mlp(11);
+    let err = Trainer::new(other)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(1))
+        .run_resumable(&mut net2, &x, &y, None)
+        .unwrap_err();
+    assert!(
+        matches!(err, NnError::Checkpoint { .. }),
+        "expected checkpoint error, got {err}"
+    );
+
+    // Extending the epoch budget is NOT a hyper-parameter change.
+    let mut longer = cfg.clone();
+    longer.epochs = 4;
+    let mut net3 = mlp(11);
+    let report = Trainer::new(longer)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(1))
+        .run_resumable(&mut net3, &x, &y, None)
+        .unwrap();
+    assert_eq!(report.epochs.len(), 4);
+
+    tcl_nn::checkpoint::clear_store(&dir);
+}
+
+#[test]
+fn legacy_v1_dropout_cannot_resume_training() {
+    // A dropout layer loaded from a v1 record has an unknown seed; training
+    // through it would silently diverge, so the trainer refuses.
+    let mut layers = mlp(13).layers().to_vec();
+    layers[3] = Layer::Dropout(Dropout::from_legacy_record(0.25).unwrap());
+    let mut net = Network::new(layers);
+    let (x, y) = blob_data(6, 10);
+    let cfg = TrainConfig::standard(2, 8, 0.05, &[]).unwrap();
+    let err = Trainer::new(cfg).run(&mut net, &x, &y, None).unwrap_err();
+    assert!(matches!(err, NnError::Checkpoint { .. }), "got {err}");
+}
+
+fn reference_checkpoint() -> TrainCheckpoint {
+    let (x, y) = blob_data(8, 10);
+    let cfg = TrainConfig::standard(2, 8, 0.05, &[]).unwrap();
+    let dir = temp_dir("proptest-src");
+    tcl_nn::checkpoint::clear_store(&dir);
+    let mut net = mlp(17);
+    Trainer::new(cfg)
+        .with_checkpoints(CheckpointConfig::new(&dir).with_every(2))
+        .run_resumable(&mut net, &x, &y, None)
+        .unwrap();
+    let store = CheckpointStore::new(&CheckpointConfig::new(&dir));
+    let ckpt = store.load_latest().expect("run must leave a snapshot");
+    tcl_nn::checkpoint::clear_store(&dir);
+    ckpt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Satellite 5: ANY single-byte corruption of a v2 checkpoint either
+    /// fails with a structured error or decodes to exactly the original
+    /// state — never a panic, never a silently different network.
+    #[test]
+    fn single_byte_corruption_is_detected_or_harmless(
+        pos in 0usize..1_000_000,
+        flip in 1usize..256,
+    ) {
+        let original = reference_checkpoint();
+        let bytes = original.to_bytes().unwrap();
+        let idx = pos % bytes.len();
+        let mut mutated = bytes.clone();
+        mutated[idx] ^= flip as u8;
+
+        match TrainCheckpoint::from_bytes(&mutated) {
+            Err(_) => {} // detected: structured error, no panic
+            Ok(decoded) => {
+                // Undetected flips must be semantically invisible.
+                prop_assert_eq!(decoded.epochs_done, original.epochs_done);
+                prop_assert_eq!(decoded.config_fingerprint, original.config_fingerprint);
+                prop_assert_eq!(decoded.rng_state, original.rng_state);
+                let (ov, om, od) = bit_state(&original.network);
+                let (dv, dm, dd) = bit_state(&decoded.network);
+                prop_assert_eq!(ov, dv);
+                prop_assert_eq!(om, dm);
+                prop_assert_eq!(od, dd);
+            }
+        }
+    }
+}

@@ -43,9 +43,53 @@ impl SeededRng {
         )
     }
 
+    /// The raw generator state (four xoshiro256++ words).
+    ///
+    /// Together with [`SeededRng::from_state`] this allows a stream to be
+    /// persisted mid-run and continued bit-exactly — the checkpoint/resume
+    /// subsystem saves the shuffle RNG this way.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuilds a generator from a state captured by [`SeededRng::state`].
+    ///
+    /// The restored generator produces exactly the stream the captured one
+    /// would have produced next.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tcl_tensor::SeededRng;
+    ///
+    /// let mut a = SeededRng::new(9);
+    /// a.uniform(0.0, 1.0);
+    /// let mut b = SeededRng::from_state(a.state());
+    /// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    /// ```
+    pub fn from_state(state: [u64; 4]) -> Self {
+        SeededRng {
+            inner: rand::rngs::SmallRng::from_state(state),
+        }
+    }
+
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         self.inner.gen::<f32>() * (hi - lo) + lo
+    }
+
+    /// Uniform integer in `[0, n)` over the full `u64` range.
+    ///
+    /// Unlike deriving an index from a `f32` uniform sample (24 bits of
+    /// precision), this stays exact for counts beyond 2^24 — which is what
+    /// Vitter's reservoir algorithm R needs once a stream grows large.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below_u64(0) is undefined");
+        self.inner.gen_range(0..n)
     }
 
     /// Uniform integer in `[0, n)`.
@@ -137,6 +181,38 @@ mod tests {
         let va: Vec<f32> = (0..16).map(|_| a.uniform(0.0, 1.0)).collect();
         let vb: Vec<f32> = (0..16).map(|_| b.uniform(0.0, 1.0)).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn state_capture_resumes_bit_exactly() {
+        let mut a = SeededRng::new(21);
+        for _ in 0..37 {
+            a.normal();
+        }
+        let state = a.state();
+        let ahead: Vec<u32> = {
+            let mut probe = SeededRng::from_state(state);
+            (0..256)
+                .map(|_| probe.uniform(0.0, 1.0).to_bits())
+                .collect()
+        };
+        let live: Vec<u32> = (0..256).map(|_| a.uniform(0.0, 1.0).to_bits()).collect();
+        assert_eq!(ahead, live);
+    }
+
+    #[test]
+    fn below_u64_is_exact_past_f32_precision() {
+        let mut rng = SeededRng::new(23);
+        let n = (1u64 << 24) + 3;
+        let mut seen_odd = false;
+        for _ in 0..64 {
+            let v = rng.below_u64(n);
+            assert!(v < n);
+            seen_odd |= v % 2 == 1;
+        }
+        // An f32-derived index above 2^24 can only land on even integers;
+        // the u64 path must reach odd ones too.
+        assert!(seen_odd);
     }
 
     #[test]

@@ -163,6 +163,19 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words (for explicit persistence).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words previously returned by
+        /// [`SmallRng::state`], continuing the stream exactly.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -216,6 +229,18 @@ mod tests {
         let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
         let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn state_roundtrip_continues_the_stream() {
+        let mut a = SmallRng::seed_from_u64(5);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]
