@@ -10,6 +10,35 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> tcl-lint (determinism / panic-policy / concurrency / gating invariants)"
+cargo build --release -q -p tcl-lint
+lint_start_ms=$(( $(date +%s%N) / 1000000 ))
+cargo run --release -q -p tcl-lint -- --format json
+cargo run --release -q -p tcl-lint -- --self-check
+lint_ms=$(( $(date +%s%N) / 1000000 - lint_start_ms ))
+if [ "$lint_ms" -gt 5000 ]; then
+  echo "FAIL: tcl-lint took ${lint_ms}ms, over the 5s budget" >&2
+  exit 1
+fi
+echo "tcl-lint clean in ${lint_ms}ms"
+
+# Negative control: a seeded determinism violation must fail the stage with
+# the correct file:line [RULE] diagnostic.
+lint_probe=crates/tensor/src/ci_lint_probe.rs
+printf 'pub fn probe() { let _ = std::time::Instant::now(); }\n' > "$lint_probe"
+if lint_out=$(cargo run --release -q -p tcl-lint 2>/dev/null); then
+  rm -f "$lint_probe"
+  echo "FAIL: tcl-lint exited 0 despite a seeded Instant::now violation" >&2
+  exit 1
+fi
+rm -f "$lint_probe"
+if ! printf '%s\n' "$lint_out" | grep -q 'crates/tensor/src/ci_lint_probe.rs:1:[0-9]* \[D1\]'; then
+  echo "FAIL: tcl-lint missed the seeded violation's file:line [D1] diagnostic" >&2
+  printf '%s\n' "$lint_out" >&2
+  exit 1
+fi
+echo "tcl-lint negative control OK (seeded violation caught)"
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

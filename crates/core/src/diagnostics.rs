@@ -240,6 +240,7 @@ pub fn diagnose_conversion(
     // SNN side: cumulative per-bank spikes at each window boundary.
     let mut snn = conversion.snn.clone();
     snn.reset();
+    // lint: allow(P1) windows is validated non-empty at function entry
     let max_t = *windows.last().expect("windows checked nonempty");
     let mut cumulative: Vec<Vec<u64>> = Vec::with_capacity(windows.len());
     let mut neurons: Vec<usize> = Vec::new();

@@ -111,8 +111,9 @@ impl SiteStats {
             return 0.0;
         }
         if !self.sorted {
-            self.reservoir
-                .sort_by(|a, b| a.partial_cmp(b).expect("activations are not NaN"));
+            // total_cmp gives a deterministic order even if a NaN ever
+            // sneaks in (it sorts to the top instead of aborting the run).
+            self.reservoir.sort_by(f32::total_cmp);
             self.sorted = true;
         }
         let pos = q as f64 * (self.reservoir.len() - 1) as f64;

@@ -89,9 +89,11 @@ impl Dataset {
     /// paper's baselines that evaluate on ImageNet subsets.
     pub fn take(&self, n: usize) -> Dataset {
         let n = n.min(self.len());
+        // lint: allow(P1) Dataset::new only constructs rank-4 image tensors
         let (_, c, h, w) = self.images.shape().as_nchw().expect("dataset is rank 4");
         let item = c * h * w;
         let images = Tensor::from_vec([n, c, h, w], self.images.data()[..n * item].to_vec())
+            // lint: allow(P1) the slice is exactly n*c*h*w elements
             .expect("length consistent by construction");
         Dataset {
             images,

@@ -1,0 +1,317 @@
+//! A hand-rolled Rust lexer: comment-, string-, and raw-string-aware.
+//!
+//! The lexer is deliberately small and forgiving: it never panics on any
+//! byte sequence (proptested in `tests/lexer_props.rs`), and it guarantees
+//! **span consistency** — tokens are non-empty, strictly ordered,
+//! non-overlapping, in-bounds, and the gaps between them contain only ASCII
+//! whitespace. Rules operate on these tokens; they never re-scan raw text,
+//! so string literals and comments can never masquerade as code (the classic
+//! failure mode of grep-based lint rules).
+//!
+//! Byte-oriented on purpose: non-ASCII bytes are treated as identifier
+//! characters, which keeps every index a valid byte offset without any
+//! UTF-8 boundary arithmetic. Columns are 1-based byte columns.
+
+/// Token classification. Just enough resolution for the rule matchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers like `r#fn`).
+    Ident,
+    /// Numeric literal (integers, floats, any radix, with suffixes).
+    Num,
+    /// String literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##`.
+    Str,
+    /// Character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime: `'a`, `'static`.
+    Lifetime,
+    /// `// …` (text includes the slashes, excludes the newline).
+    LineComment,
+    /// `/* … */`, nesting-aware (text includes the delimiters).
+    BlockComment,
+    /// A single punctuation byte (`::` is two `Punct(b':')` tokens).
+    Punct(u8),
+}
+
+/// One lexed token with its byte span and start position.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// `true` for bytes that may start an identifier (non-ASCII included).
+fn ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+/// `true` for bytes that may continue an identifier.
+fn ident_continue(b: u8) -> bool {
+    ident_start(b) || b.is_ascii_digit()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one byte, maintaining the line accounting.
+    fn bump(&mut self) {
+        if self.b.get(self.i) == Some(&b'\n') {
+            self.line += 1;
+            self.line_start = self.i + 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes until `stop` returns true or EOF; leaves `i` at the stop byte.
+    fn bump_while(&mut self, mut keep: impl FnMut(u8) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !keep(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a double-quoted string body (opening quote already consumed),
+    /// honouring backslash escapes. Unterminated strings run to EOF.
+    fn string_body(&mut self) {
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            match c {
+                b'\\' if self.peek(0).is_some() => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `hashes` `#` bytes followed by `"` have
+    /// already been consumed; scans to `"` followed by `hashes` `#`s.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == b'"' {
+                let closes = (1..=hashes).all(|k| self.peek(k) == Some(b'#'));
+                if closes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// At `r` (`skip` == 0) or `br` (`skip` == 1): is this a raw string, and
+    /// with how many hashes?
+    fn raw_string_hashes(&self, skip: usize) -> Option<usize> {
+        let mut k = skip + 1;
+        while self.peek(k) == Some(b'#') {
+            k += 1;
+        }
+        (self.peek(k) == Some(b'"')).then_some(k - skip - 1)
+    }
+
+    /// Consumes a `'`-introduced token: lifetime or char literal. The opening
+    /// quote has **not** been consumed yet.
+    fn quote_token(&mut self) -> TokKind {
+        self.bump(); // '
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump();
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            Some(c) if ident_start(c) => {
+                // `'a'` is a char; `'a` (no closing quote after the ident
+                // run) is a lifetime.
+                let mut k = 1;
+                while self.peek(k).is_some_and(ident_continue) {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'\'') {
+                    self.bump_n(k + 1);
+                    TokKind::Char
+                } else {
+                    self.bump_while(ident_continue);
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('`-style char of a single non-ident byte, or stray `'`.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            None => TokKind::Char,
+        }
+    }
+
+    /// Consumes a numeric literal starting at an ASCII digit.
+    fn number(&mut self) {
+        self.bump_while(ident_continue);
+        // Fractional part: `.` only if followed by a digit (so `1..4` and
+        // `1.method()` lex as Num Punct …).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            self.bump_while(ident_continue);
+        }
+        // Signed exponent: `1e-5`, `2.5E+3`. The `e` was consumed as an
+        // ident-continue byte above.
+        if self.peek(0).is_some_and(|c| c == b'+' || c == b'-')
+            && self
+                .b
+                .get(self.i.wrapping_sub(1))
+                .is_some_and(|c| *c == b'e' || *c == b'E')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            self.bump_while(ident_continue);
+        }
+    }
+}
+
+/// Lexes `src` into a token stream. Total: never panics, any input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c == b'\n' || c.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (start, line) = (lx.i, lx.line);
+        let col = (start - lx.line_start + 1) as u32;
+        let kind = match c {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.bump_while(|c| c != b'\n');
+                TokKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => lx.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.string_body();
+                TokKind::Str
+            }
+            b'r' => {
+                if let Some(h) = lx.raw_string_hashes(0) {
+                    lx.bump_n(h + 2); // r, hashes, "
+                    lx.raw_string_body(h);
+                    TokKind::Str
+                } else if lx.peek(1) == Some(b'#') && lx.peek(2).is_some_and(ident_start) {
+                    lx.bump_n(2); // raw identifier r#…
+                    lx.bump_while(ident_continue);
+                    TokKind::Ident
+                } else {
+                    lx.bump_while(ident_continue);
+                    TokKind::Ident
+                }
+            }
+            b'b' if lx.peek(1) == Some(b'"') => {
+                lx.bump_n(2);
+                lx.string_body();
+                TokKind::Str
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.bump();
+                lx.quote_token()
+            }
+            b'b' if lx.peek(1) == Some(b'r') && lx.raw_string_hashes(1).is_some() => {
+                let h = lx.raw_string_hashes(1).unwrap_or(0);
+                lx.bump_n(h + 3); // b, r, hashes, "
+                lx.raw_string_body(h);
+                TokKind::Str
+            }
+            b'\'' => lx.quote_token(),
+            _ if ident_start(c) => {
+                lx.bump_while(ident_continue);
+                TokKind::Ident
+            }
+            _ if c.is_ascii_digit() => {
+                lx.number();
+                TokKind::Num
+            }
+            _ => {
+                lx.bump();
+                TokKind::Punct(c)
+            }
+        };
+        // Totality guard: every arm consumes at least one byte, but if a
+        // future edit breaks that, skip the byte rather than loop forever.
+        if lx.i == start {
+            lx.bump();
+            continue;
+        }
+        toks.push(Tok {
+            kind,
+            start,
+            end: lx.i,
+            line,
+            col,
+        });
+    }
+    toks
+}

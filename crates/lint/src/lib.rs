@@ -1,0 +1,240 @@
+//! `tcl-lint` — a workspace-aware static analyzer for the TCL repo.
+//!
+//! Enforces the invariants the repo's correctness story rests on but that
+//! no off-the-shelf tool (clippy included) can express: bitwise
+//! parallel==serial determinism, the library panic policy, the atomic
+//! memory-ordering audit, and near-zero-cost gated telemetry. See
+//! [`rules`] for the rule series and `DESIGN.md` §11 for the rationale.
+//!
+//! Built per the vendor-everything policy: a from-scratch lexer
+//! ([`lexer`]) and token matcher over `std` only — no external
+//! dependencies. The binary (`cargo run -p tcl-lint`) walks every
+//! workspace crate under `crates/`, prints findings as
+//! `file:line:col [RULE] message` (or JSON with `--format json`), and
+//! exits non-zero on any finding so `ci.sh` can gate on it.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_crate_root, check_file, explain, Finding, RULES};
+
+/// Errors from workspace discovery and file I/O.
+#[derive(Debug)]
+pub enum LintError {
+    /// No ancestor of the start directory holds a `[workspace]` Cargo.toml.
+    NoWorkspace { start: PathBuf },
+    /// Reading a file or directory failed.
+    Io { path: PathBuf, err: std::io::Error },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::NoWorkspace { start } => write!(
+                f,
+                "no workspace root ([workspace] in Cargo.toml) found above {}",
+                start.display()
+            ),
+            LintError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+        }
+    }
+}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> LintError + '_ {
+    move |err| LintError::Io {
+        path: path.to_path_buf(),
+        err,
+    }
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err(LintError::NoWorkspace {
+        start: start.to_path_buf(),
+    })
+}
+
+/// Workspace crates: `(dir_name, absolute_path)` for each subdirectory of
+/// `crates/` holding a `Cargo.toml`, sorted by name for deterministic
+/// output order.
+pub fn workspace_crates(root: &Path) -> Result<Vec<(String, PathBuf)>, LintError> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = fs::read_dir(&crates_dir).map_err(io_err(&crates_dir))?;
+    for entry in entries {
+        let entry = entry.map_err(io_err(&crates_dir))?;
+        let path = entry.path();
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            out.push((name, path));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+pub fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = match fs::read_dir(&d) {
+            Ok(e) => e,
+            Err(err) => {
+                if d == dir {
+                    return Err(LintError::Io { path: d, err });
+                }
+                continue;
+            }
+        };
+        for entry in entries {
+            let entry = entry.map_err(io_err(&d))?;
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, `/`-separated, for stable diagnostics.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Summary of one analyzer run.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub crates_scanned: usize,
+}
+
+/// Lints the workspace at `root`. `only_crate` restricts the run to one
+/// crate directory name (`--self-check` passes `"lint"`).
+///
+/// Scope: each crate's `src/` tree. Test code (`#[cfg(test)]` items and
+/// `#[test]` functions) is exempt from the D/P/G series but not from the
+/// C-series audit; `tests/`, `benches/`, and `examples/` directories are
+/// not walked at all — the invariants guard library code.
+pub fn run(root: &Path, only_crate: Option<&str>) -> Result<Report, LintError> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    let mut crates_scanned = 0usize;
+    for (krate, dir) in workspace_crates(root)? {
+        if only_crate.is_some_and(|o| o != krate) {
+            continue;
+        }
+        crates_scanned += 1;
+        let src = dir.join("src");
+        let lib_rs = src.join("lib.rs");
+        if lib_rs.is_file() {
+            let text = fs::read(&lib_rs).map_err(io_err(&lib_rs))?;
+            let text = String::from_utf8_lossy(&text);
+            if let Some(f) = check_crate_root(&rel_path(root, &lib_rs), &text) {
+                findings.push(f);
+            }
+        }
+        for path in rust_files(&src)? {
+            let bytes = fs::read(&path).map_err(io_err(&path))?;
+            let text = String::from_utf8_lossy(&bytes);
+            files_scanned += 1;
+            findings.extend(check_file(&rel_path(root, &path), &text, &krate));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        findings,
+        files_scanned,
+        crates_scanned,
+    })
+}
+
+/// Escapes `s` into a JSON string body (quotes not included).
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let v = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (v >> shift) & 0xF;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders findings as a machine-readable JSON array (stable key order).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"file\":\"");
+        json_escape_into(&f.path, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"col\":");
+        out.push_str(&f.col.to_string());
+        out.push_str(",\"rule\":\"");
+        json_escape_into(f.rule, &mut out);
+        out.push_str("\",\"message\":\"");
+        json_escape_into(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    out.push_str(if findings.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_escapes_and_orders_keys() {
+        let findings = vec![Finding {
+            path: "crates/x/src/a \"b\".rs".to_string(),
+            line: 3,
+            col: 7,
+            rule: "P1",
+            message: "uses `.unwrap()`\nbadly".to_string(),
+        }];
+        let json = render_json(&findings);
+        assert!(json.contains("\"file\":\"crates/x/src/a \\\"b\\\".rs\""));
+        assert!(json.contains("\"line\":3,\"col\":7,\"rule\":\"P1\""));
+        assert!(json.contains("\\n"));
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

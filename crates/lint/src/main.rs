@@ -1,0 +1,153 @@
+//! `tcl-lint` CLI: walk the workspace, report invariant violations, exit
+//! non-zero on any finding so CI can gate on it.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tcl_lint::{explain, render_json, run, RULES};
+
+const USAGE: &str = "\
+tcl-lint: workspace-aware static analyzer for the TCL repo
+
+USAGE:
+    cargo run -p tcl-lint [--] [OPTIONS]
+
+OPTIONS:
+    --format <text|json>   Output format (default: text, one
+                           `file:line:col [RULE] message` per finding)
+    --explain <RULE>       Print what a rule enforces and why, then exit
+    --self-check           Lint only the tcl-lint crate itself
+    --root <DIR>           Workspace root (default: discovered from cwd)
+    --list-rules           Print the rule IDs with one-line summaries
+    -h, --help             This help
+
+EXIT STATUS: 0 clean, 1 findings reported, 2 usage or I/O error.
+
+Rules: D1-D3 determinism, P1-P2 panic policy, C1-C3 concurrency audit,
+G1 telemetry gating. Suppress a site with `// lint: allow(RULE) reason`
+(same line or directly above; the reason is mandatory).";
+
+struct Opts {
+    json: bool,
+    self_check: bool,
+    root: Option<PathBuf>,
+    explain: Option<String>,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: false,
+        self_check: false,
+        root: None,
+        explain: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--explain" => match it.next() {
+                Some(rule) => opts.explain = Some(rule.clone()),
+                None => return Err("--explain expects a rule id (e.g. D1)".to_string()),
+            },
+            "--root" => match it.next() {
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => return Err("--root expects a directory".to_string()),
+            },
+            "--self-check" => opts.self_check = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("tcl-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for (rule, text) in RULES {
+            // Cut at the first sentence boundary, not the first '.', so
+            // summaries like P1's ".unwrap()/.expect() ..." survive intact.
+            let first = text
+                .split_once(". ")
+                .map_or_else(|| text.trim_end_matches('.'), |(s, _)| s);
+            println!("{rule}  {first}.");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(rule) = &opts.explain {
+        return match explain(rule) {
+            Some(text) => {
+                println!("{rule}: {text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "tcl-lint: unknown rule {rule:?}; known rules: {}",
+                    RULES.iter().map(|&(r, _)| r).collect::<Vec<_>>().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let start = match &opts.root {
+        Some(dir) => dir.clone(),
+        None => std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+    };
+    let root = match tcl_lint::find_workspace_root(&start) {
+        Ok(root) => root,
+        Err(err) => {
+            eprintln!("tcl-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let only = opts.self_check.then_some("lint");
+    let started = std::time::Instant::now();
+    let report = match run(&root, only) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("tcl-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", render_json(&report.findings));
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        eprintln!(
+            "tcl-lint: {} finding(s) in {} file(s) across {} crate(s) ({} ms)",
+            report.findings.len(),
+            report.files_scanned,
+            report.crates_scanned,
+            started.elapsed().as_millis()
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

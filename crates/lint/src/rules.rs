@@ -1,0 +1,634 @@
+//! The rule engine: repo-specific invariants expressed over the token
+//! stream produced by [`crate::lexer`].
+//!
+//! Four rule series (see `--explain` or `DESIGN.md` §11):
+//!
+//! * **D — determinism.** Wall-clock reads, ambient RNG, and hash-order
+//!   containers are banned from the numeric crates; a single stray source
+//!   of nondeterminism silently invalidates every golden snapshot and the
+//!   bitwise parallel==serial contract.
+//! * **P — panic policy.** Library non-test code must not `unwrap`/
+//!   `expect`/`panic!`/`todo!`/`unimplemented!`; recoverable failures flow
+//!   through `Error` returns, and genuinely unreachable states carry a
+//!   pragma explaining the invariant that protects them.
+//! * **C — concurrency audit.** Every atomic `Ordering::…` use carries an
+//!   adjacent `// ordering:` justification; `static mut` is forbidden; each
+//!   crate root declares `#![forbid(unsafe_code)]`.
+//! * **G — telemetry gating.** Eager metric emission inside the hot-path
+//!   files (par workers, neuron step) must sit under a `metrics_enabled()`
+//!   / `trace_enabled()` fast-path check so disabled telemetry stays at one
+//!   relaxed atomic load.
+//!
+//! Suppression is per-site: `// lint: allow(RULE) reason` on the same line
+//! or the directly preceding comment lines, with a mandatory reason.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One diagnostic: where, which rule, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    /// The human-readable `file:line:col [RULE] message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose non-test code must be deterministic (D-series scope).
+/// Timing belongs to `telemetry`/`bench`; randomness flows through
+/// `SeededRng`/`SmallRng`.
+const D_SCOPE: &[&str] = &["tensor", "nn", "snn", "core", "data", "models"];
+
+/// Crates exempt from the panic policy (P-series): `bench` binaries may
+/// unwrap CLI arguments and I/O at top level.
+const P_EXEMPT: &[&str] = &["bench"];
+
+/// Hot-path files where eager telemetry emission must be gated (G-series).
+const HOT_FILES: &[&str] = &["crates/tensor/src/par.rs", "crates/snn/src/neuron.rs"];
+
+/// Telemetry functions that emit eagerly (pay allocation/formatting cost
+/// even when sinks are off unless the caller gates them). `span`/`span_with`
+/// are exempt: they gate internally and defer attribute construction to a
+/// closure that never runs when tracing is off.
+const EAGER_EMITTERS: &[&str] = &[
+    "counter_add",
+    "gauge_set",
+    "gauge_set_indexed",
+    "hist_record",
+    "log",
+];
+
+/// Atomic memory-ordering variants audited by C1.
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "SeqCst", "AcqRel"];
+
+/// A lexed source file plus the per-line/region indexes the rules query.
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+    toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens, in order.
+    code: Vec<usize>,
+    /// Per 1-based line: does any non-comment token start on it?
+    line_has_code: Vec<bool>,
+    /// Per 1-based line: comment texts starting on it.
+    line_comments: Vec<Vec<(usize, usize)>>,
+    /// Byte ranges of `#[test]` / `#[cfg(test)]`-guarded items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn parse(path: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        let text = text.into();
+        let toks = lex(&text);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        let max_line = toks.last().map_or(0, |t| t.line as usize);
+        let mut line_has_code = vec![false; max_line + 2];
+        let mut line_comments: Vec<Vec<(usize, usize)>> = vec![Vec::new(); max_line + 2];
+        for t in &toks {
+            let l = t.line as usize;
+            if t.is_comment() {
+                line_comments[l].push((t.start, t.end));
+            } else {
+                line_has_code[l] = true;
+            }
+        }
+        let mut file = SourceFile {
+            path: path.into(),
+            text,
+            toks,
+            code,
+            line_has_code,
+            line_comments,
+            test_regions: Vec::new(),
+        };
+        file.test_regions = find_test_regions(&file);
+        file
+    }
+
+    /// The `c`-th code (non-comment) token, if any.
+    fn ct(&self, c: usize) -> Option<&Tok> {
+        self.code.get(c).map(|&i| &self.toks[i])
+    }
+
+    /// Text of the `c`-th code token.
+    fn ctext(&self, c: usize) -> &str {
+        self.ct(c).map_or("", |t| t.text(&self.text))
+    }
+
+    fn is_ident(&self, c: usize, name: &str) -> bool {
+        self.ct(c)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(&self.text) == name)
+    }
+
+    fn is_punct(&self, c: usize, p: u8) -> bool {
+        self.ct(c).is_some_and(|t| t.kind == TokKind::Punct(p))
+    }
+
+    /// `::` at code positions `c`, `c+1`.
+    fn is_path_sep(&self, c: usize) -> bool {
+        self.is_punct(c, b':') && self.is_punct(c + 1, b':')
+    }
+
+    fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| (s..e).contains(&offset))
+    }
+
+    /// Comments attached to `line`: on the line itself, or on a run of
+    /// directly preceding comment-only lines.
+    fn adjacent_comments(&self, line: u32) -> impl Iterator<Item = &str> {
+        let mut lines = vec![line as usize];
+        let mut l = line as usize;
+        while l > 1 {
+            l -= 1;
+            let comment_only = !self.line_has_code.get(l).copied().unwrap_or(false)
+                && !self.line_comments.get(l).is_none_or(Vec::is_empty);
+            if !comment_only {
+                break;
+            }
+            lines.push(l);
+        }
+        lines.into_iter().flat_map(|l| {
+            self.line_comments
+                .get(l)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .map(|&(s, e)| self.text.get(s..e).unwrap_or(""))
+        })
+    }
+
+    /// Is the finding at `line` suppressed by a `// lint: allow(RULE) reason`
+    /// pragma on the same line or the preceding comment block?
+    pub fn pragma_allows(&self, rule: &str, line: u32) -> bool {
+        self.adjacent_comments(line)
+            .any(|c| pragma_allows_in(c, rule))
+    }
+
+    /// Does `line` carry (or directly follow) a comment containing `marker`?
+    fn has_adjacent_marker(&self, marker: &str, line: u32) -> bool {
+        self.adjacent_comments(line).any(|c| c.contains(marker))
+    }
+}
+
+/// Parses one comment for `lint: allow(R1, R2) reason`; the reason is
+/// mandatory — an allow without a stated justification does not count.
+fn pragma_allows_in(comment: &str, rule: &str) -> bool {
+    let Some(at) = comment.find("lint:") else {
+        return false;
+    };
+    let after = comment[at + 5..].trim_start();
+    let Some(rest) = after.strip_prefix("allow(") else {
+        return false;
+    };
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    let reason_ok = !rest[close + 1..].trim().is_empty();
+    reason_ok && rest[..close].split(',').any(|r| r.trim() == rule)
+}
+
+/// Locates items guarded by a test attribute: `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`. Returns byte ranges covering attribute through
+/// the end of the item body (`{…}` block or terminating `;`).
+fn find_test_regions(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut c = 0usize;
+    while let Some(t) = file.ct(c) {
+        if t.kind != TokKind::Punct(b'#') || !file.is_punct(c + 1, b'[') {
+            c += 1;
+            continue;
+        }
+        let attr_start = t.start;
+        // Scan the bracket group, looking for the ident `test`.
+        let mut depth = 0usize;
+        let mut is_test_attr = false;
+        let mut k = c + 1;
+        let attr_end_code = loop {
+            let Some(tok) = file.ct(k) else {
+                break k;
+            };
+            match tok.kind {
+                TokKind::Punct(b'[') => depth += 1,
+                TokKind::Punct(b']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break k + 1;
+                    }
+                }
+                TokKind::Ident if tok.text(&file.text) == "test" => is_test_attr = true,
+                _ => {}
+            }
+            k += 1;
+        };
+        if !is_test_attr {
+            c = attr_end_code;
+            continue;
+        }
+        // Find the guarded item's body: first `{` at delimiter depth 0
+        // (matching through its close brace), or a bare `;`.
+        let mut k = attr_end_code;
+        let mut depth = 0usize;
+        let end = loop {
+            let Some(tok) = file.ct(k) else {
+                break file.text.len();
+            };
+            match tok.kind {
+                TokKind::Punct(b'(' | b'[') => depth += 1,
+                TokKind::Punct(b')' | b']') => depth = depth.saturating_sub(1),
+                TokKind::Punct(b';') if depth == 0 => break tok.end,
+                TokKind::Punct(b'{') if depth == 0 => {
+                    break matching_brace_end(file, k).unwrap_or(file.text.len());
+                }
+                _ => {}
+            }
+            k += 1;
+        };
+        regions.push((attr_start, end));
+        // Continue scanning *after* the region so nested attrs inside a
+        // test mod don't re-trigger (harmless either way, ranges overlap).
+        c = attr_end_code;
+    }
+    regions
+}
+
+/// Given the code index of an opening `{`, returns the byte end of its
+/// matching `}` (EOF-tolerant: `None` if unbalanced).
+fn matching_brace_end(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut k = open;
+    while let Some(tok) = file.ct(k) {
+        match tok.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(tok.end);
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Lints one file belonging to crate `krate` (the directory name under
+/// `crates/`). `path` must be workspace-relative with `/` separators.
+pub fn check_file(path: &str, text: &str, krate: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(path, text);
+    let mut out = Vec::new();
+    let d_applies = D_SCOPE.contains(&krate);
+    let p_applies = !P_EXEMPT.contains(&krate);
+    let hot = HOT_FILES.iter().any(|h| file.path.ends_with(h));
+    let gated = if hot {
+        gated_regions(&file)
+    } else {
+        Vec::new()
+    };
+
+    let emit =
+        |file: &SourceFile, t: &Tok, rule: &'static str, msg: String, out: &mut Vec<Finding>| {
+            if !file.pragma_allows(rule, t.line) {
+                out.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    rule,
+                    message: msg,
+                });
+            }
+        };
+
+    for c in 0..file.code.len() {
+        let Some(t) = file.ct(c) else { break };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text(&file.text);
+        let in_test = file.in_test_region(t.start);
+
+        // ---- D-series: determinism ----
+        if d_applies && !in_test {
+            if (name == "SystemTime" || name == "Instant")
+                && file.is_path_sep(c + 1)
+                && file.is_ident(c + 3, "now")
+            {
+                emit(
+                    &file,
+                    t,
+                    "D1",
+                    format!(
+                        "wall-clock read `{name}::now` in deterministic crate `{krate}`; \
+                         timing belongs to telemetry/bench"
+                    ),
+                    &mut out,
+                );
+            }
+            if name == "thread_rng" || name == "from_entropy" {
+                emit(
+                    &file,
+                    t,
+                    "D2",
+                    format!(
+                        "ambient RNG `{name}` in deterministic crate `{krate}`; \
+                         randomness must flow through SeededRng/SmallRng"
+                    ),
+                    &mut out,
+                );
+            }
+            if name == "rand" && file.is_path_sep(c + 1) && file.is_ident(c + 3, "random") {
+                emit(
+                    &file,
+                    t,
+                    "D2",
+                    format!("ambient RNG `rand::random` in deterministic crate `{krate}`"),
+                    &mut out,
+                );
+            }
+            if name == "HashMap" || name == "HashSet" {
+                emit(
+                    &file,
+                    t,
+                    "D3",
+                    format!(
+                        "hash-order container `{name}` in deterministic crate `{krate}`; \
+                         iteration order is nondeterministic — use BTreeMap/BTreeSet/Vec"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+
+        // ---- P-series: panic policy ----
+        if p_applies && !in_test {
+            if (name == "unwrap" || name == "expect")
+                && c > 0
+                && file.is_punct(c - 1, b'.')
+                && file.is_punct(c + 1, b'(')
+            {
+                emit(
+                    &file,
+                    t,
+                    "P1",
+                    format!(
+                        "`.{name}()` in library non-test code; return an Error or carry \
+                         a `// lint: allow(P1) reason` pragma naming the invariant"
+                    ),
+                    &mut out,
+                );
+            }
+            if (name == "panic" || name == "todo" || name == "unimplemented")
+                && file.is_punct(c + 1, b'!')
+            {
+                emit(
+                    &file,
+                    t,
+                    "P2",
+                    format!("`{name}!` in library non-test code; library failures are Errors"),
+                    &mut out,
+                );
+            }
+        }
+
+        // ---- C-series: concurrency audit (test code included) ----
+        if name == "Ordering"
+            && file.is_path_sep(c + 1)
+            && file
+                .ct(c + 3)
+                .is_some_and(|v| ORDERINGS.contains(&v.text(&file.text)))
+            && !file.has_adjacent_marker("ordering:", t.line)
+        {
+            emit(
+                &file,
+                t,
+                "C1",
+                format!(
+                    "atomic `Ordering::{}` without an adjacent `// ordering:` \
+                     justification comment",
+                    file.ctext(c + 3)
+                ),
+                &mut out,
+            );
+        }
+        if name == "static" && file.is_ident(c + 1, "mut") {
+            emit(
+                &file,
+                t,
+                "C2",
+                "`static mut` is forbidden; use atomics, OnceLock, or thread_local".to_string(),
+                &mut out,
+            );
+        }
+
+        // ---- G-series: telemetry gating on hot paths ----
+        if hot
+            && !in_test
+            && EAGER_EMITTERS.contains(&name)
+            && file.is_punct(c + 1, b'(')
+            && !gated.iter().any(|&(s, e)| (s..e).contains(&t.start))
+        {
+            emit(
+                &file,
+                t,
+                "G1",
+                format!(
+                    "eager telemetry emission `{name}(…)` on a hot path outside a \
+                     metrics_enabled()/trace_enabled() fast-path check"
+                ),
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+/// C3 check for a crate root: `lib.rs` must carry `#![forbid(unsafe_code)]`.
+pub fn check_crate_root(path: &str, text: &str) -> Option<Finding> {
+    let file = SourceFile::parse(path, text);
+    let mut c = 0usize;
+    while file.ct(c).is_some() {
+        if file.is_punct(c, b'#')
+            && file.is_punct(c + 1, b'!')
+            && file.is_punct(c + 2, b'[')
+            && file.is_ident(c + 3, "forbid")
+            && file.is_punct(c + 4, b'(')
+            && file.is_ident(c + 5, "unsafe_code")
+        {
+            return None;
+        }
+        c += 1;
+    }
+    Some(Finding {
+        path: path.to_string(),
+        line: 1,
+        col: 1,
+        rule: "C3",
+        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    })
+}
+
+/// Byte ranges of `{…}` blocks whose `if` condition contains a telemetry
+/// fast-path check (`metrics_enabled` / `trace_enabled`, not negated).
+fn gated_regions(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut c = 0usize;
+    while let Some(t) = file.ct(c) {
+        if !(t.kind == TokKind::Ident && t.text(&file.text) == "if") {
+            c += 1;
+            continue;
+        }
+        // Collect the condition: tokens up to the `{` at delimiter depth 0.
+        let mut depth = 0usize;
+        let mut k = c + 1;
+        let mut has_check = false;
+        let negated = file.is_punct(c + 1, b'!');
+        let open = loop {
+            let Some(tok) = file.ct(k) else {
+                break None;
+            };
+            match tok.kind {
+                TokKind::Punct(b'(' | b'[') => depth += 1,
+                TokKind::Punct(b')' | b']') => depth = depth.saturating_sub(1),
+                TokKind::Punct(b'{') if depth == 0 => break Some(k),
+                TokKind::Ident => {
+                    let name = tok.text(&file.text);
+                    if name == "metrics_enabled" || name == "trace_enabled" {
+                        has_check = true;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        };
+        if let Some(open) = open {
+            if has_check && !negated {
+                if let Some(end) = matching_brace_end(file, open) {
+                    let start = file.ct(open).map_or(0, |t| t.start);
+                    regions.push((start, end));
+                }
+            }
+            c = open + 1;
+        } else {
+            c = k + 1;
+        }
+    }
+    regions
+}
+
+/// Rule identifiers with their `--explain` texts.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D1",
+        "Wall-clock reads (SystemTime::now, Instant::now) are banned from the \
+         deterministic crates (tensor, nn, snn, core, data, models) outside test code. \
+         Results must be a pure function of inputs + seeds so golden snapshots and the \
+         bitwise parallel==serial contract hold; timing lives in telemetry/bench. \
+         Timing that only feeds gated telemetry may carry a \
+         `// lint: allow(D1) reason` pragma.",
+    ),
+    (
+        "D2",
+        "Ambient randomness (thread_rng, rand::random, from_entropy) is banned from the \
+         deterministic crates. All randomness flows through SeededRng/SmallRng so every \
+         run replays bit-exactly from its seed — the property the checkpoint/resume and \
+         engine-equivalence suites assert.",
+    ),
+    (
+        "D3",
+        "std::collections::HashMap/HashSet are banned from the deterministic crates: \
+         their iteration order varies run to run (RandomState), which silently breaks \
+         golden snapshots when anything numeric is derived from iteration. Use \
+         BTreeMap/BTreeSet or a Vec.",
+    ),
+    (
+        "P1",
+        ".unwrap()/.expect() are forbidden in library non-test code. Recoverable \
+         failures return Errors; genuinely unreachable states carry \
+         `// lint: allow(P1) <invariant>` naming the invariant that protects them, so \
+         every residual panic site is enumerable and justified.",
+    ),
+    (
+        "P2",
+        "panic!/todo!/unimplemented! are forbidden in library non-test code; library \
+         failures are Errors. assert!/debug_assert! remain available for documented \
+         programmer-error contracts.",
+    ),
+    (
+        "C1",
+        "Every atomic Ordering::{Relaxed,Acquire,Release,SeqCst,AcqRel} use must carry \
+         an adjacent `// ordering:` comment justifying why that ordering is sufficient \
+         (what the atomic synchronizes, or why no synchronization is needed). Applies \
+         to test code too — the audit is about every ordering decision being written \
+         down.",
+    ),
+    (
+        "C2",
+        "`static mut` is forbidden everywhere: it is wildly unsafe under threads and \
+         unnecessary given atomics, OnceLock, and thread_local.",
+    ),
+    (
+        "C3",
+        "Every crate root must declare #![forbid(unsafe_code)]. forbid (not deny) means \
+         no inner allow can sneak unsafe back in; the whole workspace stays safe Rust.",
+    ),
+    (
+        "G1",
+        "On hot-path files (tcl_tensor::par workers, IfNeurons::step), eager telemetry \
+         emission (counter_add, gauge_set, gauge_set_indexed, hist_record, log) must be \
+         dominated by an `if metrics_enabled()/trace_enabled()` fast-path check so \
+         disabled telemetry costs one relaxed atomic load. span/span_with are exempt: \
+         they gate internally and defer attribute construction to a closure.",
+    ),
+];
+
+/// The explanation for `rule`, if it exists.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    RULES
+        .iter()
+        .find(|(r, _)| *r == rule)
+        .map(|&(_, text)| text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_requires_reason_and_matching_rule() {
+        assert!(pragma_allows_in(
+            "// lint: allow(P1) batch validated above",
+            "P1"
+        ));
+        assert!(pragma_allows_in(
+            "// lint: allow(P1, D1) shared reason",
+            "D1"
+        ));
+        assert!(
+            !pragma_allows_in("// lint: allow(P1)", "P1"),
+            "reason required"
+        );
+        assert!(!pragma_allows_in("// lint: allow(P1) reason", "P2"));
+        assert!(!pragma_allows_in("// allow(P1) reason", "P1"));
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for (rule, _) in RULES {
+            assert!(explain(rule).is_some());
+        }
+        assert!(explain("Z9").is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Lexer totality and span-consistency properties.
+//!
+//! The analyzer's findings are only as trustworthy as its token spans, so
+//! the lexer promises: it never panics on any input, and its tokens are
+//! non-empty, strictly ordered, in-bounds, gap-separated only by ASCII
+//! whitespace, with line/col derivable from the byte offset. Checked on
+//! arbitrary byte soup, on adversarial string/comment fragments, and on
+//! every `.rs` file in this repository.
+
+use proptest::prelude::*;
+use tcl_lint::lexer::{lex, Tok};
+
+/// Asserts the span-consistency contract for `toks` over `src`.
+fn assert_span_consistent(src: &str, toks: &[Tok]) {
+    let bytes = src.as_bytes();
+    let mut prev_end = 0usize;
+    for t in toks {
+        assert!(t.start < t.end, "empty token {t:?}");
+        assert!(t.end <= src.len(), "token past EOF {t:?}");
+        assert!(t.start >= prev_end, "overlapping tokens at {t:?}");
+        for &b in &bytes[prev_end..t.start] {
+            assert!(
+                b.is_ascii_whitespace(),
+                "non-whitespace byte {b:#x} in gap before {t:?}"
+            );
+        }
+        let line = 1 + bytes[..t.start].iter().filter(|&&b| b == b'\n').count() as u32;
+        assert_eq!(t.line, line, "line mismatch for {t:?}");
+        let line_start = bytes[..t.start]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        assert_eq!(
+            t.col as usize,
+            t.start - line_start + 1,
+            "col mismatch for {t:?}"
+        );
+        prev_end = t.end;
+    }
+    for &b in &bytes[prev_end..] {
+        assert!(b.is_ascii_whitespace(), "non-whitespace tail byte {b:#x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: the lexer must neither panic nor produce
+    /// inconsistent spans (lossy UTF-8 conversion mirrors how the binary
+    /// reads files).
+    #[test]
+    fn lexer_is_total_and_span_consistent_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let toks = lex(&src);
+        assert_span_consistent(&src, &toks);
+    }
+
+    /// Adversarial soup biased toward lexer state machinery: quotes,
+    /// hashes, slashes, stars, backslashes, newlines.
+    #[test]
+    fn lexer_survives_delimiter_soup(
+        picks in prop::collection::vec(0usize..12, 0..256),
+    ) {
+        const ATOMS: [&str; 12] = [
+            "\"", "'", "#", "r", "b", "/", "*", "\\", "\n", "r#\"", "/*", "ident",
+        ];
+        let src: String = picks.iter().map(|&p| ATOMS[p]).collect();
+        let toks = lex(&src);
+        assert_span_consistent(&src, &toks);
+    }
+}
+
+/// Every `.rs` file in the repository lexes with consistent spans — the
+/// exact corpus the analyzer runs on in CI, vendored stubs and test code
+/// included.
+#[test]
+fn lexer_is_span_consistent_on_every_repo_rs_file() {
+    let root = repo_root();
+    let mut stack = vec![root.clone()];
+    let mut seen = 0usize;
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let bytes =
+                    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                let src = String::from_utf8_lossy(&bytes).into_owned();
+                let toks = lex(&src);
+                assert_span_consistent(&src, &toks);
+                seen += 1;
+            }
+        }
+    }
+    assert!(
+        seen > 100,
+        "expected to lex the whole repo, saw {seen} files"
+    );
+}
+
+/// Spot-checks that tricky real constructs produce the intended kinds.
+#[test]
+fn lexer_classifies_tricky_constructs() {
+    use tcl_lint::lexer::TokKind;
+    let kinds = |src: &str| lex(src).iter().map(|t| t.kind).collect::<Vec<_>>();
+    assert_eq!(kinds("'a"), [TokKind::Lifetime]);
+    assert_eq!(kinds("'a'"), [TokKind::Char]);
+    assert_eq!(kinds(r"'\''"), [TokKind::Char]);
+    assert_eq!(kinds(r##"br#"x"#"##), [TokKind::Str]);
+    assert_eq!(kinds("r#fn "), [TokKind::Ident]);
+    assert_eq!(kinds("1.5e-3"), [TokKind::Num]);
+    assert_eq!(
+        kinds("1..4"),
+        [
+            TokKind::Num,
+            TokKind::Punct(b'.'),
+            TokKind::Punct(b'.'),
+            TokKind::Num
+        ]
+    );
+    assert_eq!(kinds("/* /* deep */ */"), [TokKind::BlockComment]);
+    assert_eq!(kinds("// to eol"), [TokKind::LineComment]);
+}
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/lint -> crates -> repo root.
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}

@@ -1,0 +1,262 @@
+//! Per-rule unit tests: each rule fires on a minimal positive case, stays
+//! quiet on the equivalent clean code, and is silenced by a reasoned
+//! `// lint: allow(RULE) …` pragma.
+
+use tcl_lint::{check_crate_root, check_file, explain, Finding};
+
+/// Lints `text` as `crates/<krate>/src/demo.rs`.
+fn lint(krate: &str, text: &str) -> Vec<Finding> {
+    check_file(&format!("crates/{krate}/src/demo.rs"), text, krate)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- D-series
+
+#[test]
+fn d1_flags_wall_clock_in_deterministic_crates() {
+    let src = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(rules(&lint("tensor", src)), ["D1"]);
+    let src = "fn f() { let t = SystemTime::now(); }";
+    assert_eq!(rules(&lint("core", src)), ["D1"]);
+    // telemetry owns timing: out of D scope.
+    assert!(lint("telemetry", src).is_empty());
+}
+
+#[test]
+fn d1_pragma_with_reason_suppresses() {
+    let src =
+        "fn f() {\n    // lint: allow(D1) feeds only a gated gauge\n    let t = Instant::now();\n}";
+    assert!(lint("tensor", src).is_empty());
+    // Reason is mandatory.
+    let src = "fn f() {\n    // lint: allow(D1)\n    let t = Instant::now();\n}";
+    assert_eq!(rules(&lint("tensor", src)), ["D1"]);
+}
+
+#[test]
+fn d2_flags_ambient_rng() {
+    assert_eq!(
+        rules(&lint("nn", "fn f() { let mut r = thread_rng(); }")),
+        ["D2"]
+    );
+    assert_eq!(
+        rules(&lint("snn", "fn f() { let x: f32 = rand::random(); }")),
+        ["D2"]
+    );
+    assert_eq!(
+        rules(&lint(
+            "data",
+            "fn f() { let r = SmallRng::from_entropy(); }"
+        )),
+        ["D2"]
+    );
+    // SeededRng is the sanctioned path.
+    assert!(lint("nn", "fn f() { let mut r = SeededRng::new(7); }").is_empty());
+}
+
+#[test]
+fn d3_flags_hash_order_containers() {
+    let src =
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+    let found = lint("models", src);
+    assert!(
+        found.iter().all(|f| f.rule == "D3") && found.len() == 3,
+        "{found:?}"
+    );
+    assert!(lint("models", "use std::collections::BTreeMap;").is_empty());
+}
+
+#[test]
+fn d_series_ignores_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); let m = HashSet::new(); }\n}";
+    assert!(lint("tensor", src).is_empty());
+}
+
+// ---------------------------------------------------------------- P-series
+
+#[test]
+fn p1_flags_unwrap_and_expect_calls() {
+    assert_eq!(
+        rules(&lint("core", "fn f(x: Option<u32>) -> u32 { x.unwrap() }")),
+        ["P1"]
+    );
+    assert_eq!(
+        rules(&lint(
+            "core",
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }"
+        )),
+        ["P1"]
+    );
+    // Not a method call: different identifiers, or idents in strings.
+    assert!(lint("core", "fn f(t: &Tensor) { t.expect_same_shape(u).ok(); }").is_empty());
+    assert!(lint("core", "fn f() -> &'static str { \".unwrap()\" }").is_empty());
+    // unwrap_or and friends are fine.
+    assert!(lint("core", "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }").is_empty());
+}
+
+#[test]
+fn p1_exempts_tests_and_bench() {
+    let src = "#[test]\nfn t() { Some(1).unwrap(); }";
+    assert!(lint("core", src).is_empty());
+    let src = "#[cfg(test)]\nmod tests {\n    fn helper() { Some(1).unwrap(); }\n}";
+    assert!(lint("core", src).is_empty());
+    // The bench crate's binaries may unwrap CLI args.
+    assert!(lint("bench", "fn main() { args().next().unwrap(); }").is_empty());
+}
+
+#[test]
+fn p1_pragma_names_the_invariant() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(P1) set on the line above\n    x.unwrap()\n}";
+    assert!(lint("core", src).is_empty());
+}
+
+#[test]
+fn p2_flags_panic_macros() {
+    assert_eq!(rules(&lint("nn", "fn f() { panic!(\"boom\"); }")), ["P2"]);
+    assert_eq!(rules(&lint("nn", "fn f() { todo!() }")), ["P2"]);
+    assert_eq!(rules(&lint("nn", "fn f() { unimplemented!() }")), ["P2"]);
+    // assert! carries documented contracts and is allowed.
+    assert!(lint(
+        "nn",
+        "fn f(x: u32) { assert!(x > 0, \"x must be positive\"); }"
+    )
+    .is_empty());
+    // Mentioning panic! in comments or strings is not a use.
+    assert!(lint(
+        "nn",
+        "// panic! lives here\nfn f() -> &'static str { \"panic!\" }"
+    )
+    .is_empty());
+}
+
+// ---------------------------------------------------------------- C-series
+
+#[test]
+fn c1_requires_ordering_justification() {
+    let src = "fn f(a: &AtomicUsize) { a.fetch_add(1, Ordering::Relaxed); }";
+    assert_eq!(rules(&lint("snn", src)), ["C1"]);
+    // Same-line justification.
+    let src = "fn f(a: &AtomicUsize) { a.load(Ordering::Acquire); // ordering: pairs with the Release store in g\n}";
+    assert!(lint("snn", src).is_empty());
+    // Preceding-line justification.
+    let src = "fn f(a: &AtomicUsize) {\n    // ordering: counter, only the total matters\n    a.fetch_add(1, Ordering::Relaxed);\n}";
+    assert!(lint("snn", src).is_empty());
+}
+
+#[test]
+fn c1_applies_inside_test_code_too() {
+    let src =
+        "#[cfg(test)]\nmod tests {\n    fn t(a: &AtomicU64) { a.store(1, Ordering::SeqCst); }\n}";
+    assert_eq!(rules(&lint("tensor", src)), ["C1"]);
+}
+
+#[test]
+fn c1_ignores_cmp_ordering() {
+    let src = "fn f(a: u32, b: u32) -> Ordering { a.cmp(&b).then(Ordering::Equal) }";
+    assert!(lint("core", src).is_empty());
+}
+
+#[test]
+fn c2_forbids_static_mut() {
+    assert_eq!(
+        rules(&lint("telemetry", "static mut COUNTER: u64 = 0;")),
+        ["C2"]
+    );
+    assert!(lint(
+        "telemetry",
+        "static COUNTER: AtomicU64 = AtomicU64::new(0);"
+    )
+    .is_empty());
+}
+
+#[test]
+fn c3_requires_forbid_unsafe_in_crate_root() {
+    assert!(check_crate_root(
+        "crates/x/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}"
+    )
+    .is_none());
+    let found = check_crate_root("crates/x/src/lib.rs", "pub fn f() {}");
+    assert_eq!(found.map(|f| f.rule), Some("C3"));
+    // Mentions in comments don't count: the attribute must be real code.
+    let found = check_crate_root(
+        "crates/x/src/lib.rs",
+        "// #![forbid(unsafe_code)]\npub fn f() {}",
+    );
+    assert_eq!(found.map(|f| f.rule), Some("C3"));
+}
+
+// ---------------------------------------------------------------- G-series
+
+/// Lints `text` as the par.rs hot file.
+fn lint_hot(text: &str) -> Vec<Finding> {
+    check_file("crates/tensor/src/par.rs", text, "tensor")
+}
+
+#[test]
+fn g1_requires_gated_emission_on_hot_paths() {
+    let src = "fn worker() { telemetry::counter_add(\"par.items\", 1); }";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+    let src = "fn worker() { if telemetry::metrics_enabled() { telemetry::counter_add(\"par.items\", 1); } }";
+    assert!(lint_hot(src).is_empty());
+    // A negated check does not dominate the emission.
+    let src = "fn worker() { if !telemetry::metrics_enabled() { telemetry::hist_record(\"x\", 1.0, 1.0, 2); } }";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+}
+
+#[test]
+fn g1_exempts_self_gating_spans_and_cold_files() {
+    // span_with defers attrs to a closure and gates internally.
+    let src = "fn worker() { let _s = telemetry::span_with(\"par.worker\", || vec![]); }";
+    assert!(lint_hot(src).is_empty());
+    // Same emission in a non-hot file is not G1's business.
+    let src = "fn report() { telemetry::counter_add(\"convert.sites\", 1); }";
+    assert!(lint("core", src).is_empty());
+}
+
+// ------------------------------------------------------------ infrastructure
+
+#[test]
+fn findings_carry_position_and_render_stably() {
+    let src = "fn f() {\n    let t = Instant::now();\n}";
+    let found = lint("tensor", src);
+    assert_eq!(found.len(), 1);
+    assert_eq!((found[0].line, found[0].col), (2, 13));
+    assert_eq!(found[0].path, "crates/tensor/src/demo.rs");
+    assert!(found[0]
+        .render()
+        .starts_with("crates/tensor/src/demo.rs:2:13 [D1] "));
+}
+
+#[test]
+fn one_pragma_can_allow_multiple_rules() {
+    let src = "fn f() {\n    // lint: allow(D1, P1) demo of a shared justification\n    let t = Instant::now().elapsed().as_secs().checked_sub(1).unwrap();\n}";
+    assert!(lint("tensor", src).is_empty());
+}
+
+#[test]
+fn pragma_for_a_different_rule_does_not_leak() {
+    let src =
+        "fn f() {\n    // lint: allow(P1) wrong series entirely\n    let t = Instant::now();\n}";
+    assert_eq!(rules(&lint("tensor", src)), ["D1"]);
+}
+
+#[test]
+fn raw_strings_and_nested_comments_do_not_confuse_the_matcher() {
+    let src = r##"fn f() -> String {
+    /* outer /* nested panic!() */ still comment */
+    let s = r#"Instant::now() and .unwrap() and Ordering::Relaxed"#;
+    s.to_string()
+}"##;
+    assert!(lint("tensor", src).is_empty());
+}
+
+#[test]
+fn every_rule_id_has_an_explanation() {
+    for rule in ["D1", "D2", "D3", "P1", "P2", "C1", "C2", "C3", "G1"] {
+        let text = explain(rule).unwrap_or_else(|| panic!("missing --explain {rule}"));
+        assert!(text.len() > 40, "{rule} explanation too thin");
+    }
+}

@@ -192,6 +192,7 @@ pub fn evaluate(
     });
     let mut correct = 0usize;
     for slot in slots {
+        // lint: allow(P1) par_items_mut visits every slot exactly once
         correct += slot.expect("evaluate: every batch slot filled")?;
     }
     Ok(correct as f32 / n as f32)

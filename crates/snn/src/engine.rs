@@ -253,6 +253,7 @@ impl Engine {
                 detail: format!("engine: {n} images vs {} labels", labels.len()),
             });
         }
+        // lint: allow(P1) SimConfig::validate above rejects empty checkpoints
         let max_t = *config.checkpoints.last().expect("validated nonempty");
         let batch_count = n.div_ceil(config.batch_size);
         let _span = tcl_telemetry::span_with("engine.evaluate", || {
@@ -305,6 +306,8 @@ impl Engine {
             drain(&job, replica);
         }
         let mut slots = {
+            // lint: allow(P1) poisoned only if a worker panicked, which is
+            // already a bug; propagating the panic is the correct response
             let mut guard = job.slots.lock().expect("engine slots");
             std::mem::take(&mut *guard)
         };
@@ -336,11 +339,10 @@ impl Engine {
         epoch: u64,
         net: &Arc<SpikingNetwork>,
     ) -> &'a mut SpikingNetwork {
-        let stale = cache.as_ref().is_none_or(|(e, _)| *e != epoch);
-        if stale {
-            *cache = Some((epoch, (**net).clone()));
+        if cache.as_ref().is_none_or(|(e, _)| *e != epoch) {
+            *cache = None;
         }
-        &mut cache.as_mut().expect("replica just ensured").1
+        &mut cache.get_or_insert_with(|| (epoch, (**net).clone())).1
     }
 
     /// Spawns the pool (thread budget minus the participating caller).
@@ -350,6 +352,8 @@ impl Engine {
             let handle = std::thread::Builder::new()
                 .name("tcl-engine".into())
                 .spawn(move || worker_loop(&rx))
+                // lint: allow(P1) spawn fails only on OS thread exhaustion,
+                // which has no recovery path worth plumbing through here
                 .expect("spawn engine worker");
             self.workers.push(Worker {
                 sender: tx,
@@ -393,6 +397,9 @@ impl Drop for Engine {
 fn worker_loop(rx: &mpsc::Receiver<Arc<Job>>) {
     let mut replica: Option<(u64, SpikingNetwork)> = None;
     for job in rx.iter() {
+        // ordering: Relaxed — claim counter only hands out distinct batch
+        // indices; results are published through the slots Mutex, and the
+        // done channel orders job completion.
         let first = job.next.fetch_add(1, Ordering::Relaxed);
         if first < job.batch_count {
             tcl_telemetry::propagate_parent(job.parent);
@@ -411,6 +418,8 @@ fn worker_loop(rx: &mpsc::Receiver<Arc<Job>>) {
 /// Claims and runs batches until the job's counter is exhausted.
 fn drain(job: &Job, net: &mut SpikingNetwork) {
     loop {
+        // ordering: Relaxed — same claim counter as worker_loop: indices
+        // need only be distinct; the slots Mutex publishes the outcomes.
         let b = job.next.fetch_add(1, Ordering::Relaxed);
         if b >= job.batch_count {
             return;
@@ -420,6 +429,8 @@ fn drain(job: &Job, net: &mut SpikingNetwork) {
 }
 
 fn store(job: &Job, batch: usize, outcome: Result<BatchOutcome>) {
+    // lint: allow(P1) poisoned only if another worker panicked mid-store;
+    // joining that panic is the correct response
     job.slots.lock().expect("engine slots")[batch] = Some(outcome);
 }
 
@@ -592,6 +603,8 @@ fn run_batch_fixed(
             None => counts = Some(spikes),
         }
         if checkpoint_idx < config.checkpoints.len() && t == config.checkpoints[checkpoint_idx] {
+            // lint: allow(P1) counts is set at t=1 and checkpoints are
+            // validated to start at t >= 1
             let counts = counts.as_ref().expect("set on first step");
             let scores = readout_scores(net, counts, config.readout)?;
             let preds = ops::argmax_rows(&scores)?;
@@ -675,6 +688,8 @@ fn run_batch_adaptive(
         }
         let scores = readout_scores(
             net,
+            // lint: allow(P1) counts is set by the match directly above on
+            // every iteration, including the first
             counts.as_ref().expect("set on first step"),
             config.readout,
         )?;
@@ -728,6 +743,7 @@ fn run_batch_adaptive(
         if retiring {
             let keep: Vec<usize> = (0..active.len()).filter(|&p| !exited[active[p]]).collect();
             net.retain_rows(&keep)?;
+            // lint: allow(P1) counts was set earlier this same iteration
             counts = Some(gather_lanes(counts.as_ref().expect("set above"), &keep)?);
             x_active = gather_lanes(&x_active, &keep)?;
             active = keep.iter().map(|&p| active[p]).collect();
@@ -784,6 +800,8 @@ fn fold_outcomes(
     let mut exited = Vec::with_capacity(n);
     let mut margins = MarginTrace::default();
     for slot in slots {
+        // lint: allow(P1) evaluate's unclaimed-slot sweep re-runs every
+        // batch a dead worker dropped before folding
         let outcome = slot.expect("engine: every batch slot filled")?;
         for (c, b) in correct.iter_mut().zip(&outcome.correct) {
             *c += b;

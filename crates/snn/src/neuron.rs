@@ -93,16 +93,12 @@ impl IfNeurons {
     /// Returns a shape error if `z` disagrees with the potential shape
     /// established since the last reset.
     pub fn step(&mut self, current: &Tensor) -> Result<Tensor, tcl_tensor::TensorError> {
-        let potential = match &mut self.potential {
-            Some(v) => {
-                v.expect_same_shape(current)?;
-                v
-            }
-            None => {
-                self.potential = Some(Tensor::zeros(current.shape().clone()));
-                self.potential.as_mut().expect("just set")
-            }
-        };
+        if let Some(v) = &self.potential {
+            v.expect_same_shape(current)?;
+        }
+        let potential = self
+            .potential
+            .get_or_insert_with(|| Tensor::zeros(current.shape().clone()));
         let _span =
             tcl_telemetry::span_with("neuron.step", || vec![("neurons", current.len() as f64)]);
         let mut spikes = Tensor::zeros(current.shape().clone());

@@ -101,12 +101,15 @@ fn metrics_flag() -> &'static AtomicBool {
 /// One relaxed atomic load; this is the instrumented kernels' fast path.
 #[inline]
 pub fn trace_enabled() -> bool {
+    // ordering: Relaxed — a monotonic on/off hint; no data is published
+    // through this flag, and a stale read only delays the first event.
     trace_flag().load(Ordering::Relaxed)
 }
 
 /// Whether metrics recording is enabled (`TCL_METRICS`).
 #[inline]
 pub fn metrics_enabled() -> bool {
+    // ordering: Relaxed — same as trace_enabled: a pure gating hint.
     metrics_flag().load(Ordering::Relaxed)
 }
 
@@ -147,13 +150,19 @@ pub mod test_support {
     /// in memory; returns `f`'s result and the captured JSONL lines.
     pub fn with_captured<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
         let _guard = lock();
+        // ordering: SeqCst — test-only toggles; total order keeps the
+        // flag flips observable before/after the captured section without
+        // reasoning about pairings, and the cost is irrelevant off the
+        // hot path.
         let trace_was = trace_flag().swap(true, Ordering::SeqCst);
-        let metrics_was = metrics_flag().swap(true, Ordering::SeqCst);
+        let metrics_was = metrics_flag().swap(true, Ordering::SeqCst); // ordering: SeqCst, as above
         sink::begin_capture();
         let result = f();
         let lines = sink::end_capture();
+        // ordering: SeqCst — see the swap above; restores must not be
+        // reordered into the captured section.
         trace_flag().store(trace_was, Ordering::SeqCst);
-        metrics_flag().store(metrics_was, Ordering::SeqCst);
+        metrics_flag().store(metrics_was, Ordering::SeqCst); // ordering: SeqCst, as above
         (result, lines)
     }
 
@@ -163,13 +172,16 @@ pub mod test_support {
     /// (which the disabled-path guarantee requires to be zero).
     pub fn with_disabled<R>(f: impl FnOnce() -> R) -> (R, u64) {
         let _guard = lock();
+        // ordering: SeqCst — test-only toggles, same rationale as
+        // with_captured: total order around the measured section.
         let trace_was = trace_flag().swap(false, Ordering::SeqCst);
-        let metrics_was = metrics_flag().swap(false, Ordering::SeqCst);
+        let metrics_was = metrics_flag().swap(false, Ordering::SeqCst); // ordering: SeqCst, as above
         let before = events_emitted();
         let result = f();
         let emitted = events_emitted() - before;
+        // ordering: SeqCst — restores stay outside the measured section.
         trace_flag().store(trace_was, Ordering::SeqCst);
-        metrics_flag().store(metrics_was, Ordering::SeqCst);
+        metrics_flag().store(metrics_was, Ordering::SeqCst); // ordering: SeqCst, as above
         (result, emitted)
     }
 

@@ -49,6 +49,8 @@ fn destination_from_env() -> Destination {
 
 /// Emits one already-serialized JSONL line.
 pub(crate) fn emit_line(line: String) {
+    // ordering: Relaxed — a statistics counter; only the eventual total
+    // matters, nothing synchronizes with it.
     EVENTS.fetch_add(1, Ordering::Relaxed);
     match &mut *sink() {
         Destination::Stderr => eprintln!("{line}"),
@@ -67,6 +69,8 @@ pub(crate) fn emit_line(line: String) {
 /// events while `TCL_TRACE`/`TCL_METRICS` are unset; tests assert it by
 /// differencing this counter.
 pub fn events_emitted() -> u64 {
+    // ordering: Relaxed — counter read for reporting; tests that difference
+    // it serialize via test_support's lock, not via this atomic.
     EVENTS.load(Ordering::Relaxed)
 }
 

@@ -40,6 +40,8 @@ fn thread_id() -> u64 {
     THREAD_ID.with(|cell| match cell.get() {
         Some(id) => id,
         None => {
+            // ordering: Relaxed — a unique-id allocator; ids need only be
+            // distinct, not ordered with any other memory.
             let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
             cell.set(Some(id));
             id
@@ -109,6 +111,8 @@ pub fn span_with(
     if !crate::trace_enabled() {
         return SpanGuard { active: None };
     }
+    // ordering: Relaxed — unique-id allocator; span parentage is carried
+    // by the thread-local stack, not by this atomic.
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK
         .with(|stack| stack.borrow().last().copied())

@@ -232,8 +232,9 @@ impl PercentileSketch {
             return 0.0;
         }
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("activations must not be NaN"));
+            // total_cmp gives a deterministic order even if a NaN ever
+            // sneaks in (it sorts to the top instead of aborting the run).
+            self.values.sort_by(f32::total_cmp);
             self.sorted = true;
         }
         let pos = q as f64 * (self.values.len() - 1) as f64;

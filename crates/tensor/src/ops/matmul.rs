@@ -280,6 +280,7 @@ fn micro_tile_packed(
     let mut acc2 = [0.0f32; NR];
     let mut acc3 = [0.0f32; NR];
     for (ap, bp) in a_band.chunks_exact(MR).zip(b_pack.chunks_exact(NR)) {
+        // lint: allow(P1) chunks_exact(NR) guarantees the width
         let b_row: &[f32; NR] = bp.try_into().expect("chunk is NR wide");
         let (a0, a1, a2, a3) = (ap[0], ap[1], ap[2], ap[3]);
         for c in 0..NR {
@@ -324,6 +325,7 @@ fn micro_tile(
         for p in 0..k {
             let b_row: &[f32; NR] = b[p * n + j0..p * n + j0 + NR]
                 .try_into()
+                // lint: allow(P1) the slice is exactly NR long by the range
                 .expect("width checked");
             for r in 0..height {
                 let av = a_rows[r][p];

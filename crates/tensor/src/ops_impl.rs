@@ -17,6 +17,8 @@ impl Add<&Tensor> for &Tensor {
     ///
     /// Panics if the shapes differ.
     fn add(self, rhs: &Tensor) -> Tensor {
+        // lint: allow(P1) operator traits have no error channel; the panic
+        // is the documented contract, Tensor::add is the fallible form
         Tensor::add(self, rhs).expect("tensor shapes must match for +")
     }
 }
@@ -30,6 +32,8 @@ impl Sub<&Tensor> for &Tensor {
     ///
     /// Panics if the shapes differ.
     fn sub(self, rhs: &Tensor) -> Tensor {
+        // lint: allow(P1) operator traits have no error channel; the panic
+        // is the documented contract, Tensor::sub is the fallible form
         Tensor::sub(self, rhs).expect("tensor shapes must match for -")
     }
 }
@@ -43,6 +47,8 @@ impl Mul<&Tensor> for &Tensor {
     ///
     /// Panics if the shapes differ.
     fn mul(self, rhs: &Tensor) -> Tensor {
+        // lint: allow(P1) operator traits have no error channel; the panic
+        // is the documented contract, Tensor::mul is the fallible form
         Tensor::mul(self, rhs).expect("tensor shapes must match for *")
     }
 }

@@ -145,6 +145,8 @@ fn instrumented_worker<F: FnOnce()>(parent: Option<u64>, first_item: usize, item
         vec![("first", first_item as f64), ("items", items as f64)]
     });
     if telemetry::metrics_enabled() {
+        // lint: allow(D1) wall time feeds only the gated par.worker_ms
+        // imbalance histogram; it never reaches a computed value
         let start = std::time::Instant::now();
         f();
         telemetry::hist_record(
@@ -290,6 +292,7 @@ where
     });
     slots
         .into_iter()
+        // lint: allow(P1) par_items_mut visits every slot exactly once
         .map(|s| s.expect("par_map: every slot filled"))
         .collect()
 }
@@ -383,8 +386,12 @@ mod tests {
         let nested_workers = AtomicUsize::new(0);
         par_items_mut(Parallelism::new(4), &mut [0u8; 16], 1, 1, 1, |_, _| {
             let inner = Parallelism::new(4).workers_for(1000, 1);
+            // ordering: Relaxed — max-accumulator across workers; the scope
+            // join publishes it before the load below.
             nested_workers.fetch_max(inner, Ordering::Relaxed);
         });
+        // ordering: Relaxed — read after the thread::scope join, which
+        // already synchronizes all worker writes.
         assert_eq!(nested_workers.load(Ordering::Relaxed), 1);
         assert!(!in_serial_scope());
     }

@@ -130,6 +130,7 @@ impl SeededRng {
         let shape = shape.into();
         let len = shape.len();
         let data = (0..len).map(|_| self.uniform(lo, hi)).collect();
+        // lint: allow(P1) data has exactly shape.len() elements by the map
         Tensor::from_vec(shape, data).expect("length matches by construction")
     }
 
@@ -143,6 +144,7 @@ impl SeededRng {
         let shape = shape.into();
         let len = shape.len();
         let data = (0..len).map(|_| self.normal_with(mean, std_dev)).collect();
+        // lint: allow(P1) data has exactly shape.len() elements by the map
         Tensor::from_vec(shape, data).expect("length matches by construction")
     }
 

@@ -147,6 +147,7 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4 or an index is out of bounds.
     pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        // lint: allow(P1) documented panicking accessor (indexing sugar)
         let (_, cc, hh, ww) = self.shape.as_nchw().expect("at4 requires a rank-4 tensor");
         self.data[((n * cc + c) * hh + h) * ww + w]
     }
@@ -157,6 +158,7 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4 or an index is out of bounds.
     pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        // lint: allow(P1) documented panicking accessor (indexing sugar)
         let (_, cc, hh, ww) = self.shape.as_nchw().expect("set4 requires a rank-4 tensor");
         self.data[((n * cc + c) * hh + h) * ww + w] = value;
     }
@@ -170,6 +172,7 @@ impl Tensor {
         let (_, cols) = self
             .shape
             .as_matrix()
+            // lint: allow(P1) documented panicking accessor (indexing sugar)
             .expect("at2 requires a rank-2 tensor");
         self.data[r * cols + c]
     }
@@ -385,6 +388,7 @@ impl Tensor {
         let (nn, c, h, w) = self
             .shape
             .as_nchw()
+            // lint: allow(P1) documented panicking accessor (indexing sugar)
             .expect("batch_item requires a rank-4 tensor");
         assert!(n < nn, "batch index {n} out of bounds for batch size {nn}");
         let item = c * h * w;
