@@ -39,6 +39,23 @@ if ! printf '%s\n' "$lint_out" | grep -q 'crates/tensor/src/ci_lint_probe.rs:1:[
 fi
 echo "tcl-lint negative control OK (seeded violation caught)"
 
+# Second negative control: intrinsics outside crates/simd must trip S1 —
+# the rule that keeps the unsafe surface confined to the tcl-simd island.
+s1_probe=crates/tensor/src/ci_s1_probe.rs
+printf 'pub use std::arch::x86_64::_mm256_setzero_ps;\n' > "$s1_probe"
+if s1_out=$(cargo run --release -q -p tcl-lint 2>/dev/null); then
+  rm -f "$s1_probe"
+  echo "FAIL: tcl-lint exited 0 despite a seeded intrinsic outside crates/simd" >&2
+  exit 1
+fi
+rm -f "$s1_probe"
+if ! printf '%s\n' "$s1_out" | grep -q 'crates/tensor/src/ci_s1_probe.rs:1:[0-9]* \[S1\]'; then
+  echo "FAIL: tcl-lint missed the seeded intrinsic's file:line [S1] diagnostic" >&2
+  printf '%s\n' "$s1_out" >&2
+  exit 1
+fi
+echo "tcl-lint S1 negative control OK (seeded intrinsic caught)"
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -46,11 +63,15 @@ echo "==> cargo test (budget: ${TCL_TEST_BUDGET_S:-1200}s, incl. thread matrix)"
 test_start=$(date +%s)
 cargo test --workspace -q
 
-# Determinism matrix: the engine, kernels, and golden snapshots must produce
-# identical results for every worker count.
-for t in 1 4; do
-  echo "==> cargo test -p tcl-snn --tests (TCL_THREADS=$t)"
-  TCL_THREADS=$t cargo test -q -p tcl-snn --tests
+# Determinism matrix: the kernels, engine, and golden snapshots must produce
+# identical results for every worker count at every SIMD dispatch level.
+# `scalar` pins the reference numerics; `native` resolves the widest ISA the
+# host offers (AVX2+FMA where available, the portable wide path otherwise).
+for isa in scalar native; do
+  for t in 1 4; do
+    echo "==> cargo test -p tcl-tensor -p tcl-snn --tests (TCL_SIMD=$isa TCL_THREADS=$t)"
+    TCL_SIMD=$isa TCL_THREADS=$t cargo test -q -p tcl-tensor -p tcl-snn --tests
+  done
 done
 
 elapsed=$(( $(date +%s) - test_start ))

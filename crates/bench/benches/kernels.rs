@@ -1,13 +1,34 @@
 //! Criterion micro-benchmarks for the numeric substrate: the convolution
 //! and matmul kernels that dominate ANN training, the SNN timestep that
 //! dominates Table-1 sweeps, and the conversion pass itself.
+//!
+//! The JSON summary carries a `meta` block (SIMD dispatch level, thread
+//! budget, git revision) so recorded numbers state the environment they
+//! were measured under; the `*_simd_<level>` rows pin each dispatch level
+//! explicitly so per-ISA speedups are visible side by side.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use tcl_core::{Converter, NormStrategy};
 use tcl_models::{Architecture, ModelConfig};
 use tcl_nn::Mode;
-use tcl_snn::{Readout, SimConfig};
-use tcl_tensor::{ops, ops::ConvGeometry, par, Histogram, Parallelism, SeededRng, Tensor};
+use tcl_snn::{IfNeurons, Readout, ResetMode, SimConfig};
+use tcl_tensor::{ops, ops::ConvGeometry, par, simd, Histogram, Parallelism, SeededRng, Tensor};
+
+/// Records the measurement environment into the JSON `meta` block: the
+/// dispatch level every non-pinned bench runs at, the thread budget, and
+/// the revision the numbers belong to.
+fn bench_meta(c: &mut Criterion) {
+    c.meta("simd", simd::current().name());
+    c.meta("threads", &Parallelism::from_env().threads().to_string());
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    c.meta("git_rev", &rev);
+}
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = SeededRng::new(1);
@@ -35,11 +56,30 @@ fn bench_matmul_kernels(c: &mut Criterion) {
     });
     let mut out = vec![0.0f32; N * N];
     c.bench_function("matmul_256_sparse_skip", |bench| {
-        // The seed's original kernel: naive loop with a zero-skip test on
-        // every A element (here none are zero, so the branch only costs).
+        // The seed's original kernel shape: zero-skip test on every A
+        // element with a fully dense A, so the branch only costs. The
+        // density gate in `synop` routes this case to the blocked kernel;
+        // the row documents why.
         bench.iter(|| {
             out.fill(0.0);
             ops::matmul_into_sparse(black_box(&a), black_box(&b), &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
+    // The sparse kernel in its element: a 10%-density spike raster, below
+    // the 1-in-8 routing gate. Compare against matmul_256_blocked_serial
+    // (density-independent) to read the win.
+    let spikes: Vec<f32> = {
+        let mut r = SeededRng::new(11);
+        (0..N * N)
+            .map(|_| if r.uniform(0.0, 1.0) < 0.1 { 1.0 } else { 0.0 })
+            .collect()
+    };
+    let mut out = vec![0.0f32; N * N];
+    c.bench_function("matmul_256_sparse_10pct", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            ops::matmul_into_sparse(black_box(&spikes), black_box(&b), &mut out, N, N, N);
             black_box(out[0])
         })
     });
@@ -75,6 +115,47 @@ fn bench_matmul_kernels(c: &mut Criterion) {
             black_box(out[0])
         })
     });
+    // One serial row per dispatch level the host offers, so the per-ISA
+    // speedup is visible in a single run regardless of TCL_SIMD.
+    for level in simd::Level::available() {
+        let mut out = vec![0.0f32; N * N];
+        c.bench_function(&format!("matmul_256_simd_{}", level.name()), |bench| {
+            bench.iter(|| {
+                simd::with_level(level, || {
+                    out.fill(0.0);
+                    ops::matmul_into_with(
+                        Parallelism::serial(),
+                        black_box(&a),
+                        black_box(&b),
+                        &mut out,
+                        N,
+                        N,
+                        N,
+                    );
+                    black_box(out[0])
+                })
+            })
+        });
+    }
+}
+
+/// The IF membrane update in isolation, per dispatch level: one step over
+/// a CNN-6-sized activation bank (batch 4 × 24k neurons).
+fn bench_if_step(c: &mut Criterion) {
+    let mut rng = SeededRng::new(10);
+    let z = rng.uniform_tensor([4, 24_576], -0.3, 1.2);
+    for level in simd::Level::available() {
+        let mut bank = IfNeurons::new(1.0, ResetMode::Subtract);
+        // Prime the membrane state once so every timed step is steady-state.
+        bank.step(&z).unwrap();
+        c.bench_function(&format!("if_step_98k_simd_{}", level.name()), |bench| {
+            bench.iter(|| {
+                simd::with_level(level, || {
+                    par::with_serial(|| black_box(bank.step(black_box(&z)).unwrap()))
+                })
+            })
+        });
+    }
 }
 
 fn bench_conv2d(c: &mut Criterion) {
@@ -108,6 +189,16 @@ fn bench_ann_forward(c: &mut Criterion) {
 }
 
 fn bench_snn_step(c: &mut Criterion) {
+    // Fan-out guard: a batch-4 CNN-6 step (each conv item ≈55k mult-adds)
+    // must engage ≥2 workers under a 4-thread budget. This is the geometry
+    // whose parallel row once regressed to serial because the per-worker
+    // work floor was set too high; fail loudly if the floor creeps back up.
+    let min_items = par::min_items_per_worker(55_296);
+    assert!(
+        Parallelism::new(4).workers_for(4, min_items) >= 2,
+        "batch-4 CNN-6 geometry no longer engages multiple workers \
+         (min_items_per_worker(55_296) = {min_items}); the par work floor regressed"
+    );
     let mut rng = SeededRng::new(4);
     let cfg = ModelConfig::new((3, 16, 16), 10)
         .with_base_width(8)
@@ -211,8 +302,10 @@ fn bench_batchnorm_fold(c: &mut Criterion) {
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul,
+    targets = bench_meta,
+        bench_matmul,
         bench_matmul_kernels,
+        bench_if_step,
         bench_conv2d,
         bench_ann_forward,
         bench_snn_step,

@@ -3,7 +3,8 @@
 //! Enforces the invariants the repo's correctness story rests on but that
 //! no off-the-shelf tool (clippy included) can express: bitwise
 //! parallel==serial determinism, the library panic policy, the atomic
-//! memory-ordering audit, and near-zero-cost gated telemetry. See
+//! memory-ordering audit, near-zero-cost gated telemetry, and the
+//! confinement of intrinsics/`unsafe` to `crates/simd`. See
 //! [`rules`] for the rule series and `DESIGN.md` §11 for the rationale.
 //!
 //! Built per the vendor-everything policy: a from-scratch lexer
@@ -136,8 +137,8 @@ pub struct Report {
 ///
 /// Scope: each crate's `src/` tree. Test code (`#[cfg(test)]` items and
 /// `#[test]` functions) is exempt from the D/P/G series but not from the
-/// C-series audit; `tests/`, `benches/`, and `examples/` directories are
-/// not walked at all — the invariants guard library code.
+/// C- or S-series audits; `tests/`, `benches/`, and `examples/` directories
+/// are not walked at all — the invariants guard library code.
 pub fn run(root: &Path, only_crate: Option<&str>) -> Result<Report, LintError> {
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;

@@ -1,7 +1,7 @@
 //! The rule engine: repo-specific invariants expressed over the token
 //! stream produced by [`crate::lexer`].
 //!
-//! Four rule series (see `--explain` or `DESIGN.md` §11):
+//! Five rule series (see `--explain` or `DESIGN.md` §11):
 //!
 //! * **D — determinism.** Wall-clock reads, ambient RNG, and hash-order
 //!   containers are banned from the numeric crates; a single stray source
@@ -18,6 +18,11 @@
 //!   files (par workers, neuron step) must sit under a `metrics_enabled()`
 //!   / `trace_enabled()` fast-path check so disabled telemetry stays at one
 //!   relaxed atomic load.
+//! * **S — SIMD confinement.** CPU intrinsics (`core::arch`/`std::arch`,
+//!   `_mm*`, `is_x86_feature_detected!`) and the `unsafe` keyword live only
+//!   in `crates/simd` — the one sanctioned unsafe island. Its crate root
+//!   must carry `#![deny(unsafe_op_in_unsafe_fn)]`; every other crate root
+//!   keeps `#![forbid(unsafe_code)]`.
 //!
 //! Suppression is per-site: `// lint: allow(RULE) reason` on the same line
 //! or the directly preceding comment lines, with a mandatory reason.
@@ -292,6 +297,7 @@ pub fn check_file(path: &str, text: &str, krate: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     let d_applies = D_SCOPE.contains(&krate);
     let p_applies = !P_EXEMPT.contains(&krate);
+    let s_applies = krate != "simd";
     let hot = HOT_FILES.iter().any(|h| file.path.ends_with(h));
     let gated = if hot {
         gated_regions(&file)
@@ -433,6 +439,60 @@ pub fn check_file(path: &str, text: &str, krate: &str) -> Vec<Finding> {
             );
         }
 
+        // ---- S-series: SIMD/unsafe confinement (test code included) ----
+        if s_applies {
+            if name == "arch" && c >= 3 && file.is_path_sep(c - 2) {
+                let root = file.ctext(c - 3);
+                if root == "core" || root == "std" {
+                    emit(
+                        &file,
+                        t,
+                        "S1",
+                        format!(
+                            "CPU intrinsics module `{root}::arch` outside `crates/simd`; \
+                             all intrinsics live behind the tcl-simd dispatch layer"
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+            if name.starts_with("_mm") {
+                emit(
+                    &file,
+                    t,
+                    "S1",
+                    format!(
+                        "SIMD intrinsic `{name}` outside `crates/simd`; call a \
+                         tcl-simd kernel instead"
+                    ),
+                    &mut out,
+                );
+            }
+            if name == "is_x86_feature_detected" {
+                emit(
+                    &file,
+                    t,
+                    "S1",
+                    "ISA feature detection outside `crates/simd`; dispatch decisions \
+                     are tcl-simd's alone (`tcl_simd::current()`)"
+                        .to_string(),
+                    &mut out,
+                );
+            }
+            if name == "unsafe" {
+                emit(
+                    &file,
+                    t,
+                    "S1",
+                    format!(
+                        "`unsafe` outside `crates/simd` (crate `{krate}`); the rest of \
+                         the workspace stays `#![forbid(unsafe_code)]`"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+
         // ---- G-series: telemetry gating on hot paths ----
         if hot
             && !in_test
@@ -456,16 +516,27 @@ pub fn check_file(path: &str, text: &str, krate: &str) -> Vec<Finding> {
 }
 
 /// C3 check for a crate root: `lib.rs` must carry `#![forbid(unsafe_code)]`.
+///
+/// Exception: `crates/simd` is the workspace's one sanctioned unsafe island
+/// (CPU intrinsics require it), so it cannot forbid `unsafe_code`; its root
+/// must instead carry `#![deny(unsafe_op_in_unsafe_fn)]`, which forces every
+/// pointer dereference inside an `unsafe fn` to be re-justified in an inner
+/// `unsafe {}` block.
 pub fn check_crate_root(path: &str, text: &str) -> Option<Finding> {
     let file = SourceFile::parse(path, text);
+    let (attr, lint_name) = if path.ends_with("crates/simd/src/lib.rs") {
+        ("deny", "unsafe_op_in_unsafe_fn")
+    } else {
+        ("forbid", "unsafe_code")
+    };
     let mut c = 0usize;
     while file.ct(c).is_some() {
         if file.is_punct(c, b'#')
             && file.is_punct(c + 1, b'!')
             && file.is_punct(c + 2, b'[')
-            && file.is_ident(c + 3, "forbid")
+            && file.is_ident(c + 3, attr)
             && file.is_punct(c + 4, b'(')
-            && file.is_ident(c + 5, "unsafe_code")
+            && file.is_ident(c + 5, lint_name)
         {
             return None;
         }
@@ -476,7 +547,7 @@ pub fn check_crate_root(path: &str, text: &str) -> Option<Finding> {
         line: 1,
         col: 1,
         rule: "C3",
-        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        message: format!("crate root is missing `#![{attr}({lint_name})]`"),
     })
 }
 
@@ -582,7 +653,18 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "C3",
         "Every crate root must declare #![forbid(unsafe_code)]. forbid (not deny) means \
-         no inner allow can sneak unsafe back in; the whole workspace stays safe Rust.",
+         no inner allow can sneak unsafe back in; the whole workspace stays safe Rust. \
+         Sole exception: crates/simd — the sanctioned unsafe island — whose root must \
+         instead declare #![deny(unsafe_op_in_unsafe_fn)].",
+    ),
+    (
+        "S1",
+        "CPU intrinsics (core::arch/std::arch paths, _mm* identifiers, \
+         is_x86_feature_detected!) and the `unsafe` keyword are confined to \
+         crates/simd, the one crate allowed to hold them. Everything else reaches \
+         vector code through the safe tcl-simd kernel API (gebp_4x16, axpy, if_step, \
+         gather_rows) under runtime dispatch, so the unsafe audit surface stays one \
+         small crate. Applies to test code too.",
     ),
     (
         "G1",

@@ -188,6 +188,79 @@ fn c3_requires_forbid_unsafe_in_crate_root() {
     assert_eq!(found.map(|f| f.rule), Some("C3"));
 }
 
+#[test]
+fn c3_simd_crate_root_requires_deny_unsafe_op_in_unsafe_fn() {
+    // The unsafe island cannot forbid unsafe_code; it must deny
+    // unsafe_op_in_unsafe_fn instead.
+    assert!(check_crate_root(
+        "crates/simd/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}"
+    )
+    .is_none());
+    // forbid(unsafe_code) alone does not satisfy the simd-root requirement
+    // (the crate could not compile with it anyway).
+    let found = check_crate_root(
+        "crates/simd/src/lib.rs",
+        "#![forbid(unsafe_code)]\npub fn f() {}",
+    );
+    assert_eq!(found.as_ref().map(|f| f.rule), Some("C3"));
+    assert!(
+        found.is_some_and(|f| f.message.contains("unsafe_op_in_unsafe_fn")),
+        "message should name the required attribute"
+    );
+    // Other crates do not get the simd exemption.
+    let found = check_crate_root(
+        "crates/tensor/src/lib.rs",
+        "#![deny(unsafe_op_in_unsafe_fn)]\npub fn f() {}",
+    );
+    assert_eq!(found.map(|f| f.rule), Some("C3"));
+}
+
+// ---------------------------------------------------------------- S-series
+
+#[test]
+fn s1_flags_intrinsics_outside_simd() {
+    // One import line trips both the arch-path and the _mm-ident probes.
+    let src = "use core::arch::x86_64::_mm256_add_ps;";
+    assert_eq!(rules(&lint("tensor", src)), ["S1", "S1"]);
+    let src = "use std::arch::x86_64::_mm256_setzero_ps;";
+    assert_eq!(rules(&lint("snn", src)), ["S1", "S1"]);
+    // Unrelated `arch` identifiers (e.g. a model architecture) stay quiet.
+    assert!(lint("models", "fn f(arch: Architecture) { arch.build(); }").is_empty());
+    assert!(lint("models", "use crate::arch::Cnn6;").is_empty());
+}
+
+#[test]
+fn s1_flags_unsafe_and_feature_detection_outside_simd() {
+    let src = "fn f(p: *const f32) -> f32 { unsafe { *p } }";
+    assert_eq!(rules(&lint("tensor", src)), ["S1"]);
+    let src = "fn f() -> bool { is_x86_feature_detected!(\"avx2\") }";
+    assert_eq!(rules(&lint("core", src)), ["S1"]);
+    // Mentions in strings and comments are not uses.
+    let src = "// unsafe is confined to crates/simd\nfn f() -> &'static str { \"unsafe\" }";
+    assert!(lint("tensor", src).is_empty());
+}
+
+#[test]
+fn s1_applies_inside_test_code_too() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t(p: *const f32) -> f32 { unsafe { *p } }\n}";
+    assert_eq!(rules(&lint("tensor", src)), ["S1"]);
+}
+
+#[test]
+fn s1_exempts_the_simd_crate_itself() {
+    let src = "use core::arch::x86_64::_mm256_add_ps;\n\
+               fn f() -> bool { is_x86_feature_detected!(\"avx2\") }\n\
+               fn g(p: *const f32) -> f32 { unsafe { *p } }";
+    assert!(lint("simd", src).is_empty());
+}
+
+#[test]
+fn s1_pragma_with_reason_suppresses() {
+    let src = "fn f(p: *const f32) -> f32 {\n    // lint: allow(S1) demo of the escape hatch\n    unsafe { *p }\n}";
+    assert!(lint("tensor", src).is_empty());
+}
+
 // ---------------------------------------------------------------- G-series
 
 /// Lints `text` as the par.rs hot file.
@@ -255,7 +328,7 @@ fn raw_strings_and_nested_comments_do_not_confuse_the_matcher() {
 
 #[test]
 fn every_rule_id_has_an_explanation() {
-    for rule in ["D1", "D2", "D3", "P1", "P2", "C1", "C2", "C3", "G1"] {
+    for rule in ["D1", "D2", "D3", "P1", "P2", "C1", "C2", "C3", "G1", "S1"] {
         let text = explain(rule).unwrap_or_else(|| panic!("missing --explain {rule}"));
         assert!(text.len() > 40, "{rule} explanation too thin");
     }

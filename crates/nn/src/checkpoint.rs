@@ -114,15 +114,27 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Fingerprint of every [`TrainConfig`] field that affects the *trajectory*
-/// of training (batch size, shuffle seed, schedule, optimizer, augment).
+/// of training (batch size, shuffle seed, schedule, optimizer, augment),
+/// plus the active SIMD dispatch level.
 ///
 /// The total epoch count and verbosity are deliberately excluded: resuming
 /// with a larger `epochs` is how a finished run is extended, and both the
 /// shuffle stream and the LR schedule key off the absolute epoch index, so
 /// extension stays bit-exact.
+///
+/// The SIMD level is included because the AVX2 kernels fuse multiply-adds:
+/// a run checkpointed under `avx2` and resumed under `scalar` (or on a
+/// different host) would silently splice two different float trajectories.
+/// `scalar` and `wide` are bitwise identical by construction, so they share
+/// one fingerprint component and resume interchangeably.
 pub fn config_fingerprint(config: &TrainConfig) -> u64 {
+    let simd = match tcl_tensor::simd::current() {
+        // One trajectory class: wide is bitwise scalar.
+        tcl_tensor::simd::Level::Scalar | tcl_tensor::simd::Level::Wide => "unfused",
+        tcl_tensor::simd::Level::Avx2 => "avx2",
+    };
     let repr = format!(
-        "bs={} seed={} sched={:?} opt={:?} aug={:?}",
+        "bs={} seed={} sched={:?} opt={:?} aug={:?} simd={simd}",
         config.batch_size, config.shuffle_seed, config.schedule, config.optimizer, config.augment
     );
     fnv1a(repr.as_bytes())
@@ -699,6 +711,21 @@ mod tests {
     fn crc32_matches_reference_vector() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fingerprint_separates_fused_from_unfused_simd_trajectories() {
+        use tcl_tensor::simd::{with_level, Level};
+        let config = crate::TrainConfig::standard(4, 2, 0.05, &[2]).unwrap();
+        let scalar = with_level(Level::Scalar, || config_fingerprint(&config));
+        // Wide is bitwise scalar, so resuming across the pair is sound.
+        let wide = with_level(Level::Wide, || config_fingerprint(&config));
+        assert_eq!(scalar, wide);
+        // A fused-FMA trajectory must refuse to resume an unfused one.
+        if Level::Avx2.is_available() {
+            let avx2 = with_level(Level::Avx2, || config_fingerprint(&config));
+            assert_ne!(scalar, avx2);
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Level selection: scoped override → process pin → `TCL_SIMD` → detection.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// An instruction-set level the kernels can run at.
+///
+/// Ordering of the variants is widest-last; [`detect_widest`] returns the
+/// widest level the host supports. See the crate docs for the numerics
+/// contract of each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Plain scalar loops — the reference numerics golden suites pin.
+    Scalar,
+    /// Portable 8-lane `[f32; 8]` vectors, unfused, bitwise == `Scalar`.
+    Wide,
+    /// AVX2 + FMA intrinsics (x86-64 with runtime support only).
+    Avx2,
+}
+
+impl Level {
+    /// Stable lowercase name, as accepted by `TCL_SIMD`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Wide => "wide",
+            Level::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a `TCL_SIMD`-style name (`"native"` is handled by the
+    /// resolver, not here).
+    pub fn parse(name: &str) -> Option<Level> {
+        match name {
+            "scalar" => Some(Level::Scalar),
+            "wide" | "portable" => Some(Level::Wide),
+            "avx2" => Some(Level::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the level.
+    pub fn is_available(self) -> bool {
+        match self {
+            Level::Scalar | Level::Wide => true,
+            Level::Avx2 => avx2_supported(),
+        }
+    }
+
+    /// Every level the host supports, narrowest first. Per-ISA equivalence
+    /// tests and benches iterate this.
+    pub fn available() -> Vec<Level> {
+        [Level::Scalar, Level::Wide, Level::Avx2]
+            .into_iter()
+            .filter(|l| l.is_available())
+            .collect()
+    }
+}
+
+fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The widest level the host supports ([`Level::Avx2`] on an AVX2+FMA
+/// x86-64, otherwise [`Level::Wide`]).
+pub fn detect_widest() -> Level {
+    if avx2_supported() {
+        Level::Avx2
+    } else {
+        Level::Wide
+    }
+}
+
+/// `TCL_SIMD` parsed once; `None` means unset/`native` (detect).
+///
+/// # Panics
+///
+/// Asserts the value names a known level and that the host supports it —
+/// silently falling back would un-pin a run that asked to be pinned.
+fn env_level() -> Option<Level> {
+    let raw = std::env::var("TCL_SIMD").ok()?;
+    let value = raw.trim().to_ascii_lowercase();
+    if value.is_empty() || value == "native" {
+        return None;
+    }
+    let level = Level::parse(&value);
+    assert!(
+        level.is_some(),
+        "unrecognized TCL_SIMD value {raw:?}; expected scalar|wide|avx2|native"
+    );
+    let level = level?;
+    assert!(
+        level.is_available(),
+        "TCL_SIMD={raw} requested but this host does not support it"
+    );
+    Some(level)
+}
+
+/// Process-wide level, latched at first resolution (see [`current`]).
+static PROCESS: OnceLock<Level> = OnceLock::new();
+
+thread_local! {
+    /// Thread-scoped override installed by [`with_level`].
+    static OVERRIDE: Cell<Option<Level>> = const { Cell::new(None) };
+}
+
+/// The level kernels dispatch to on this thread, resolved as: scoped
+/// [`with_level`] override → process [`pin`] → `TCL_SIMD` → detection.
+/// The process-wide component is resolved once and latched.
+pub fn current() -> Level {
+    if let Some(level) = OVERRIDE.with(Cell::get) {
+        return level;
+    }
+    *PROCESS.get_or_init(|| env_level().unwrap_or_else(detect_widest))
+}
+
+/// Pins the process-wide level, winning over `TCL_SIMD` and detection if —
+/// and only if — nothing has resolved the process level yet. Returns the
+/// effective process level so callers can assert the pin took effect.
+/// Intended for golden test binaries that must replay one fixed numerics
+/// regardless of host or environment.
+///
+/// # Panics
+///
+/// Asserts the host supports `level`.
+pub fn pin(level: Level) -> Level {
+    assert!(
+        level.is_available(),
+        "cannot pin unavailable SIMD level {}",
+        level.name()
+    );
+    *PROCESS.get_or_init(|| level)
+}
+
+/// Runs `f` with kernels on this thread dispatched at `level`, restoring
+/// the previous override afterwards (panic-safe). Fork-join helpers in
+/// `tcl-tensor::par` and the `tcl-snn` engine propagate the caller's level
+/// to their workers, so kernels parallelized under an override still run at
+/// the overridden level.
+///
+/// # Panics
+///
+/// Asserts the host supports `level`.
+pub fn with_level<T>(level: Level, f: impl FnOnce() -> T) -> T {
+    assert!(
+        level.is_available(),
+        "cannot select unavailable SIMD level {}",
+        level.name()
+    );
+    struct Restore(Option<Level>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(level))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for level in [Level::Scalar, Level::Wide, Level::Avx2] {
+            assert_eq!(Level::parse(level.name()), Some(level));
+        }
+        assert_eq!(Level::parse("portable"), Some(Level::Wide));
+        assert_eq!(Level::parse("native"), None);
+        assert_eq!(Level::parse("sse9"), None);
+    }
+
+    #[test]
+    fn scalar_and_wide_are_always_available() {
+        assert!(Level::Scalar.is_available());
+        assert!(Level::Wide.is_available());
+        let avail = Level::available();
+        assert!(avail.starts_with(&[Level::Scalar, Level::Wide]));
+        assert!(avail.len() >= 2);
+    }
+
+    #[test]
+    fn with_level_overrides_and_restores() {
+        let outer = current();
+        with_level(Level::Scalar, || {
+            assert_eq!(current(), Level::Scalar);
+            with_level(Level::Wide, || assert_eq!(current(), Level::Wide));
+            assert_eq!(current(), Level::Scalar);
+        });
+        assert_eq!(current(), outer);
+    }
+
+    #[test]
+    fn with_level_restores_on_unwind() {
+        let res = std::panic::catch_unwind(|| with_level(Level::Scalar, || panic!("boom")));
+        assert!(res.is_err());
+        assert_ne!(OVERRIDE.with(Cell::get), Some(Level::Scalar));
+    }
+
+    #[test]
+    fn detection_yields_an_available_level() {
+        assert!(detect_widest().is_available());
+        assert!(detect_widest() >= Level::Wide);
+        assert!(current().is_available());
+    }
+}

@@ -33,7 +33,7 @@ use crate::trace::MarginTrace;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use tcl_tensor::{ops, par, Result, SeededRng, Shape, Tensor, TensorError};
+use tcl_tensor::{ops, par, simd, Result, SeededRng, Shape, Tensor, TensorError};
 
 /// When a sample may stop simulating before the final checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -160,6 +160,9 @@ struct Job {
     slots: Mutex<Vec<Option<Result<BatchOutcome>>>>,
     done: mpsc::Sender<()>,
     parent: Option<u64>,
+    /// SIMD level resolved on the submitting thread; pool workers re-apply
+    /// it so every batch of a job runs identical kernel numerics.
+    level: simd::Level,
 }
 
 struct Worker {
@@ -282,6 +285,7 @@ impl Engine {
             slots: Mutex::new(slots),
             done: done_tx,
             parent: tcl_telemetry::current_span_id(),
+            level: simd::current(),
         });
         if self.threads.min(batch_count) > 1 {
             self.ensure_workers();
@@ -405,9 +409,11 @@ fn worker_loop(rx: &mpsc::Receiver<Arc<Job>>) {
             tcl_telemetry::propagate_parent(job.parent);
             let _span = tcl_telemetry::span("engine.worker");
             let net = Engine::replica_for(&mut replica, job.epoch, &job.net);
-            par::with_serial(|| {
-                store(&job, first, run_batch(net, &job, first));
-                drain(&job, net);
+            simd::with_level(job.level, || {
+                par::with_serial(|| {
+                    store(&job, first, run_batch(net, &job, first));
+                    drain(&job, net);
+                });
             });
             tcl_telemetry::propagate_parent(None);
         }
@@ -453,19 +459,21 @@ fn gather_rows(data: &Tensor, start: usize, end: usize) -> Result<Tensor> {
 }
 
 /// Gathers arbitrary rows (`lanes`) of `data` along the first dimension.
+///
+/// The copy itself runs through the SIMD `gather_rows` kernel (a straight
+/// bit copy at every dispatch level); bounds are validated here first so
+/// the engine keeps returning `Err` instead of panicking on a bad lane.
 fn gather_lanes(data: &Tensor, lanes: &[usize]) -> Result<Tensor> {
     let dims = data.dims();
     let n = dims[0];
-    let row = data.len() / n.max(1);
-    let mut out = Vec::with_capacity(lanes.len() * row);
-    for &lane in lanes {
-        if lane >= n {
-            return Err(TensorError::InvalidArgument {
-                detail: format!("lane {lane} out of bounds for {n} rows"),
-            });
-        }
-        out.extend_from_slice(&data.data()[lane * row..(lane + 1) * row]);
+    if let Some(&bad) = lanes.iter().find(|&&lane| lane >= n) {
+        return Err(TensorError::InvalidArgument {
+            detail: format!("lane {bad} out of bounds for {n} rows"),
+        });
     }
+    let row = data.len() / n.max(1);
+    let mut out = vec![0.0f32; lanes.len() * row];
+    simd::gather_rows(simd::current(), data.data(), row, lanes, &mut out);
     let mut out_dims = dims.to_vec();
     out_dims[0] = lanes.len();
     Tensor::from_vec(Shape::new(out_dims), out)

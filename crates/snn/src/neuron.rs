@@ -1,7 +1,7 @@
 //! Integrate-and-fire neuron banks (Section 2 of the paper).
 
 use serde::{Deserialize, Serialize};
-use tcl_tensor::{par, Shape, Tensor};
+use tcl_tensor::{par, simd, Shape, Tensor};
 
 /// How the membrane potential is reset after a spike (Eq. 3 discussion).
 ///
@@ -103,11 +103,15 @@ impl IfNeurons {
             tcl_telemetry::span_with("neuron.step", || vec![("neurons", current.len() as f64)]);
         let mut spikes = Tensor::zeros(current.shape().clone());
         let thr = self.threshold;
-        let reset = self.reset;
+        let subtract = matches!(self.reset, ResetMode::Subtract);
         // Each neuron updates independently, so large banks fan out across
         // threads in matching potential/spike chunks; the spike count is
         // recovered from the 0/1 spike tensor afterwards, which keeps the
-        // tally independent of the chunking.
+        // tally independent of the chunking. The membrane update runs
+        // through the SIMD `if_step` kernel at the caller-resolved level;
+        // `if_step` is elementwise (no fusion), so every level — and every
+        // chunking — produces bitwise identical trajectories.
+        let level = simd::current();
         par::par_items_mut2(
             par::current(),
             potential.data_mut(),
@@ -118,16 +122,7 @@ impl IfNeurons {
             par::min_items_per_worker(4),
             |first, vs, ss| {
                 let zs = &current.data()[first..first + vs.len()];
-                for ((v, s), &z) in vs.iter_mut().zip(ss.iter_mut()).zip(zs) {
-                    *v += z;
-                    if *v >= thr {
-                        *s = 1.0;
-                        match reset {
-                            ResetMode::Subtract => *v -= thr,
-                            ResetMode::Zero => *v = 0.0,
-                        }
-                    }
-                }
+                simd::if_step(level, vs, zs, ss, thr, subtract);
             },
         );
         let emitted = spikes.data().iter().filter(|&&s| s != 0.0).count() as u64;
@@ -178,10 +173,9 @@ impl IfNeurons {
             });
         }
         let row = v.len() / batch.max(1);
-        let mut data = Vec::with_capacity(keep.len() * row);
-        for &r in keep {
-            data.extend_from_slice(&v.data()[r * row..(r + 1) * row]);
-        }
+        // SIMD row gather: a straight bit copy at every dispatch level.
+        let mut data = vec![0.0f32; keep.len() * row];
+        simd::gather_rows(simd::current(), v.data(), row, keep, &mut data);
         let mut out_dims = dims.to_vec();
         out_dims[0] = keep.len();
         self.potential = Some(Tensor::from_vec(Shape::new(out_dims), data)?);

@@ -34,11 +34,18 @@ pub enum SynapticOp {
 ///
 /// Both paths pay one weight transpose; the sparse kernel then skips zero
 /// input entries (a spike raster is mostly zeros), while the dense blocked
-/// kernel wins once average activity is high. The ~25% activity crossover
-/// accounts for the dense kernel's vectorization advantage. Results agree to
-/// within reassociation-free float identity because both kernels accumulate
-/// each output element in ascending input order; the zero-skip drops exact
-/// zeros only, which is safe because converted weights are finite.
+/// kernel wins once average activity is high. The crossover sits at ~12.5%
+/// activity: both kernels now run SIMD row updates, but the dense kernel's
+/// packed register tiles still move roughly twice the useful flops per
+/// cycle, so the skip must eliminate well over half the rows to pay for
+/// its strided access. (The old ~25% gate dated from a scalar saxpy
+/// kernel and made the sparse path a wash against the vectorized dense
+/// tile.) Results agree within per-element rounding: both kernels
+/// accumulate each output element in ascending input order, and the
+/// zero-skip drops exact zeros only, which is safe because converted
+/// weights are finite — but the dense tile may fuse multiply-adds at the
+/// AVX2 dispatch level while the sparse path rounds each step, so the two
+/// paths are bitwise identical only under `TCL_SIMD=scalar` (or `wide`).
 fn linear_current(input: &Tensor, weight: &Tensor) -> Result<Tensor> {
     let (rows, in_f) = input.shape().as_matrix()?;
     let (out_f, wk) = weight.shape().as_matrix()?;
@@ -49,7 +56,7 @@ fn linear_current(input: &Tensor, weight: &Tensor) -> Result<Tensor> {
         });
     }
     let nonzero = input.data().iter().filter(|&&v| v != 0.0).count();
-    if nonzero * 4 >= rows * in_f {
+    if nonzero * 8 >= rows * in_f {
         return ops::matmul_nt(input, weight);
     }
     if tcl_telemetry::metrics_enabled() {

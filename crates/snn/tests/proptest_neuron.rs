@@ -105,6 +105,52 @@ proptest! {
         prop_assert_eq!(net.total_spikes(), total);
     }
 
+    /// The IF membrane update is elementwise (add / compare / subtract, no
+    /// fusion), so every SIMD dispatch level must replay the scalar
+    /// trajectory **bitwise** — spikes and residual potentials both. This
+    /// is what lets golden SNN numbers survive runtime dispatch.
+    #[test]
+    fn if_step_trajectories_are_bitwise_identical_across_simd_levels(
+        neurons in 1usize..70,
+        thr in 0.2f32..2.0,
+        steps in 1usize..30,
+        subtract in 0u8..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let reset = if subtract == 1 { ResetMode::Subtract } else { ResetMode::Zero };
+        let mut rng = tcl_tensor::SeededRng::new(seed);
+        let currents: Vec<Tensor> = (0..steps)
+            .map(|_| rng.uniform_tensor([neurons], -0.3, 1.2))
+            .collect();
+        let run = |level: tcl_tensor::simd::Level| {
+            tcl_tensor::simd::with_level(level, || {
+                let mut bank = IfNeurons::new(thr, reset);
+                let mut spike_bits: Vec<u32> = Vec::new();
+                for z in &currents {
+                    let s = bank.step(z).unwrap();
+                    spike_bits.extend(s.data().iter().map(|v| v.to_bits()));
+                }
+                let potential_bits: Vec<u32> = bank
+                    .potential()
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                (spike_bits, potential_bits)
+            })
+        };
+        let reference = run(tcl_tensor::simd::Level::Scalar);
+        for level in tcl_tensor::simd::Level::available() {
+            let got = run(level);
+            prop_assert_eq!(
+                &got, &reference,
+                "level {} diverged (neurons={} thr={} steps={})",
+                level.name(), neurons, thr, steps
+            );
+        }
+    }
+
     #[test]
     fn reset_makes_presentations_independent(
         z in 0.0f32..1.0,

@@ -37,6 +37,13 @@ mod rng;
 mod shape;
 mod tensor;
 
+/// Runtime SIMD dispatch (re-export of [`tcl_simd`]): [`simd::current`]
+/// resolves the active [`simd::Level`], [`simd::with_level`] scopes an
+/// override, and golden binaries pin via [`simd::pin`]. Downstream crates
+/// reach the vector kernels through this module so `tcl-simd` stays the
+/// single unsafe island.
+pub use tcl_simd as simd;
+
 pub use error::{Result, TensorError};
 pub use hist::{Histogram, PercentileSketch};
 pub use par::Parallelism;

@@ -4,18 +4,24 @@
 //! SNN simulation (synaptic current computation). The dense kernel is
 //! cache-blocked and register-tiled: the output is computed in `MR`×`NR`
 //! tiles whose accumulators live in registers across the **entire** shared
-//! dimension, with the `NR`-wide inner loop written over fixed-size slices
-//! so the compiler autovectorizes it. Large products additionally fan out
-//! across threads (see [`crate::par`]), splitting only along output rows.
+//! dimension. Full tiles run through the runtime-dispatched SIMD
+//! micro-kernel [`tcl_simd::gebp_4x16`] (AVX2+FMA, portable 8-wide, or
+//! scalar — see [`crate::simd`]); ragged edges keep the autovectorized
+//! scalar tile. Large products additionally fan out across threads (see
+//! [`crate::par`]), splitting only along output rows.
 //!
 //! # Determinism
 //!
 //! Every output element is accumulated in ascending `k` order with exactly
 //! one store, and rows are computed independently, so the result is bitwise
-//! identical across thread counts, row partitions, and tile shapes. The
-//! `*_with` variants take an explicit [`Parallelism`] budget; the plain
-//! entry points use the process default ([`crate::par::current`], i.e.
-//! `TCL_THREADS`).
+//! identical across thread counts, row partitions, and tile shapes **for a
+//! fixed SIMD level**. The level is resolved once per call
+//! ([`tcl_simd::current`]) and passed to every worker, so a product never
+//! mixes levels. `Scalar` and `Wide` are bitwise identical; `Avx2` fuses
+//! multiply-adds and differs within an accumulated-rounding bound (pin
+//! `TCL_SIMD=scalar` to replay reference numerics). The `*_with` variants
+//! take an explicit [`Parallelism`] budget; the plain entry points use the
+//! process default ([`crate::par::current`], i.e. `TCL_THREADS`).
 //!
 //! # Zero-skipping
 //!
@@ -28,14 +34,13 @@
 use crate::error::{Result, TensorError};
 use crate::par::{self, Parallelism};
 use crate::tensor::Tensor;
+use tcl_simd::Level;
 
-/// Rows per register tile. The full-tile fast path in [`micro_tile`]
-/// destructures exactly this many accumulator rows.
-const MR: usize = 4;
-/// Columns per register tile. 4×8 accumulators are 8 SSE (or 4 AVX2)
-/// vectors, small enough to stay register-resident alongside the streamed
-/// B row even on the baseline x86-64 target.
-const NR: usize = 16;
+/// Rows per register tile; must match [`tcl_simd::kernels::MR`].
+const MR: usize = tcl_simd::kernels::MR;
+/// Columns per register tile (two 8-lane vectors); must match
+/// [`tcl_simd::kernels::NR`].
+const NR: usize = tcl_simd::kernels::NR;
 /// Edge length of the cache blocks used by [`transpose_into`].
 const TRANSPOSE_BLOCK: usize = 32;
 /// Minimum `m·k·n` volume before a matmul fans out across threads.
@@ -192,12 +197,15 @@ pub fn matmul_into_with(
     let _span = tcl_telemetry::span_with("matmul", || {
         vec![("m", m as f64), ("k", k as f64), ("n", n as f64)]
     });
+    // Resolve the SIMD level once and hand it to every worker: one product
+    // never mixes micro-kernel numerics across its row partition.
+    let level = tcl_simd::current();
     // Split only if every worker gets enough rows to amortize a spawn.
     let min_rows = (PAR_MIN_VOLUME / (k * n).max(1)).max(MR);
     par::par_items_mut(par, out, n, MR, min_rows, |first_row, out_rows| {
         let rows = out_rows.len() / n;
         let a_rows = &a[first_row * k..(first_row + rows) * k];
-        kernel_rows(a_rows, b, out_rows, rows, k, n);
+        kernel_rows(level, a_rows, b, out_rows, rows, k, n);
     });
 }
 
@@ -209,7 +217,17 @@ pub fn matmul_into_with(
 /// band, so the hot tile loop streams two contiguous pointers (packed A,
 /// B rows) instead of `MR` strided row cursors. Packing copies each A
 /// element once per band — `O(rows·k)` against the `O(rows·k·n)` multiply.
-fn kernel_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+/// Full tiles dispatch to [`tcl_simd::gebp_4x16`] at the caller-resolved
+/// `level`; ragged edges stay on the scalar [`micro_tile`].
+fn kernel_rows(
+    level: Level,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     if n < NR {
         matmul_into_naive(a, b, out, rows, k, n);
         return;
@@ -237,7 +255,7 @@ fn kernel_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: 
             bp.copy_from_slice(&brow[..NR]);
         }
         for (band, band_pack) in a_pack.chunks_exact(MR * k).enumerate() {
-            micro_tile_packed(band_pack, &b_pack, out, band * MR, j0, n);
+            tcl_simd::gebp_4x16(level, band_pack, &b_pack, k, out, band * MR, j0, n);
         }
         j0 += NR;
     }
@@ -256,44 +274,6 @@ fn kernel_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: 
             let width = (n - j0).min(NR);
             micro_tile(a, b, out, full_bands, j0, rows - full_bands, width, k, n);
             j0 += NR;
-        }
-    }
-}
-
-/// One full `MR`×`NR` output tile from packed operands: `a_band` is one
-/// `p`-major `MR`-row band (`a_band[p·MR + r]`), `b_pack` one contiguous
-/// `k`×`NR` column tile. The accumulator rows are independent local arrays
-/// indexed only by the constant-bound `c` loop, so they live in vector
-/// registers across the whole `p` loop; each iteration advances two
-/// contiguous cursors and issues `MR·NR` multiply-adds.
-#[inline]
-fn micro_tile_packed(
-    a_band: &[f32],
-    b_pack: &[f32],
-    out: &mut [f32],
-    i0: usize,
-    j0: usize,
-    n: usize,
-) {
-    let mut acc0 = [0.0f32; NR];
-    let mut acc1 = [0.0f32; NR];
-    let mut acc2 = [0.0f32; NR];
-    let mut acc3 = [0.0f32; NR];
-    for (ap, bp) in a_band.chunks_exact(MR).zip(b_pack.chunks_exact(NR)) {
-        // lint: allow(P1) chunks_exact(NR) guarantees the width
-        let b_row: &[f32; NR] = bp.try_into().expect("chunk is NR wide");
-        let (a0, a1, a2, a3) = (ap[0], ap[1], ap[2], ap[3]);
-        for c in 0..NR {
-            acc0[c] += a0 * b_row[c];
-            acc1[c] += a1 * b_row[c];
-            acc2[c] += a2 * b_row[c];
-            acc3[c] += a3 * b_row[c];
-        }
-    }
-    for (r, acc) in [acc0, acc1, acc2, acc3].iter().enumerate() {
-        let o_row = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR];
-        for (o, &acc_v) in o_row.iter_mut().zip(acc) {
-            *o += acc_v;
         }
     }
 }
@@ -387,6 +367,12 @@ pub fn matmul_into_naive(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usi
 /// weights are finite by construction; dense callers must use
 /// [`matmul_into`] instead. Accumulates into `out`.
 ///
+/// The surviving (nonzero) row updates run through [`tcl_simd::axpy`] at
+/// the process SIMD level, so the kernel's throughput tracks the dense
+/// kernel's instead of falling back to scalar saxpy — the zero-skip only
+/// pays off when the skip rate beats the vector width (see
+/// `tcl-snn::synop`'s density gate).
+///
 /// # Panics
 ///
 /// Panics (debug assertions) if the slice lengths are inconsistent with the
@@ -395,6 +381,7 @@ pub fn matmul_into_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    let level = tcl_simd::current();
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let o_row = &mut out[i * n..(i + 1) * n];
@@ -402,10 +389,7 @@ pub fn matmul_into_sparse(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
             if av == 0.0 {
                 continue;
             }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            tcl_simd::axpy(level, av, &b[p * n..(p + 1) * n], o_row);
         }
     }
 }
@@ -547,20 +531,38 @@ mod tests {
         ] {
             let a = fill(m, k, 1 + m as u64);
             let b = fill(k, n, 100 + n as u64);
-            let mut blocked = vec![0.0f32; m * n];
             let mut naive = vec![0.0f32; m * n];
-            matmul_into_with(
-                Parallelism::serial(),
-                a.data(),
-                b.data(),
-                &mut blocked,
-                m,
-                k,
-                n,
-            );
             matmul_into_naive(a.data(), b.data(), &mut naive, m, k, n);
-            // Same inputs, same per-element accumulation order → bitwise.
-            assert_eq!(blocked, naive, "shape {m}x{k}x{n}");
+            for level in tcl_simd::Level::available() {
+                let mut blocked = vec![0.0f32; m * n];
+                tcl_simd::with_level(level, || {
+                    matmul_into_with(
+                        Parallelism::serial(),
+                        a.data(),
+                        b.data(),
+                        &mut blocked,
+                        m,
+                        k,
+                        n,
+                    );
+                });
+                match level {
+                    // Same inputs, same per-element accumulation order,
+                    // unfused arithmetic → bitwise.
+                    Level::Scalar | Level::Wide => {
+                        assert_eq!(blocked, naive, "{} shape {m}x{k}x{n}", level.name());
+                    }
+                    // FMA tiles save one rounding per accumulation step.
+                    Level::Avx2 => {
+                        for (g, w) in blocked.iter().zip(&naive) {
+                            assert!(
+                                (g - w).abs() <= k as f32 * 1e-5,
+                                "avx2 shape {m}x{k}x{n}: {g} vs {w}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -87,7 +87,13 @@ impl Default for Parallelism {
 /// Default floor on per-worker work (roughly multiply-add counts) before a
 /// kernel fans out. Spawning a scoped thread costs tens of microseconds, so
 /// each worker needs at least this much arithmetic to come out ahead.
-pub const MIN_WORK_PER_WORKER: usize = 1 << 18;
+///
+/// 2¹⁶ multiply-adds is ≈ 30 µs of scalar arithmetic — comfortably above
+/// spawn cost. The previous floor of 2¹⁸ was so conservative that a
+/// CNN-6 SNN step at batch 4 (≈ 55 k mult-adds per batch item) computed
+/// `min_items = 4` and collapsed to one worker; batch-scale SNN inference
+/// never engaged the thread budget it was handed.
+pub const MIN_WORK_PER_WORKER: usize = 1 << 16;
 
 /// Converts a per-item cost estimate into the `min_items_per_worker`
 /// argument of the `par_*` helpers, using [`MIN_WORK_PER_WORKER`].
@@ -197,6 +203,10 @@ pub fn par_items_mut<T, F>(
     }
     let per_worker = run_len(items, granularity, workers);
     let parent = telemetry::current_span_id();
+    // Workers are fresh threads with no thread-local state: re-apply the
+    // caller's SIMD level so kernels inside `f` dispatch identically on
+    // every worker (the serial==parallel bitwise contract, per level).
+    let level = tcl_simd::current();
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest = data;
@@ -212,7 +222,9 @@ pub fn par_items_mut<T, F>(
                 instrumented_worker(None, start, take, || with_serial(|| f(start, run)));
             } else {
                 scope.spawn(move || {
-                    instrumented_worker(parent, start, take, || with_serial(|| f(start, run)))
+                    tcl_simd::with_level(level, || {
+                        instrumented_worker(parent, start, take, || with_serial(|| f(start, run)))
+                    })
                 });
             }
         }
@@ -249,6 +261,8 @@ pub fn par_items_mut2<T, U, F>(
     }
     let per_worker = run_len(items, granularity, workers);
     let parent = telemetry::current_span_id();
+    // See par_items_mut: workers re-apply the caller's SIMD level.
+    let level = tcl_simd::current();
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest_a = a;
@@ -266,8 +280,10 @@ pub fn par_items_mut2<T, U, F>(
                 instrumented_worker(None, start, take, || with_serial(|| f(start, run_a, run_b)));
             } else {
                 scope.spawn(move || {
-                    instrumented_worker(parent, start, take, || {
-                        with_serial(|| f(start, run_a, run_b))
+                    tcl_simd::with_level(level, || {
+                        instrumented_worker(parent, start, take, || {
+                            with_serial(|| f(start, run_a, run_b))
+                        })
                     })
                 });
             }
@@ -394,6 +410,46 @@ mod tests {
         // already synchronizes all worker writes.
         assert_eq!(nested_workers.load(Ordering::Relaxed), 1);
         assert!(!in_serial_scope());
+    }
+
+    #[test]
+    fn batch_scale_snn_steps_engage_workers() {
+        // Regression for the parallel SNN-step no-op: a CNN-6 step at
+        // batch 4 costs ≈ 55k mult-adds per batch item. Under the old
+        // 2^18 floor, min_items_per_worker(55_296) was 4 → 4 items / 4 =
+        // exactly 1 worker, so batch inference silently ran serial. The
+        // 2^16 floor must hand a 4-thread budget at least 2 workers.
+        let per_item_cost = 55_296;
+        let min_items = min_items_per_worker(per_item_cost);
+        assert!(
+            Parallelism::new(4).workers_for(4, min_items) >= 2,
+            "batch-4 CNN-scale items must fan out (min_items={min_items})"
+        );
+        // Tiny items must still stay serial: spawn cost dominates.
+        assert_eq!(
+            Parallelism::new(4).workers_for(4, min_items_per_worker(64)),
+            1
+        );
+    }
+
+    #[test]
+    fn workers_inherit_callers_simd_level() {
+        // Pick a level that cannot be the detected default, so seeing it
+        // on a worker proves propagation rather than coincidence.
+        let override_level = tcl_simd::Level::Scalar;
+        assert_ne!(tcl_simd::detect_widest(), override_level);
+        let mismatches = AtomicUsize::new(0);
+        tcl_simd::with_level(override_level, || {
+            par_items_mut(Parallelism::new(4), &mut [0u8; 16], 1, 1, 1, |_, _| {
+                if tcl_simd::current() != override_level {
+                    // ordering: Relaxed — counter only; the scope join
+                    // publishes it before the load below.
+                    mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        // ordering: Relaxed — read after the thread::scope join.
+        assert_eq!(mismatches.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! Property tests for the parallel-execution determinism contract.
 //!
 //! The kernels promise that the thread budget never changes results: for any
-//! shape and any thread count, the parallel output is **bitwise identical**
-//! to the serial one (see `tcl_tensor::par`). These properties drive the
-//! explicit `Parallelism` API with randomized shapes, data, and thread
-//! counts, and compare against both the serial path and the naive reference
-//! kernel with exact `==` — no tolerance anywhere.
+//! shape, any thread count, and any fixed SIMD dispatch level, the parallel
+//! output is **bitwise identical** to the serial one (see `tcl_tensor::par`).
+//! These properties drive the explicit `Parallelism` API with randomized
+//! shapes, data, and thread counts, and compare against the serial path with
+//! exact `==` — no tolerance anywhere. Cross-*kernel* comparisons (blocked
+//! vs naive) are bitwise only at the unfused levels (`scalar`/`wide`); the
+//! AVX2 level's fused tiles are covered with an accumulated-rounding bound
+//! here and in `proptest_simd.rs`.
 
 use proptest::prelude::*;
 use tcl_tensor::ops::{
     avg_pool2d, conv2d, matmul_into_naive, matmul_into_with, matmul_nt_with, matmul_tn_with,
     max_pool2d, transpose_into, ConvGeometry,
 };
-use tcl_tensor::{par, Parallelism, SeededRng, Tensor};
+use tcl_tensor::{par, simd, Parallelism, SeededRng, Tensor};
 
 /// Uniform values in `[-1, 1)`, seeded so failures replay exactly.
 fn random_vec(rng: &mut SeededRng, len: usize) -> Vec<f32> {
@@ -27,10 +30,11 @@ const THREADS: [usize; 3] = [2, 3, 8];
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The blocked kernel matches the naive reference bitwise, and every
-    /// thread budget matches the serial blocked kernel bitwise. Shapes are
-    /// drawn large enough that multi-worker row splits genuinely occur
-    /// (`m·k·n` up to ~1.5M multiply-adds).
+    /// At every available SIMD level: the unfused levels match the naive
+    /// reference bitwise (the AVX2 level within an accumulated-rounding
+    /// bound), and every thread budget matches that level's serial result
+    /// bitwise. Shapes are drawn large enough that multi-worker row splits
+    /// genuinely occur (`m·k·n` up to ~1.5M multiply-adds).
     #[test]
     fn matmul_is_bitwise_thread_count_invariant(
         m in 16usize..160,
@@ -43,13 +47,33 @@ proptest! {
         let b = random_vec(&mut rng, k * n);
         let mut naive = vec![0.0f32; m * n];
         matmul_into_naive(&a, &b, &mut naive, m, k, n);
-        let mut serial = vec![0.0f32; m * n];
-        matmul_into_with(Parallelism::serial(), &a, &b, &mut serial, m, k, n);
-        prop_assert_eq!(&naive, &serial, "blocked vs naive, m={} k={} n={}", m, k, n);
-        for threads in THREADS {
-            let mut out = vec![0.0f32; m * n];
-            matmul_into_with(Parallelism::new(threads), &a, &b, &mut out, m, k, n);
-            prop_assert_eq!(&serial, &out, "threads={} m={} k={} n={}", threads, m, k, n);
+        for level in simd::Level::available() {
+            simd::with_level(level, || -> Result<(), TestCaseError> {
+                let mut serial = vec![0.0f32; m * n];
+                matmul_into_with(Parallelism::serial(), &a, &b, &mut serial, m, k, n);
+                if level == simd::Level::Avx2 {
+                    for (g, w) in serial.iter().zip(&naive) {
+                        prop_assert!(
+                            (g - w).abs() <= k as f32 * 1e-5,
+                            "avx2 blocked vs naive, m={} k={} n={}: {} vs {}", m, k, n, g, w
+                        );
+                    }
+                } else {
+                    prop_assert_eq!(
+                        &naive, &serial,
+                        "{} blocked vs naive, m={} k={} n={}", level.name(), m, k, n
+                    );
+                }
+                for threads in THREADS {
+                    let mut out = vec![0.0f32; m * n];
+                    matmul_into_with(Parallelism::new(threads), &a, &b, &mut out, m, k, n);
+                    prop_assert_eq!(
+                        &serial, &out,
+                        "{} threads={} m={} k={} n={}", level.name(), threads, m, k, n
+                    );
+                }
+                Ok(())
+            })?;
         }
     }
 

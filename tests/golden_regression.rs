@@ -15,6 +15,11 @@
 //! ```text
 //! TCL_BLESS=1 cargo test -p tcl-core --test golden_regression
 //! ```
+//!
+//! The snapshots record **scalar** kernel numerics: the test pins the
+//! process SIMD level to `Scalar` before anything dispatches, so the bytes
+//! stay stable on any host and under any `TCL_SIMD` value. (AVX2 fuses
+//! multiply-adds and would shift low-order float digits.)
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -137,6 +142,16 @@ fn render_diff(file: &str, expected: &str, actual: &str) -> String {
 
 #[test]
 fn mini_table1_matches_golden_snapshots() {
+    // Golden numerics are scalar; the pin must win (first resolution does),
+    // so assert nothing resolved the process level ahead of us.
+    let effective = tcl_tensor::simd::pin(tcl_tensor::simd::Level::Scalar);
+    assert_eq!(
+        effective,
+        tcl_tensor::simd::Level::Scalar,
+        "golden suite requires the scalar SIMD level but the process level \
+         was already resolved to {}",
+        effective.name()
+    );
     let bless = std::env::var("TCL_BLESS").is_ok_and(|v| v == "1");
     let dir = golden_dir();
     let mut drift = String::new();

@@ -11,8 +11,11 @@
 //! are collected, whichever comes first). The median ns/iter is printed
 //! per bench, and if the `CRITERION_JSON` environment variable names a
 //! file path, a JSON summary of every bench (median / mean / min / max
-//! ns per iteration, sample count) is written there on exit. There is no
-//! statistical regression analysis, HTML report, or gnuplot output.
+//! ns per iteration, sample count) is written there on exit, along with
+//! any environment annotations recorded via [`Criterion::meta`] (a stub
+//! extension: real criterion has no equivalent, and callers behind the
+//! real crate would simply not call it). There is no statistical
+//! regression analysis, HTML report, or gnuplot output.
 
 #![forbid(unsafe_code)]
 
@@ -129,6 +132,7 @@ pub struct Criterion {
     sample_size: usize,
     budget: Duration,
     results: Vec<BenchStats>,
+    meta: Vec<(String, String)>,
 }
 
 impl Default for Criterion {
@@ -141,6 +145,7 @@ impl Default for Criterion {
             sample_size: 20,
             budget: Duration::from_millis(budget_ms),
             results: Vec::new(),
+            meta: Vec::new(),
         }
     }
 }
@@ -150,6 +155,19 @@ impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 2, "sample_size must be at least 2");
         self.sample_size = n;
+        self
+    }
+
+    /// Records a key/value environment annotation (SIMD level, thread
+    /// budget, git revision, …) emitted as a `"meta"` object in the JSON
+    /// summary, so recorded numbers carry the context they were measured
+    /// under. Last write wins for a repeated key.
+    pub fn meta(&mut self, key: &str, value: &str) -> &mut Self {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
         self
     }
 
@@ -191,7 +209,22 @@ impl Criterion {
     /// Writes collected stats as JSON to `path`.
     fn write_json(&self, path: &str) -> std::io::Result<()> {
         use std::io::Write as _;
-        let mut out = String::from("{\n  \"benches\": [\n");
+        let mut out = String::from("{\n");
+        if !self.meta.is_empty() {
+            out.push_str("  \"meta\": {");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\"{}\": \"{}\"",
+                    k.replace('"', "'"),
+                    v.replace('"', "'")
+                ));
+            }
+            out.push_str("},\n");
+        }
+        out.push_str("  \"benches\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}}}{}\n",
@@ -273,6 +306,7 @@ mod tests {
             sample_size: 5,
             budget: Duration::from_millis(50),
             results: Vec::new(),
+            meta: Vec::new(),
         };
         c.bench_function("spin", |b| b.iter(|| black_box(3u64).pow(7)));
         assert_eq!(c.results.len(), 1);
@@ -286,6 +320,7 @@ mod tests {
             sample_size: 5,
             budget: Duration::from_millis(50),
             results: Vec::new(),
+            meta: Vec::new(),
         };
         c.bench_function("batched", |b| {
             b.iter_batched(
@@ -304,6 +339,7 @@ mod tests {
             sample_size: 3,
             budget: Duration::from_millis(20),
             results: Vec::new(),
+            meta: Vec::new(),
         };
         c.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
         let path = std::env::temp_dir().join("criterion_stub_test.json");
@@ -312,6 +348,27 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read");
         assert!(text.contains("\"benches\""));
         assert!(text.contains("\"median_ns\""));
+        // No meta() calls → no meta block at all.
+        assert!(!text.contains("\"meta\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn meta_annotations_land_in_json() {
+        let mut c = Criterion {
+            sample_size: 3,
+            budget: Duration::from_millis(20),
+            results: Vec::new(),
+            meta: Vec::new(),
+        };
+        c.meta("simd", "avx2").meta("threads", "4");
+        c.meta("simd", "scalar"); // last write wins
+        c.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        let path = std::env::temp_dir().join("criterion_stub_meta_test.json");
+        let path = path.to_string_lossy().to_string();
+        c.write_json(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("\"meta\": {\"simd\": \"scalar\", \"threads\": \"4\"}"));
         let _ = std::fs::remove_file(&path);
     }
 }
