@@ -88,8 +88,38 @@ TCL_TRACE=target/telemetry_smoke.jsonl TCL_METRICS=1 \
   cargo run --release -q -p tcl-core --example telemetry_smoke
 test -s target/telemetry_smoke.jsonl
 
+echo "==> observability toolkit (tcl-trace over the smoke trace + negative control)"
+./target/release/tcl-trace --help | grep -q critical-path
+smoke=target/telemetry_smoke.jsonl
+./target/release/tcl-trace summary "$smoke" | grep -q 'self%'
+./target/release/tcl-trace flame "$smoke" > target/telemetry_smoke.folded
+test -s target/telemetry_smoke.folded
+./target/release/tcl-trace flame --svg "$smoke" | grep -q '<svg'
+./target/release/tcl-trace critical-path "$smoke" | grep -q 'critical path:'
+# A trace diffed against itself has no regressions and exits 0.
+./target/release/tcl-trace diff "$smoke" "$smoke" > /dev/null
+# Negative control: a trace cut off mid-line must produce a clean parse
+# error naming the bad line (exit 2), not a panic.
+{ head -n 3 "$smoke"; printf '{"type":"span","id":'; } > target/telemetry_smoke_truncated.jsonl
+set +e
+trace_err=$(./target/release/tcl-trace summary target/telemetry_smoke_truncated.jsonl 2>&1)
+trace_rc=$?
+set -e
+if [ "$trace_rc" -ne 2 ]; then
+  echo "FAIL: tcl-trace exited $trace_rc on a truncated trace (want 2)" >&2
+  printf '%s\n' "$trace_err" >&2
+  exit 1
+fi
+if ! printf '%s\n' "$trace_err" | grep -q 'trace line 4'; then
+  echo "FAIL: tcl-trace did not name the corrupt trace line" >&2
+  printf '%s\n' "$trace_err" >&2
+  exit 1
+fi
+rm -f target/telemetry_smoke.folded target/telemetry_smoke_truncated.jsonl
+echo "tcl-trace OK (summary/flame/critical-path/diff + truncation caught)"
+
 echo "==> bench binaries answer --help (incl. --resume pass-through)"
-for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay engine_bench; do
+for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay engine_bench obs_bench; do
   cargo run --release -q -p tcl-bench --bin "$bin" -- --help | grep -q TCL_TRACE
   cargo run --release -q -p tcl-bench --bin "$bin" -- --resume --help | grep -q TCL_CKPT_EVERY
 done

@@ -95,6 +95,9 @@ fn main() {
         return;
     }
     let scale = Scale::from_env();
+    // Live metrics endpoint while the bench is in flight (TCL_OBS_ADDR
+    // opt-in); shut down on drop at the end of main.
+    let _exporter = tcl_obs::serve_from_env();
     let dataset = DatasetKind::Cifar;
     let max_t = *CHECKPOINTS.last().expect("nonempty checkpoints");
     println!(

@@ -52,6 +52,9 @@ fn main() {
     };
     let scale = Scale::from_env();
     let checkpoints = scale.checkpoints();
+    // Live metrics endpoint while the run is in flight (TCL_OBS_ADDR
+    // opt-in); shut down on drop at the end of main.
+    let _exporter = tcl_obs::serve_from_env();
     println!("== Table 1 reproduction (scale: {}) ==", scale.name());
     println!("strategies: tcl (ours) vs max-norm (Diehl'15) vs p99.9% (Rueckauer'17)\n");
 

@@ -109,9 +109,18 @@ pub fn convert_and_evaluate(
     converter: &Converter,
     sim: &SimConfig,
 ) -> Result<ConversionReport> {
+    let _span = tcl_telemetry::span_with("pipeline.convert_eval", || {
+        vec![("samples", test_labels.len() as f64)]
+    });
     let ann_accuracy = ann_evaluate(net, test_images, test_labels, sim.batch_size)?;
     let Conversion { snn, lambdas, .. } = converter.convert(net, calibration)?;
     let sweep = snn_evaluate(&snn, test_images, test_labels, sim)?;
+    if tcl_telemetry::metrics_enabled() {
+        tcl_telemetry::gauge_set("pipeline.ann_accuracy", f64::from(ann_accuracy));
+        if let Some(&(_, acc)) = sweep.accuracies.last() {
+            tcl_telemetry::gauge_set("pipeline.snn_accuracy", f64::from(acc));
+        }
+    }
     Ok(ConversionReport {
         ann_accuracy,
         sweep,
@@ -156,9 +165,18 @@ pub fn convert_and_evaluate_with(
     sim: &SimConfig,
     policy: ExitPolicy,
 ) -> Result<EngineReport> {
+    let _span = tcl_telemetry::span_with("pipeline.convert_eval", || {
+        vec![("samples", test_labels.len() as f64)]
+    });
     let ann_accuracy = ann_evaluate(net, test_images, test_labels, sim.batch_size)?;
     let Conversion { snn, lambdas, .. } = converter.convert(net, calibration)?;
     let result = engine.evaluate(&snn, test_images, test_labels, sim, policy)?;
+    if tcl_telemetry::metrics_enabled() {
+        tcl_telemetry::gauge_set("pipeline.ann_accuracy", f64::from(ann_accuracy));
+        if let Some(&(_, acc)) = result.sweep.accuracies.last() {
+            tcl_telemetry::gauge_set("pipeline.snn_accuracy", f64::from(acc));
+        }
+    }
     Ok(EngineReport {
         ann_accuracy,
         result,

@@ -60,7 +60,11 @@ const D_SCOPE: &[&str] = &["tensor", "nn", "snn", "core", "data", "models"];
 const P_EXEMPT: &[&str] = &["bench"];
 
 /// Hot-path files where eager telemetry emission must be gated (G-series).
-const HOT_FILES: &[&str] = &["crates/tensor/src/par.rs", "crates/snn/src/neuron.rs"];
+const HOT_FILES: &[&str] = &[
+    "crates/tensor/src/par.rs",
+    "crates/snn/src/neuron.rs",
+    "crates/snn/src/engine.rs",
+];
 
 /// Telemetry functions that emit eagerly (pay allocation/formatting cost
 /// even when sinks are off unless the caller gates them). `span`/`span_with`

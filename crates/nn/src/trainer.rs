@@ -249,6 +249,9 @@ fn run_epoch(
 ) -> Result<()> {
     let n = labels.len();
     let _span = tcl_telemetry::span_with("train.epoch", || vec![("epoch", epoch as f64)]);
+    // lint: allow(D1) wall time feeds only the gated train.epochs_per_sec
+    // heartbeat gauge; training math never depends on it
+    let epoch_start = std::time::Instant::now();
     let lr = config.schedule.rate_at(epoch);
     optimizer.set_learning_rate(lr);
     let perm = rng.permutation(n);
@@ -282,6 +285,12 @@ fn run_epoch(
         tcl_telemetry::gauge_set("train.accuracy", f64::from(train_accuracy));
         if let Some(ea) = eval_accuracy {
             tcl_telemetry::gauge_set("train.eval_accuracy", f64::from(ea));
+        }
+        // Heartbeat for the live exporter (`TCL_OBS_ADDR`): how fast
+        // training is moving right now, refreshed once per epoch.
+        let elapsed = epoch_start.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            tcl_telemetry::gauge_set("train.epochs_per_sec", 1.0 / elapsed);
         }
     }
     if config.verbose {

@@ -1,0 +1,194 @@
+//! `tcl-trace`: post-hoc analysis of `TCL_TRACE` JSONL traces.
+//!
+//! ```text
+//! tcl-trace summary run.jsonl            # per-span-name time table
+//! tcl-trace summary --json run.jsonl    # same, machine-readable
+//! tcl-trace flame run.jsonl             # folded stacks (stackcollapse)
+//! tcl-trace flame --svg run.jsonl      # self-contained SVG flamegraph
+//! tcl-trace critical-path run.jsonl     # longest self-time chain
+//! tcl-trace diff base.jsonl new.jsonl   # per-span-name deltas
+//! ```
+//!
+//! Exit codes: 0 success; 1 `diff` found a regression; 2 usage, I/O, or
+//! parse error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tcl_obs::{critical, diff, flame, summary, ObsError, SpanTree, Trace};
+
+const USAGE: &str = "\
+tcl-trace: analyze TCL_TRACE JSONL traces
+
+USAGE:
+    tcl-trace summary [--json] <trace.jsonl>
+    tcl-trace flame [--svg] <trace.jsonl>
+    tcl-trace critical-path <trace.jsonl>
+    tcl-trace diff [--threshold <ratio>] [--min-us <us>] <base.jsonl> <new.jsonl>
+    tcl-trace --help
+
+SUBCOMMANDS:
+    summary        Per-span-name count, total/self time, p50/p99/max.
+    flame          Folded stacks (default) or a self-contained SVG
+                   flamegraph (--svg), aggregated by call path.
+    critical-path  The root-to-leaf chain with the largest total self
+                   time: the sequence a perfect parallelization would
+                   still wait for.
+    diff           Compare two runs per span name. Exits 1 if any name's
+                   self time grew by --threshold x or more (default 1.5)
+                   over a base of at least --min-us (default 1000), or a
+                   new name appeared at --min-us or more.
+
+Traces are produced by running any tcl binary with TCL_TRACE=<path>
+(optionally capped via TCL_TRACE_MAX_MB). Exit codes: 0 ok, 1 diff
+regression, 2 usage/io/parse error.
+";
+
+struct Usage(String);
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, Usage> {
+    Err(Usage(msg.into()))
+}
+
+fn load_tree(path: &Path) -> Result<(Trace, SpanTree), ObsError> {
+    let trace = Trace::load(path)?;
+    let tree = SpanTree::build(&trace);
+    Ok((trace, tree))
+}
+
+fn note_dropped(path: &Path, trace: &Trace) {
+    let dropped = trace.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "note: {} is a truncated trace ({dropped} event(s) dropped by TCL_TRACE_MAX_MB); \
+             times cover the captured prefix only",
+            path.display(),
+        );
+    }
+}
+
+fn run() -> Result<Result<ExitCode, ObsError>, Usage> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut json = false;
+    let mut svg = false;
+    let mut threshold = 1.5f64;
+    let mut min_us = 1000u64;
+    let Some((cmd, rest)) = args.split_first() else {
+        return fail("missing subcommand");
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        print!("{USAGE}");
+        return Ok(Ok(ExitCode::SUCCESS));
+    }
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(Ok(ExitCode::SUCCESS));
+            }
+            "--json" => json = true,
+            "--svg" => svg = true,
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return fail("--threshold requires a number");
+                };
+                if !(v.is_finite() && v > 0.0) {
+                    return fail("--threshold must be positive and finite");
+                }
+                threshold = v;
+            }
+            "--min-us" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return fail("--min-us requires a non-negative integer");
+                };
+                min_us = v;
+            }
+            flag if flag.starts_with('-') => return fail(format!("unknown flag {flag:?}")),
+            path => positional.push(PathBuf::from(path)),
+        }
+    }
+    let want = |n: usize| -> Result<(), Usage> {
+        if positional.len() == n {
+            Ok(())
+        } else {
+            fail(format!(
+                "{cmd} takes {n} trace file(s), got {}",
+                positional.len()
+            ))
+        }
+    };
+    Ok(match cmd.as_str() {
+        "summary" => {
+            want(1)?;
+            load_tree(&positional[0]).map(|(trace, tree)| {
+                note_dropped(&positional[0], &trace);
+                let stats = summary::summarize(&tree);
+                if json {
+                    print!("{}", summary::render_json(&stats));
+                } else {
+                    print!("{}", summary::render_table(&stats));
+                }
+                ExitCode::SUCCESS
+            })
+        }
+        "flame" => {
+            want(1)?;
+            load_tree(&positional[0]).map(|(trace, tree)| {
+                note_dropped(&positional[0], &trace);
+                if svg {
+                    print!("{}", flame::svg(&tree));
+                } else {
+                    print!("{}", flame::folded(&tree));
+                }
+                ExitCode::SUCCESS
+            })
+        }
+        "critical-path" => {
+            want(1)?;
+            load_tree(&positional[0]).map(|(trace, tree)| {
+                note_dropped(&positional[0], &trace);
+                print!("{}", critical::render(&critical::critical_path(&tree)));
+                ExitCode::SUCCESS
+            })
+        }
+        "diff" => {
+            want(2)?;
+            let run_diff = || -> Result<ExitCode, ObsError> {
+                let (base_trace, base_tree) = load_tree(&positional[0])?;
+                let (new_trace, new_tree) = load_tree(&positional[1])?;
+                note_dropped(&positional[0], &base_trace);
+                note_dropped(&positional[1], &new_trace);
+                let report = diff::diff_summaries(
+                    &summary::summarize(&base_tree),
+                    &summary::summarize(&new_tree),
+                    threshold,
+                    min_us,
+                );
+                print!("{}", diff::render(&report));
+                if report.regressions > 0 {
+                    Ok(ExitCode::FAILURE)
+                } else {
+                    Ok(ExitCode::SUCCESS)
+                }
+            };
+            run_diff()
+        }
+        other => return fail(format!("unknown subcommand {other:?}")),
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(Ok(code)) => code,
+        Ok(Err(e)) => {
+            eprintln!("tcl-trace: {e}");
+            ExitCode::from(2)
+        }
+        Err(Usage(msg)) => {
+            eprintln!("tcl-trace: {msg}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

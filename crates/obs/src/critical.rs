@@ -1,0 +1,180 @@
+//! Critical path: the root-to-leaf chain with the largest total self time.
+//!
+//! This answers "what single sequence of work bounded this run" — the
+//! chain a perfect parallelization of everything else would still have to
+//! wait for. Computed by dynamic programming over the span forest:
+//! `best(n) = self(n) + max(best(child))`, ties broken toward the earlier
+//! start offset (then smaller id) so the result is deterministic.
+
+use crate::tree::SpanTree;
+
+/// One step on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// Span name.
+    pub name: String,
+    /// Span id.
+    pub id: u64,
+    /// Telemetry thread id.
+    pub thread: u64,
+    /// Span duration (µs).
+    pub dur_us: u64,
+    /// Span self time (µs) — this step's contribution to the path total.
+    pub self_us: u64,
+}
+
+/// The longest self-time chain through a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CriticalPath {
+    /// Steps from root to leaf.
+    pub steps: Vec<CriticalStep>,
+    /// Sum of step self times (µs).
+    pub total_us: u64,
+}
+
+/// Computes the critical path of a span forest. Returns an empty path for
+/// an empty forest.
+pub fn critical_path(tree: &SpanTree) -> CriticalPath {
+    let n = tree.nodes.len();
+    if n == 0 {
+        return CriticalPath::default();
+    }
+    // best[i] = max total self time of any chain starting at node i;
+    // pick[i] = the child continuing that chain. Children always precede
+    // parents in trace order (RAII close order), so a single forward pass
+    // visits every child before its parent — no recursion, no stack
+    // overflow on deep trees.
+    let mut best = vec![0u64; n];
+    let mut pick: Vec<Option<usize>> = vec![None; n];
+    for i in 0..n {
+        let node = &tree.nodes[i];
+        let mut chain = 0u64;
+        let mut chosen: Option<usize> = None;
+        for &c in &node.children {
+            if c >= i {
+                // Out-of-order child (corrupt trace); skip rather than
+                // read an uncomputed entry.
+                continue;
+            }
+            let take = match chosen {
+                None => true,
+                Some(cur) => {
+                    let key = (tree.nodes[c].span.start_us, tree.nodes[c].span.id);
+                    let cur_key = (tree.nodes[cur].span.start_us, tree.nodes[cur].span.id);
+                    best[c] > chain || (best[c] == chain && key < cur_key)
+                }
+            };
+            if take {
+                chain = best[c];
+                chosen = Some(c);
+            }
+        }
+        best[i] = node.self_us + chain;
+        pick[i] = chosen;
+    }
+    // Best root, same tie-break.
+    let mut root = match tree.roots.first() {
+        Some(&r) => r,
+        None => return CriticalPath::default(),
+    };
+    for &r in &tree.roots {
+        let key = (tree.nodes[r].span.start_us, tree.nodes[r].span.id);
+        let root_key = (tree.nodes[root].span.start_us, tree.nodes[root].span.id);
+        if best[r] > best[root] || (best[r] == best[root] && key < root_key) {
+            root = r;
+        }
+    }
+    let mut steps = Vec::new();
+    let mut cursor = Some(root);
+    while let Some(i) = cursor {
+        let node = &tree.nodes[i];
+        steps.push(CriticalStep {
+            name: node.span.name.clone(),
+            id: node.span.id,
+            thread: node.span.thread,
+            dur_us: node.span.dur_us,
+            self_us: node.self_us,
+        });
+        cursor = pick[i];
+    }
+    CriticalPath {
+        total_us: best[root],
+        steps,
+    }
+}
+
+/// Renders the path as an indented text report.
+pub fn render(path: &CriticalPath) -> String {
+    let mut out = format!(
+        "critical path: {} us across {} span(s)\n",
+        path.total_us,
+        path.steps.len()
+    );
+    for (depth, step) in path.steps.iter().enumerate() {
+        let pct = if path.total_us == 0 {
+            0.0
+        } else {
+            100.0 * step.self_us as f64 / path.total_us as f64
+        };
+        out.push_str(&format!(
+            "{:indent$}{} self={}us ({:.1}%) dur={}us thread={} id={}\n",
+            "",
+            step.name,
+            step.self_us,
+            pct,
+            step.dur_us,
+            step.thread,
+            step.id,
+            indent = depth * 2,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Trace;
+    use crate::tree::SpanTree;
+
+    fn tree_of(lines: &str) -> SpanTree {
+        SpanTree::build(&Trace::parse(lines).expect("parse"))
+    }
+
+    #[test]
+    fn follows_the_heavier_branch() {
+        // root(self 10) -> a(self 5) -> a1(self 50)
+        //              \-> b(self 40)
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"a1\",\"id\":3,\"parent\":2,\"thread\":0,\"start_us\":10,\"dur_us\":50}\n",
+            "{\"type\":\"span\",\"name\":\"a\",\"id\":2,\"parent\":1,\"thread\":0,\"start_us\":5,\"dur_us\":55}\n",
+            "{\"type\":\"span\",\"name\":\"b\",\"id\":4,\"parent\":1,\"thread\":0,\"start_us\":60,\"dur_us\":40}\n",
+            "{\"type\":\"span\",\"name\":\"root\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":105}\n",
+        );
+        let path = critical_path(&tree_of(text));
+        let names: Vec<&str> = path.steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["root", "a", "a1"]);
+        assert_eq!(path.total_us, 10 + 5 + 50);
+        let report = render(&path);
+        assert!(report.contains("critical path: 65 us"));
+        assert!(report.contains("a1"));
+    }
+
+    #[test]
+    fn ties_break_toward_earlier_start() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"late\",\"id\":3,\"parent\":1,\"thread\":0,\"start_us\":50,\"dur_us\":20}\n",
+            "{\"type\":\"span\",\"name\":\"early\",\"id\":2,\"parent\":1,\"thread\":0,\"start_us\":10,\"dur_us\":20}\n",
+            "{\"type\":\"span\",\"name\":\"root\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":100}\n",
+        );
+        let path = critical_path(&tree_of(text));
+        assert_eq!(path.steps[1].name, "early");
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_path() {
+        let path = critical_path(&tree_of(""));
+        assert!(path.steps.is_empty());
+        assert_eq!(path.total_us, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Run diff: compare two trace summaries span-name by span-name and flag
+//! regressions. `tcl-trace diff` exits non-zero when any name regresses,
+//! which makes it a one-line CI perf gate:
+//!
+//! ```text
+//! tcl-trace diff baseline.jsonl current.jsonl --threshold 1.5
+//! ```
+
+use crate::summary::NameStats;
+
+/// Comparison of one span name across two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Span name.
+    pub name: String,
+    /// Self time in the base run (µs); 0 if the name is new.
+    pub base_self_us: u64,
+    /// Self time in the new run (µs); 0 if the name disappeared.
+    pub new_self_us: u64,
+    /// Span count in the base run.
+    pub base_count: u64,
+    /// Span count in the new run.
+    pub new_count: u64,
+    /// `new_self / base_self`; infinity for new names with nonzero time.
+    pub ratio: f64,
+    /// Whether this row trips the regression threshold.
+    pub regressed: bool,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// One row per span name present in either run, sorted by the change
+    /// in self time (most-regressed first), then name.
+    pub rows: Vec<DiffRow>,
+    /// Number of regressed rows.
+    pub regressions: usize,
+    /// Total self time of the base run (µs).
+    pub base_total_us: u64,
+    /// Total self time of the new run (µs).
+    pub new_total_us: u64,
+}
+
+/// Compares two summaries.
+///
+/// A name regresses when `new_self >= threshold * base_self` and the base
+/// self time is at least `min_us` (noise floor: a span going from 3 µs to
+/// 9 µs is jitter, not a regression). A name absent from the base run
+/// regresses when its new self time alone reaches `min_us` — new hot code
+/// should not slip past the gate just because there is nothing to compare
+/// it against.
+pub fn diff_summaries(
+    base: &[NameStats],
+    new: &[NameStats],
+    threshold: f64,
+    min_us: u64,
+) -> DiffReport {
+    let mut names: Vec<&str> = base
+        .iter()
+        .chain(new.iter())
+        .map(|s| s.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let find = |set: &[NameStats], name: &str| set.iter().find(|s| s.name == name).cloned();
+    let mut rows = Vec::with_capacity(names.len());
+    for name in names {
+        let b = find(base, name);
+        let n = find(new, name);
+        let base_self_us = b.as_ref().map_or(0, |s| s.self_us);
+        let new_self_us = n.as_ref().map_or(0, |s| s.self_us);
+        let ratio = if base_self_us > 0 {
+            new_self_us as f64 / base_self_us as f64
+        } else if new_self_us > 0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        let regressed = if b.is_some() {
+            base_self_us >= min_us && ratio >= threshold
+        } else {
+            new_self_us >= min_us
+        };
+        rows.push(DiffRow {
+            name: name.to_string(),
+            base_self_us,
+            new_self_us,
+            base_count: b.as_ref().map_or(0, |s| s.count),
+            new_count: n.as_ref().map_or(0, |s| s.count),
+            ratio,
+            regressed,
+        });
+    }
+    rows.sort_by(|a, b| {
+        let delta = |r: &DiffRow| r.new_self_us as i128 - r.base_self_us as i128;
+        delta(b).cmp(&delta(a)).then_with(|| a.name.cmp(&b.name))
+    });
+    DiffReport {
+        regressions: rows.iter().filter(|r| r.regressed).count(),
+        base_total_us: base.iter().map(|s| s.self_us).sum(),
+        new_total_us: new.iter().map(|s| s.self_us).sum(),
+        rows,
+    }
+}
+
+/// Renders the report as an aligned text table; regressed rows are marked
+/// with `!!`.
+pub fn render(report: &DiffReport) -> String {
+    let name_w = report
+        .rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = format!(
+        "total self time: {} us -> {} us ({} regression(s))\n",
+        report.base_total_us, report.new_total_us, report.regressions,
+    );
+    out.push_str(&format!(
+        "{:<name_w$}  {:>12}  {:>12}  {:>8}  {:>9}  {:>9}\n",
+        "span", "base_us", "new_us", "ratio", "base_n", "new_n",
+    ));
+    for r in &report.rows {
+        let flag = if r.regressed { " !!" } else { "" };
+        let ratio = if r.ratio.is_finite() {
+            format!("{:.2}x", r.ratio)
+        } else {
+            "new".to_string()
+        };
+        out.push_str(&format!(
+            "{:<name_w$}  {:>12}  {:>12}  {:>8}  {:>9}  {:>9}{flag}\n",
+            r.name, r.base_self_us, r.new_self_us, ratio, r.base_count, r.new_count,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, self_us: u64, count: u64) -> NameStats {
+        NameStats {
+            name: name.to_string(),
+            count,
+            total_us: self_us,
+            self_us,
+            p50_us: self_us / count.max(1),
+            p99_us: self_us / count.max(1),
+            max_us: self_us / count.max(1),
+        }
+    }
+
+    #[test]
+    fn flags_regressions_above_threshold_and_floor() {
+        let base = vec![
+            stats("hot", 10_000, 5),
+            stats("tiny", 3, 1),
+            stats("gone", 500, 1),
+        ];
+        let new = vec![
+            stats("hot", 25_000, 5),
+            stats("tiny", 9, 1),
+            stats("fresh", 2_000, 1),
+        ];
+        let report = diff_summaries(&base, &new, 1.5, 100);
+        // hot: 2.5x over a 10ms base → regressed.
+        // tiny: 3x but under the 100us floor → not regressed.
+        // gone: disappeared → improvement, not regression.
+        // fresh: new and over the floor → regressed.
+        let by_name = |n: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.name == n)
+                .cloned()
+                .expect("row")
+        };
+        assert!(by_name("hot").regressed);
+        assert!(!by_name("tiny").regressed);
+        assert!(!by_name("gone").regressed);
+        assert!(by_name("fresh").regressed);
+        assert!(by_name("fresh").ratio.is_infinite());
+        assert_eq!(report.regressions, 2);
+        // Sorted by delta: hot (+15000) first.
+        assert_eq!(report.rows[0].name, "hot");
+        let text = render(&report);
+        assert!(text.contains("2 regression(s)"));
+        assert!(text.contains("!!"));
+        assert!(text.contains("new"));
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let base = vec![stats("a", 1_000, 2), stats("b", 50, 1)];
+        let report = diff_summaries(&base, &base, 1.5, 100);
+        assert_eq!(report.regressions, 0);
+        assert!(report.rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-12));
+        assert_eq!(report.base_total_us, report.new_total_us);
+    }
+}

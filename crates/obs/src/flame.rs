@@ -1,0 +1,282 @@
+//! Flamegraphs: folded-stack text (Brendan Gregg's `stackcollapse`
+//! format, consumable by any external flamegraph tool) and a
+//! self-contained SVG renderer with zero dependencies.
+//!
+//! Stacks are aggregated by *name path*: every span contributes its self
+//! time to the frame `root;child;...;name`, merging repeated instances of
+//! the same call path (100 `train.step` spans under `train.epoch` become
+//! one wide frame, not 100 slivers). Output is deterministic — frames are
+//! laid out in lexicographic path order and colors are an FNV-1a hash of
+//! the frame name — so both renderings are golden-testable.
+
+use crate::tree::SpanTree;
+use std::collections::BTreeMap;
+
+/// Aggregates a span forest into folded-stack lines:
+/// `root;child;leaf <self_us>` per unique path, lexicographically sorted,
+/// zero-self paths omitted.
+pub fn folded(tree: &SpanTree) -> String {
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    // Walk each root iteratively, carrying the path.
+    let mut work: Vec<(usize, String)> = tree
+        .roots
+        .iter()
+        .map(|&r| (r, tree.nodes[r].span.name.clone()))
+        .collect();
+    // LIFO traversal order doesn't matter — the BTreeMap sorts output.
+    while let Some((i, path)) = work.pop() {
+        let node = &tree.nodes[i];
+        if node.self_us > 0 {
+            *agg.entry(path.clone()).or_default() += node.self_us;
+        }
+        for &c in &node.children {
+            let mut child_path =
+                String::with_capacity(path.len() + 1 + tree.nodes[c].span.name.len());
+            child_path.push_str(&path);
+            child_path.push(';');
+            child_path.push_str(&tree.nodes[c].span.name);
+            work.push((c, child_path));
+        }
+    }
+    let mut out = String::new();
+    for (path, us) in &agg {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// One merged frame in the layout: a unique call path.
+struct Frame {
+    /// Frame name (last path segment).
+    name: String,
+    /// Depth (root = 0).
+    depth: usize,
+    /// Total time in this frame including descendants (µs).
+    total_us: u64,
+    /// Self time (µs).
+    self_us: u64,
+    /// Left edge in µs, in merged-layout coordinates.
+    x_us: u64,
+}
+
+/// Merges folded paths into a frame layout. Children at each level are
+/// placed in lexicographic name order.
+fn layout(folded_text: &str) -> (Vec<Frame>, u64) {
+    // Rebuild a path trie from folded lines: path -> self_us.
+    let mut selfs: BTreeMap<Vec<&str>, u64> = BTreeMap::new();
+    for line in folded_text.lines() {
+        let Some((path, us)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(us) = us.parse::<u64>() else { continue };
+        selfs.insert(path.split(';').collect(), us);
+    }
+    // total(path) = self(path) + Σ total(children) — compute by adding
+    // each leaf's self time to every prefix.
+    let mut totals: BTreeMap<Vec<&str>, u64> = BTreeMap::new();
+    for (path, us) in &selfs {
+        for depth in 1..=path.len() {
+            *totals.entry(path[..depth].to_vec()).or_default() += us;
+        }
+    }
+    // BTreeMap iterates prefixes before extensions and siblings in name
+    // order, which is exactly the x-layout order. Track a running right
+    // edge per depth.
+    let mut frames = Vec::with_capacity(totals.len());
+    let mut edge: Vec<u64> = Vec::new(); // next free x per depth
+    for (path, &total_us) in &totals {
+        let depth = path.len() - 1;
+        // Prefixes iterate before extensions, so depth grows by at most 1
+        // per step; entering a new subtree resets deeper edges.
+        edge.truncate(depth + 1);
+        while edge.len() <= depth {
+            edge.push(0);
+        }
+        let parent_left = if depth == 0 {
+            edge[0]
+        } else {
+            edge[depth - 1].saturating_sub(totals[&path[..depth].to_vec()])
+        };
+        let x_us = parent_left.max(*edge.get(depth).unwrap_or(&0));
+        frames.push(Frame {
+            name: (*path.last().unwrap_or(&"?")).to_string(),
+            depth,
+            total_us,
+            self_us: selfs.get(path).copied().unwrap_or(0),
+            x_us,
+        });
+        edge[depth] = x_us + total_us;
+    }
+    let width_us = frames
+        .iter()
+        .filter(|f| f.depth == 0)
+        .map(|f| f.total_us)
+        .sum();
+    (frames, width_us)
+}
+
+/// FNV-1a hash of a frame name, used to pick a stable warm color.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Warm flame palette: hue from red to yellow keyed on the name hash.
+fn color(name: &str) -> String {
+    let h = fnv1a(name);
+    let r = 205 + (h % 50) as u32; // 205..=254
+    let g = 80 + ((h >> 8) % 130) as u32; // 80..=209
+    let b = ((h >> 16) % 55) as u32; // 0..=54
+    format!("rgb({r},{g},{b})")
+}
+
+const IMAGE_W: f64 = 1200.0;
+const ROW_H: f64 = 18.0;
+const PAD: f64 = 10.0;
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a self-contained SVG flamegraph from a span forest.
+///
+/// Deterministic: layout order and colors depend only on the trace.
+/// Every frame carries a `<title>` tooltip with its name, total time, and
+/// share of the run, so the SVG is explorable in any browser with no
+/// scripts.
+pub fn svg(tree: &SpanTree) -> String {
+    let (frames, width_us) = layout(&folded(tree));
+    let max_depth = frames.iter().map(|f| f.depth).max().unwrap_or(0);
+    let height = PAD * 2.0 + ROW_H * (max_depth + 1) as f64 + 24.0;
+    let scale = if width_us == 0 {
+        0.0
+    } else {
+        (IMAGE_W - 2.0 * PAD) / width_us as f64
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{IMAGE_W}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    out.push_str(&format!(
+        "<text x=\"{PAD}\" y=\"{}\">tcl-trace flame: {} us total, {} frame(s)</text>\n",
+        height - PAD,
+        width_us,
+        frames.len(),
+    ));
+    for f in &frames {
+        let x = PAD + f.x_us as f64 * scale;
+        let w = (f.total_us as f64 * scale).max(0.5);
+        // Flames grow upward: depth 0 at the bottom.
+        let y = PAD + ROW_H * (max_depth - f.depth) as f64;
+        let pct = if width_us == 0 {
+            0.0
+        } else {
+            100.0 * f.total_us as f64 / width_us as f64
+        };
+        let title = format!(
+            "{} ({} us total, {} us self, {:.2}%)",
+            f.name, f.total_us, f.self_us, pct
+        );
+        out.push_str(&format!(
+            "<g><title>{}</title><rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+             fill=\"{}\" stroke=\"white\" stroke-width=\"0.5\"/>",
+            xml_escape(&title),
+            x,
+            y,
+            w,
+            ROW_H - 1.0,
+            color(&f.name),
+        ));
+        // Label only frames wide enough to hold text (~6.6 px/char).
+        let label_chars = (w / 6.6) as usize;
+        if label_chars >= 3 {
+            let label: String = f.name.chars().take(label_chars).collect();
+            out.push_str(&format!(
+                "<text x=\"{:.2}\" y=\"{:.2}\" fill=\"black\">{}</text>",
+                x + 2.0,
+                y + ROW_H - 5.0,
+                xml_escape(&label),
+            ));
+        }
+        out.push_str("</g>\n");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Trace;
+    use crate::tree::SpanTree;
+
+    fn tree_of(lines: &str) -> SpanTree {
+        SpanTree::build(&Trace::parse(lines).expect("parse"))
+    }
+
+    const TRACE: &str = concat!(
+        "{\"type\":\"span\",\"name\":\"step\",\"id\":2,\"parent\":1,\"thread\":0,\"start_us\":0,\"dur_us\":30}\n",
+        "{\"type\":\"span\",\"name\":\"step\",\"id\":3,\"parent\":1,\"thread\":0,\"start_us\":30,\"dur_us\":50}\n",
+        "{\"type\":\"span\",\"name\":\"epoch\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":100}\n",
+    );
+
+    #[test]
+    fn folded_merges_repeated_paths() {
+        let text = folded(&tree_of(TRACE));
+        assert_eq!(text, "epoch 20\nepoch;step 80\n");
+    }
+
+    #[test]
+    fn folded_omits_zero_self_frames() {
+        let text = folded(&tree_of(concat!(
+            "{\"type\":\"span\",\"name\":\"inner\",\"id\":2,\"parent\":1,\"thread\":0,\"start_us\":0,\"dur_us\":40}\n",
+            "{\"type\":\"span\",\"name\":\"outer\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":40}\n",
+        )));
+        // outer's self time is 0; only the path through inner appears.
+        assert_eq!(text, "outer;inner 40\n");
+    }
+
+    #[test]
+    fn svg_is_self_contained_and_deterministic() {
+        let tree = tree_of(TRACE);
+        let a = svg(&tree);
+        let b = svg(&tree);
+        assert_eq!(a, b);
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        // Both frames render with tooltips; root is full width.
+        assert!(a.contains("<title>epoch (100 us total, 20 us self, 100.00%)</title>"));
+        assert!(a.contains("<title>step (80 us total, 80 us self, 80.00%)</title>"));
+        // No scripts, no external refs.
+        assert!(!a.contains("<script"));
+        assert!(!a.contains("http://") || a.contains("xmlns=\"http://www.w3.org/2000/svg\""));
+    }
+
+    #[test]
+    fn svg_escapes_names() {
+        let tree = tree_of(
+            "{\"type\":\"span\",\"name\":\"a<b>&\\\"c\\\"\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":10}\n",
+        );
+        let s = svg(&tree);
+        assert!(s.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(!s.contains("a<b>"));
+    }
+}

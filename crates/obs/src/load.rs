@@ -1,0 +1,340 @@
+//! JSONL trace loader: parses a `TCL_TRACE` file back into typed events.
+//!
+//! The parser is `tcl_telemetry::json::parse_line` — the same hand-rolled
+//! grammar the emitter is tested against — so a trace either loads exactly
+//! or fails with the offending line number. A truncated or corrupted line
+//! is a clean [`ObsError::Parse`], never a panic: `ci.sh` feeds the loader
+//! deliberately truncated traces as a negative control.
+//!
+//! Unknown `"type"` discriminators are tolerated (counted, not errored) so
+//! older `tcl-trace` builds keep working when the emitter grows new event
+//! kinds — the schema is append-only by convention.
+
+use crate::{ObsError, Result};
+use tcl_telemetry::json::{parse_line, JsonValue};
+
+/// One span record from the trace: a completed `tcl_telemetry::span`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (static in the emitter, owned here).
+    pub name: String,
+    /// Process-unique span id (ids start at 1).
+    pub id: u64,
+    /// Parent span id, if the span had one (possibly on another thread,
+    /// via `propagate_parent`).
+    pub parent: Option<u64>,
+    /// Telemetry thread id (dense, process-local).
+    pub thread: u64,
+    /// Start offset from the process trace epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Numeric attributes attached at open time.
+    pub attrs: Vec<(String, f64)>,
+}
+
+/// One parsed JSONL trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// `{"type":"span",...}` — see [`SpanEvent`].
+    Span(SpanEvent),
+    /// `{"type":"log",...}` — a mirrored progress line.
+    Log {
+        /// Component tag.
+        component: String,
+        /// Message text.
+        message: String,
+    },
+    /// `{"type":"counter",...}` — registry counter snapshot.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Counter value.
+        value: u64,
+    },
+    /// `{"type":"gauge",...}` — registry gauge snapshot.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Most recent value.
+        last: f64,
+        /// Run minimum.
+        min: f64,
+        /// Run maximum.
+        max: f64,
+    },
+    /// `{"type":"hist",...}` — registry histogram snapshot.
+    Hist {
+        /// Metric name.
+        name: String,
+        /// Sample count.
+        total: u64,
+        /// Exact mean.
+        mean: f64,
+        /// Exact max.
+        max: f64,
+        /// Bucket range upper bound.
+        upper: f64,
+        /// Per-bucket counts.
+        counts: Vec<u64>,
+    },
+    /// `{"type":"dropped",...}` — the `TCL_TRACE_MAX_MB` cap marker: this
+    /// trace is a prefix of the run, `count` events were suppressed.
+    Dropped {
+        /// Number of suppressed events.
+        count: u64,
+    },
+}
+
+/// A parsed trace: every event in file order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events in file order.
+    pub events: Vec<TraceEvent>,
+    /// Lines with a well-formed but unrecognized `"type"` (skipped).
+    pub unknown_types: usize,
+}
+
+impl Trace {
+    /// Parses a full JSONL trace text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObsError::Parse`] with a 1-based line number on the first
+    /// malformed line or missing/ill-typed field. Blank lines are allowed
+    /// (and skipped) so `head`-truncation at a line boundary still loads.
+    pub fn parse(text: &str) -> Result<Trace> {
+        let mut trace = Trace::default();
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = parse_line(line).map_err(|detail| ObsError::Parse {
+                line: lineno,
+                detail,
+            })?;
+            match parse_event(&value) {
+                Ok(Some(event)) => trace.events.push(event),
+                Ok(None) => trace.unknown_types += 1,
+                Err(detail) => {
+                    return Err(ObsError::Parse {
+                        line: lineno,
+                        detail,
+                    })
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Loads and parses a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and [`Trace::parse`] errors.
+    pub fn load(path: &std::path::Path) -> Result<Trace> {
+        let text = std::fs::read_to_string(path)?;
+        Trace::parse(&text)
+    }
+
+    /// The span events, in file order (i.e. span *close* order).
+    pub fn spans(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Span(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Total events suppressed by the emitter's size cap, if the trace
+    /// carries a `dropped` marker (0 otherwise).
+    pub fn dropped(&self) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Dropped { count } => Some(*count),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn field<'a>(obj: &'a JsonValue, key: &str) -> std::result::Result<&'a JsonValue, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn str_field(obj: &JsonValue, key: &str) -> std::result::Result<String, String> {
+    field(obj, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn u64_field(obj: &JsonValue, key: &str) -> std::result::Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn f64_field(obj: &JsonValue, key: &str) -> std::result::Result<f64, String> {
+    match field(obj, key)? {
+        JsonValue::Number(v) => Ok(*v),
+        // number_into emits null for non-finite values; preserve that.
+        JsonValue::Null => Ok(f64::NAN),
+        _ => Err(format!("field {key:?} must be a number or null")),
+    }
+}
+
+/// Parses one JSON object into a [`TraceEvent`]; `Ok(None)` for unknown
+/// types, `Err` for recognized types with bad fields.
+fn parse_event(value: &JsonValue) -> std::result::Result<Option<TraceEvent>, String> {
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err("event must be a JSON object".to_string());
+    }
+    let kind = str_field(value, "type")?;
+    match kind.as_str() {
+        "span" => {
+            let parent = match field(value, "parent")? {
+                JsonValue::Null => None,
+                v => Some(
+                    v.as_u64()
+                        .ok_or_else(|| "field \"parent\" must be null or an id".to_string())?,
+                ),
+            };
+            let attrs = match value.get("attrs") {
+                None => Vec::new(),
+                Some(JsonValue::Object(members)) => {
+                    let mut attrs = Vec::with_capacity(members.len());
+                    for (k, v) in members {
+                        let v = match v {
+                            JsonValue::Number(n) => *n,
+                            JsonValue::Null => f64::NAN,
+                            _ => return Err(format!("attr {k:?} must be numeric")),
+                        };
+                        attrs.push((k.clone(), v));
+                    }
+                    attrs
+                }
+                Some(_) => return Err("field \"attrs\" must be an object".to_string()),
+            };
+            Ok(Some(TraceEvent::Span(SpanEvent {
+                name: str_field(value, "name")?,
+                id: u64_field(value, "id")?,
+                parent,
+                thread: u64_field(value, "thread")?,
+                start_us: u64_field(value, "start_us")?,
+                dur_us: u64_field(value, "dur_us")?,
+                attrs,
+            })))
+        }
+        "log" => Ok(Some(TraceEvent::Log {
+            component: str_field(value, "component")?,
+            message: str_field(value, "message")?,
+        })),
+        "counter" => Ok(Some(TraceEvent::Counter {
+            name: str_field(value, "name")?,
+            value: u64_field(value, "value")?,
+        })),
+        "gauge" => Ok(Some(TraceEvent::Gauge {
+            name: str_field(value, "name")?,
+            last: f64_field(value, "last")?,
+            min: f64_field(value, "min")?,
+            max: f64_field(value, "max")?,
+        })),
+        "hist" => {
+            let counts = field(value, "counts")?
+                .as_array()
+                .ok_or_else(|| "field \"counts\" must be an array".to_string())?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .ok_or_else(|| "bucket counts must be non-negative integers".to_string())
+                })
+                .collect::<std::result::Result<Vec<u64>, String>>()?;
+            Ok(Some(TraceEvent::Hist {
+                name: str_field(value, "name")?,
+                total: u64_field(value, "total")?,
+                mean: f64_field(value, "mean")?,
+                max: f64_field(value, "max")?,
+                upper: f64_field(value, "upper")?,
+                counts,
+            }))
+        }
+        "dropped" => Ok(Some(TraceEvent::Dropped {
+            count: u64_field(value, "count")?,
+        })),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"type":"span","name":"matmul","id":2,"parent":1,"thread":0,"start_us":10,"dur_us":40,"attrs":{"m":64.0}}"#,
+        "\n",
+        r#"{"type":"span","name":"convert","id":1,"parent":null,"thread":0,"start_us":0,"dur_us":100}"#,
+        "\n",
+        r#"{"type":"log","component":"trainer","message":"epoch 0"}"#,
+        "\n",
+        r#"{"type":"counter","name":"snn.spikes","value":123}"#,
+        "\n",
+        r#"{"type":"gauge","name":"convert.lambda[0]","last":2.0,"min":1.5,"max":2.5}"#,
+        "\n",
+        r#"{"type":"hist","name":"snn.firing_rate","total":4,"mean":0.3,"max":0.9,"upper":1.0,"counts":[1,3]}"#,
+        "\n",
+        r#"{"type":"dropped","count":7,"reason":"TCL_TRACE_MAX_MB"}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_every_event_kind() {
+        let trace = Trace::parse(SAMPLE).expect("parses");
+        assert_eq!(trace.events.len(), 7);
+        assert_eq!(trace.spans().count(), 2);
+        assert_eq!(trace.dropped(), 7);
+        assert_eq!(trace.unknown_types, 0);
+        let span = trace.spans().next().expect("span");
+        assert_eq!(span.name, "matmul");
+        assert_eq!(span.parent, Some(1));
+        assert_eq!(span.attrs, vec![("m".to_string(), 64.0)]);
+        let root = trace.spans().nth(1).expect("root span");
+        assert_eq!(root.parent, None);
+        assert!(root.attrs.is_empty());
+    }
+
+    #[test]
+    fn unknown_types_are_skipped_not_fatal() {
+        let text =
+            "{\"type\":\"proto_v9\",\"x\":1}\n{\"type\":\"counter\",\"name\":\"c\",\"value\":1}\n";
+        let trace = Trace::parse(text).expect("parses");
+        assert_eq!(trace.unknown_types, 1);
+        assert_eq!(trace.events.len(), 1);
+    }
+
+    #[test]
+    fn truncation_and_bad_fields_fail_cleanly_with_line_numbers() {
+        // Mid-line truncation (what a killed process leaves behind).
+        let truncated = "{\"type\":\"counter\",\"name\":\"c\",\"value\":1}\n{\"type\":\"spa";
+        match Trace::parse(truncated) {
+            Err(ObsError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        // Recognized type with a missing field.
+        let missing = "{\"type\":\"span\",\"name\":\"x\",\"id\":1}";
+        match Trace::parse(missing) {
+            Err(ObsError::Parse { line: 1, detail }) => {
+                assert!(detail.contains("parent"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Ill-typed field.
+        let bad = "{\"type\":\"counter\",\"name\":\"c\",\"value\":-3}";
+        assert!(Trace::parse(bad).is_err());
+        // Blank lines are fine.
+        let blanky = "\n{\"type\":\"counter\",\"name\":\"c\",\"value\":3}\n\n";
+        assert_eq!(Trace::parse(blanky).expect("ok").events.len(), 1);
+    }
+}

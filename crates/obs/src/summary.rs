@@ -1,0 +1,174 @@
+//! Per-span-name aggregation: the `tcl-trace summary` table.
+//!
+//! Quantiles here are *exact* (nearest-rank over the sorted per-name
+//! duration list), unlike the bucketed approximations in
+//! `tcl_telemetry::FixedHistogram` — post-hoc analysis holds the whole
+//! trace in memory, so there is no reason to approximate.
+
+use crate::tree::SpanTree;
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NameStats {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of durations (µs). Nested same-name spans each count, so this
+    /// can exceed wall time.
+    pub total_us: u64,
+    /// Sum of self times (µs) — time attributable to this name alone.
+    pub self_us: u64,
+    /// Median duration (µs, nearest-rank).
+    pub p50_us: u64,
+    /// 99th-percentile duration (µs, nearest-rank).
+    pub p99_us: u64,
+    /// Maximum duration (µs).
+    pub max_us: u64,
+}
+
+/// Nearest-rank quantile over a sorted non-empty slice.
+fn rank(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let r = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[r - 1]
+}
+
+/// Aggregates a span forest into per-name statistics, sorted by self time
+/// descending, then name (deterministic for golden tests).
+pub fn summarize(tree: &SpanTree) -> Vec<NameStats> {
+    let mut durs: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut selfs: BTreeMap<&str, u64> = BTreeMap::new();
+    for node in &tree.nodes {
+        durs.entry(&node.span.name)
+            .or_default()
+            .push(node.span.dur_us);
+        *selfs.entry(&node.span.name).or_default() += node.self_us;
+    }
+    let mut stats: Vec<NameStats> = durs
+        .into_iter()
+        .map(|(name, mut d)| {
+            d.sort_unstable();
+            NameStats {
+                name: name.to_string(),
+                count: d.len() as u64,
+                total_us: d.iter().sum(),
+                self_us: selfs.get(name).copied().unwrap_or(0),
+                p50_us: rank(&d, 0.50),
+                p99_us: rank(&d, 0.99),
+                max_us: *d.last().unwrap_or(&0),
+            }
+        })
+        .collect();
+    stats.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    stats
+}
+
+/// Renders the summary as an aligned text table.
+pub fn render_table(stats: &[NameStats]) -> String {
+    let mut out = String::new();
+    let name_w = stats
+        .iter()
+        .map(|s| s.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let total_self: u64 = stats.iter().map(|s| s.self_us).sum();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+        "span", "count", "total_us", "self_us", "self%", "p50_us", "p99_us", "max_us",
+    ));
+    for s in stats {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * s.self_us as f64 / total_self as f64
+        };
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>5.1}%  {:>10}  {:>10}  {:>10}\n",
+            s.name, s.count, s.total_us, s.self_us, pct, s.p50_us, s.p99_us, s.max_us,
+        ));
+    }
+    out
+}
+
+/// Renders the summary as a JSON array (machine-readable, stable field
+/// order) for `tcl-trace summary --json` and `tcl-trace diff` inputs.
+pub fn render_json(stats: &[NameStats]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"name\":\"");
+        tcl_telemetry::json::escape_into(&s.name, &mut out);
+        out.push_str(&format!(
+            "\",\"count\":{},\"total_us\":{},\"self_us\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            s.count, s.total_us, s.self_us, s.p50_us, s.p99_us, s.max_us,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Trace;
+    use crate::tree::SpanTree;
+
+    fn tree_of(lines: &str) -> SpanTree {
+        SpanTree::build(&Trace::parse(lines).expect("parse"))
+    }
+
+    #[test]
+    fn aggregates_by_name_with_exact_quantiles() {
+        let mut text = String::new();
+        // 100 "step" spans of durations 1..=100 under one root.
+        for i in 1..=100u64 {
+            text.push_str(&format!(
+                "{{\"type\":\"span\",\"name\":\"step\",\"id\":{},\"parent\":1,\"thread\":0,\"start_us\":{},\"dur_us\":{}}}\n",
+                i + 1,
+                i * 200,
+                i,
+            ));
+        }
+        text.push_str(
+            "{\"type\":\"span\",\"name\":\"run\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":30000}\n",
+        );
+        let stats = summarize(&tree_of(&text));
+        assert_eq!(stats.len(), 2);
+        // run self = 30000 - sum(1..=100) = 30000 - 5050
+        assert_eq!(stats[0].name, "run");
+        assert_eq!(stats[0].self_us, 30000 - 5050);
+        let step = &stats[1];
+        assert_eq!(step.count, 100);
+        assert_eq!(step.total_us, 5050);
+        assert_eq!(step.self_us, 5050);
+        assert_eq!(step.p50_us, 50);
+        assert_eq!(step.p99_us, 99);
+        assert_eq!(step.max_us, 100);
+    }
+
+    #[test]
+    fn renders_table_and_json_deterministically() {
+        let text = concat!(
+            "{\"type\":\"span\",\"name\":\"b\",\"id\":2,\"parent\":1,\"thread\":0,\"start_us\":0,\"dur_us\":30}\n",
+            "{\"type\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":null,\"thread\":0,\"start_us\":0,\"dur_us\":100}\n",
+        );
+        let stats = summarize(&tree_of(text));
+        let table = render_table(&stats);
+        assert!(table.starts_with("span"));
+        assert!(table.contains("a"));
+        assert!(table.contains("70")); // a's self time
+        let json = render_json(&stats);
+        // Round-trips through the telemetry parser.
+        let value = tcl_telemetry::json::parse_line(json.trim()).expect("valid json");
+        let arr = value.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("name").and_then(|v| v.as_str()), Some("a"));
+        assert_eq!(arr[0].get("self_us").and_then(|v| v.as_u64()), Some(70));
+    }
+}

@@ -1,0 +1,199 @@
+//! Span-forest reconstruction: JSONL span records → parent-linked trees
+//! with per-node self time.
+//!
+//! The emitter writes one record per span at *close* time, so a trace is a
+//! post-order stream. Parent linkage is by span id, which works across
+//! threads: `tcl_telemetry::propagate_parent` carries the spawning span's
+//! id into `thread::scope` workers, so a `par.worker` span on thread 3
+//! parents under the kernel span on thread 0 that fanned it out.
+//!
+//! **Self time** is a span's duration minus the duration of its children
+//! *on the same thread* (clamped at zero against clock jitter). Children
+//! on other threads run concurrently with their parent — subtracting them
+//! would double-count wall time the parent was genuinely executing — so
+//! cross-thread children contribute to the tree shape but not to the
+//! parent's self-time deduction. A capped trace (`TCL_TRACE_MAX_MB`) can
+//! reference parents whose close record was suppressed; such orphans
+//! become roots.
+
+use crate::load::{SpanEvent, Trace};
+use std::collections::BTreeMap;
+
+/// One node of the reconstructed forest.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// The span record.
+    pub span: SpanEvent,
+    /// Indices (into [`SpanTree::nodes`]) of this span's children, sorted
+    /// by start offset then id.
+    pub children: Vec<usize>,
+    /// Duration minus same-thread child durations, clamped ≥ 0 (µs).
+    pub self_us: u64,
+}
+
+/// The reconstructed span forest of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// All span nodes, in trace (close) order.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of root spans (no parent, or parent missing from the
+    /// trace), sorted by start offset then id.
+    pub roots: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Builds the forest from a parsed trace.
+    pub fn build(trace: &Trace) -> SpanTree {
+        let mut nodes: Vec<SpanNode> = trace
+            .spans()
+            .map(|span| SpanNode {
+                span: span.clone(),
+                children: Vec::new(),
+                self_us: span.dur_us,
+            })
+            .collect();
+        // First close wins on (pathological) duplicate ids; later spans
+        // with a duplicated id still appear as nodes, just unlinkable.
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            by_id.entry(node.span.id).or_insert(i);
+        }
+        let mut roots = Vec::new();
+        for i in 0..nodes.len() {
+            let parent_idx = nodes[i]
+                .span
+                .parent
+                .and_then(|pid| by_id.get(&pid).copied())
+                .filter(|&p| p != i);
+            match parent_idx {
+                Some(p) => nodes[p].children.push(i),
+                None => roots.push(i),
+            }
+        }
+        // Deterministic ordering + self-time deduction.
+        let key = |nodes: &[SpanNode], i: usize| (nodes[i].span.start_us, nodes[i].span.id);
+        for i in 0..nodes.len() {
+            let mut children = std::mem::take(&mut nodes[i].children);
+            children.sort_by_key(|&c| key(&nodes, c));
+            let same_thread_child_us: u64 = children
+                .iter()
+                .filter(|&&c| nodes[c].span.thread == nodes[i].span.thread)
+                .map(|&c| nodes[c].span.dur_us)
+                .sum();
+            nodes[i].self_us = nodes[i].span.dur_us.saturating_sub(same_thread_child_us);
+            nodes[i].children = children;
+        }
+        roots.sort_by_key(|&r| key(&nodes, r));
+        SpanTree { nodes, roots }
+    }
+
+    /// Total self time over all nodes (µs) — equals total traced wall
+    /// time per thread, summed over threads.
+    pub fn total_self_us(&self) -> u64 {
+        self.nodes.iter().map(|n| n.self_us).sum()
+    }
+
+    /// The name path from a root down to `idx` (inclusive), following
+    /// parent links. `idx` must be a valid node index.
+    pub fn stack_of(&self, idx: usize) -> Vec<&str> {
+        // Parent pointers are implicit; rebuild by id lookup.
+        let mut by_id: BTreeMap<u64, usize> = BTreeMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            by_id.entry(node.span.id).or_insert(i);
+        }
+        let mut stack = Vec::new();
+        let mut cursor = Some(idx);
+        let mut hops = 0usize;
+        while let Some(i) = cursor {
+            stack.push(self.nodes[i].span.name.as_str());
+            hops += 1;
+            if hops > self.nodes.len() {
+                break; // corrupt parent cycle; bail deterministically
+            }
+            cursor = self.nodes[i]
+                .span
+                .parent
+                .and_then(|pid| by_id.get(&pid).copied())
+                .filter(|&p| p != i);
+        }
+        stack.reverse();
+        stack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::Trace;
+
+    fn span_line(
+        name: &str,
+        id: u64,
+        parent: Option<u64>,
+        thread: u64,
+        start: u64,
+        dur: u64,
+    ) -> String {
+        format!(
+            "{{\"type\":\"span\",\"name\":\"{name}\",\"id\":{id},\"parent\":{},\"thread\":{thread},\"start_us\":{start},\"dur_us\":{dur}}}",
+            parent.map_or("null".to_string(), |p| p.to_string()),
+        )
+    }
+
+    fn build(lines: &[String]) -> SpanTree {
+        SpanTree::build(&Trace::parse(&lines.join("\n")).expect("parse"))
+    }
+
+    #[test]
+    fn reconstructs_nesting_and_self_time() {
+        // close order: children first (RAII drop order).
+        let tree = build(&[
+            span_line("inner_a", 2, Some(1), 0, 10, 30),
+            span_line("inner_b", 3, Some(1), 0, 50, 20),
+            span_line("outer", 1, None, 0, 0, 100),
+        ]);
+        assert_eq!(tree.roots.len(), 1);
+        let root = &tree.nodes[tree.roots[0]];
+        assert_eq!(root.span.name, "outer");
+        assert_eq!(root.children.len(), 2);
+        // children sorted by start
+        assert_eq!(tree.nodes[root.children[0]].span.name, "inner_a");
+        assert_eq!(root.self_us, 100 - 30 - 20);
+        assert_eq!(tree.total_self_us(), 50 + 30 + 20);
+        assert_eq!(tree.stack_of(root.children[1]), vec!["outer", "inner_b"]);
+    }
+
+    #[test]
+    fn cross_thread_children_nest_but_do_not_eat_self_time() {
+        let tree = build(&[
+            span_line("worker", 2, Some(1), 1, 5, 90),
+            span_line("worker", 3, Some(1), 2, 5, 80),
+            span_line("kernel", 1, None, 0, 0, 100),
+        ]);
+        let root = &tree.nodes[tree.roots[0]];
+        assert_eq!(root.children.len(), 2);
+        // Concurrent workers don't reduce the kernel's self time.
+        assert_eq!(root.self_us, 100);
+        assert_eq!(tree.total_self_us(), 100 + 90 + 80);
+    }
+
+    #[test]
+    fn missing_parents_become_roots() {
+        // Parent id 99's close record was suppressed by the size cap.
+        let tree = build(&[
+            span_line("orphan", 5, Some(99), 0, 10, 20),
+            span_line("whole", 6, None, 0, 0, 50),
+        ]);
+        assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.stack_of(tree.roots[1]), vec!["orphan"]);
+    }
+
+    #[test]
+    fn clock_jitter_clamps_self_time_at_zero() {
+        let tree = build(&[
+            span_line("child", 2, Some(1), 0, 0, 120),
+            span_line("parent", 1, None, 0, 0, 100),
+        ]);
+        assert_eq!(tree.nodes[tree.roots[0]].self_us, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Golden tests over a committed fixture: a real `TCL_TRACE` capture from
+//! a quick `table1` run (CIFAR-10 synthetic scale, `TCL_THREADS=2`,
+//! `TCL_TRACE_MAX_MB=1` so the capture is a bounded prefix with a
+//! `dropped` marker).
+//!
+//! Analysis output is a pure function of the trace, so the folded stacks
+//! and critical path are compared byte-for-byte against committed
+//! expectations; the SVG is checked structurally (valid frame count,
+//! determinism, escaping) rather than byte-wise so cosmetic renderer
+//! tweaks don't require a fixture churn.
+
+use std::path::PathBuf;
+use tcl_obs::{critical, flame, summary, SpanTree, Trace};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(name)
+}
+
+fn load_fixture_tree() -> (Trace, SpanTree) {
+    let trace = Trace::load(&fixture("fixtures/table1_quick.jsonl")).expect("fixture parses");
+    let tree = SpanTree::build(&trace);
+    (trace, tree)
+}
+
+#[test]
+fn fixture_is_a_real_capped_capture() {
+    let (trace, tree) = load_fixture_tree();
+    // The run was capped at 1 MiB, so the trace must carry the marker and
+    // a substantial span population.
+    assert!(trace.dropped() > 0, "fixture should be a capped capture");
+    assert!(tree.nodes.len() > 1000, "got {} spans", tree.nodes.len());
+    assert!(!tree.roots.is_empty());
+    // Parent propagation across thread::scope is visible: at least one
+    // span's parent lives on a different thread.
+    let cross = tree.nodes.iter().any(|n| {
+        n.children
+            .iter()
+            .any(|&c| tree.nodes[c].span.thread != n.span.thread)
+    });
+    assert!(cross, "expected cross-thread parent/child links");
+}
+
+#[test]
+fn folded_stacks_match_golden() {
+    let (_, tree) = load_fixture_tree();
+    let expected = std::fs::read_to_string(fixture("golden/table1_quick.folded")).expect("golden");
+    assert_eq!(flame::folded(&tree), expected);
+}
+
+#[test]
+fn critical_path_matches_golden() {
+    let (_, tree) = load_fixture_tree();
+    let expected =
+        std::fs::read_to_string(fixture("golden/table1_quick.critical")).expect("golden");
+    assert_eq!(critical::render(&critical::critical_path(&tree)), expected);
+}
+
+#[test]
+fn svg_renders_structurally() {
+    let (_, tree) = load_fixture_tree();
+    let a = flame::svg(&tree);
+    let b = flame::svg(&tree);
+    assert_eq!(a, b, "SVG must be deterministic");
+    assert!(a.starts_with("<svg"));
+    assert!(a.trim_end().ends_with("</svg>"));
+    // One <rect> per folded path (frames merge by call path).
+    let folded_paths = flame::folded(&tree).lines().count();
+    let rects = a.matches("<rect").count();
+    assert!(
+        rects >= folded_paths,
+        "{rects} rects for {folded_paths} folded paths"
+    );
+    assert!(
+        a.matches("<title>").count() == rects,
+        "every frame has a tooltip"
+    );
+}
+
+#[test]
+fn summary_accounts_for_every_span() {
+    let (_, tree) = load_fixture_tree();
+    let stats = summary::summarize(&tree);
+    let counted: u64 = stats.iter().map(|s| s.count).sum();
+    assert_eq!(counted as usize, tree.nodes.len());
+    // Self time is conserved: per-name self sums equal the tree total.
+    let self_sum: u64 = stats.iter().map(|s| s.self_us).sum();
+    assert_eq!(self_sum, tree.total_self_us());
+    // The summary JSON round-trips through the telemetry parser.
+    let json = summary::render_json(&stats);
+    let value = tcl_telemetry::json::parse_line(json.trim()).expect("valid json");
+    assert_eq!(
+        value.as_array().map(|a| a.len()),
+        Some(stats.len()),
+        "one JSON object per span name"
+    );
+}
+
+#[test]
+fn diff_against_self_is_clean_and_scaled_copy_regresses() {
+    let (_, tree) = load_fixture_tree();
+    let stats = summary::summarize(&tree);
+    let clean = tcl_obs::diff_summaries(&stats, &stats, 1.5, 1000);
+    assert_eq!(clean.regressions, 0);
+    // Inject a 2x regression on the hottest span name.
+    let mut slowed = stats.clone();
+    slowed[0].self_us *= 2;
+    let report = tcl_obs::diff_summaries(&stats, &slowed, 1.5, 1000);
+    assert!(report.regressions >= 1);
+    assert!(
+        report.rows[0].regressed,
+        "hottest row sorts first and is flagged"
+    );
+}

@@ -1,0 +1,130 @@
+//! Property test: the telemetry *emitter* and the obs *parser* are the
+//! same grammar. Events emitted through the real `tcl-telemetry` API
+//! (captured via `test_support::with_captured`) must parse back through
+//! `Trace::parse` with every value intact — counters exactly, finite
+//! floats exactly (shortest-round-trip formatting), non-finite floats as
+//! NaN (JSON has no Inf/NaN literals; the emitter writes `null`), and log
+//! strings byte-for-byte through escaping, including control characters
+//! and multi-byte UTF-8.
+
+use proptest::prelude::*;
+use tcl_obs::{Trace, TraceEvent};
+use tcl_telemetry::test_support::{reset_metrics, with_captured};
+
+/// What a float should look like after an emit→parse round trip.
+fn expect_f64(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::NAN
+    }
+}
+
+fn same_f64(a: f64, b: f64) -> bool {
+    (a.is_nan() && b.is_nan()) || a == b
+}
+
+/// Characters the log-message strategy draws from: ASCII, JSON-special,
+/// control, and multi-byte UTF-8 (2, 3, and 4 byte sequences).
+const PALETTE: [char; 12] = [
+    'a', 'Z', '"', '\\', '\n', '\t', '\r', '\u{1}', ' ', 'λ', '€', '𝄞',
+];
+
+/// Maps a gauge selector to a possibly non-finite value.
+fn gauge_value(base: f64, selector: u32) -> f64 {
+    match selector {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => base,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn emitted_events_round_trip_through_the_parser(
+        counter in 0u64..1_000_000_000,
+        gauge_pair in (-1.0e12f64..1.0e12, 0u32..8),
+        samples in prop::collection::vec(0.0f64..1.5, 1..24),
+        attr in -1.0e9f64..1.0e9,
+        msg_indices in prop::collection::vec(0usize..PALETTE.len(), 0..32),
+    ) {
+        let message: String = msg_indices.iter().map(|&i| PALETTE[i]).collect();
+        let (gauge_base, gauge_sel) = gauge_pair;
+        let gauge = gauge_value(gauge_base, gauge_sel);
+        let (_, lines) = with_captured(|| {
+            reset_metrics();
+            {
+                let _outer = tcl_telemetry::span_with("rt.outer", || vec![("rt_attr", attr)]);
+                let _inner = tcl_telemetry::span("rt.inner");
+            }
+            tcl_telemetry::log("rt", &message);
+            tcl_telemetry::counter_add("rt.counter", counter);
+            tcl_telemetry::gauge_set("rt.gauge", gauge);
+            for &s in &samples {
+                tcl_telemetry::hist_record("rt.hist", s, 1.0, 8);
+            }
+            tcl_telemetry::write_metrics_snapshot();
+        });
+        let trace = Trace::parse(&lines.join("\n"))
+            .unwrap_or_else(|e| panic!("emitted lines must parse: {e}\n{}", lines.join("\n")));
+        prop_assert_eq!(trace.unknown_types, 0);
+
+        // Spans: both present, inner parented under outer, attr intact.
+        let spans: Vec<_> = trace.spans().collect();
+        prop_assert_eq!(spans.len(), 2);
+        let inner = spans[0]; // RAII close order: inner first
+        let outer = spans[1];
+        prop_assert_eq!(inner.name.as_str(), "rt.inner");
+        prop_assert_eq!(outer.name.as_str(), "rt.outer");
+        prop_assert_eq!(inner.parent, Some(outer.id));
+        prop_assert_eq!(outer.attrs.len(), 1);
+        prop_assert!(same_f64(outer.attrs[0].1, expect_f64(attr)));
+
+        // Log: the message survives escaping byte-for-byte.
+        let log = trace.events.iter().find_map(|e| match e {
+            TraceEvent::Log { component, message } if component == "rt" => Some(message.clone()),
+            _ => None,
+        });
+        prop_assert_eq!(log, Some(message));
+
+        // Counter: exact.
+        prop_assert!(trace.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Counter { name, value }
+                if name == "rt.counter" && *value == counter
+        )));
+
+        // Gauge: finite exactly, non-finite as NaN.
+        let gauge_rt = trace.events.iter().find_map(|e| match e {
+            TraceEvent::Gauge { name, last, .. } if name == "rt.gauge" => Some(*last),
+            _ => None,
+        });
+        match gauge_rt {
+            Some(last) => prop_assert!(
+                same_f64(last, expect_f64(gauge)),
+                "gauge {} round-tripped to {}",
+                gauge,
+                last
+            ),
+            None => prop_assert!(false, "gauge event missing"),
+        }
+
+        // Histogram: bucket counts and totals are integers — exact.
+        let hist = trace.events.iter().find_map(|e| match e {
+            TraceEvent::Hist { name, total, counts, .. } if name == "rt.hist" => {
+                Some((*total, counts.clone()))
+            }
+            _ => None,
+        });
+        match hist {
+            Some((total, counts)) => {
+                prop_assert_eq!(total, samples.len() as u64);
+                prop_assert_eq!(counts.iter().sum::<u64>(), samples.len() as u64);
+            }
+            None => prop_assert!(false, "hist event missing"),
+        }
+    }
+}

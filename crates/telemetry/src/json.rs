@@ -1,11 +1,14 @@
-//! Hand-rolled JSON helpers: string escaping for emission and a minimal
-//! recursive-descent validator for tests and the CI smoke step.
+//! Hand-rolled JSON helpers: string escaping for emission, and a minimal
+//! recursive-descent parser producing [`JsonValue`] trees for the trace
+//! analysis toolkit (`tcl-obs`), tests, and the CI smoke step.
 //!
 //! The workspace deliberately has no external dependencies (the vendored
 //! `serde` is a no-op stub), so telemetry events are serialized by hand.
-//! [`escape_into`] covers the emission side; [`validate_line`] is a strict
-//! single-value JSON parser that lets tests and `ci.sh` confirm every
-//! emitted line is well-formed without pulling in a JSON crate.
+//! [`escape_into`] covers the emission side; [`parse_line`] is a strict
+//! single-value JSON parser that the `tcl-obs` trace loader uses to read
+//! the stream back, and [`validate_line`] is its discard-the-value form
+//! used by tests and `ci.sh` to confirm every emitted line is well-formed
+//! without pulling in a JSON crate.
 
 /// Appends `s` to `out` with JSON string escaping applied (no quotes added).
 pub fn escape_into(s: &str, out: &mut String) {
@@ -38,22 +41,96 @@ pub fn number_into(v: f64, out: &mut String) {
     }
 }
 
-/// Validates that `line` is exactly one well-formed JSON value.
+/// One parsed JSON value.
+///
+/// Objects keep their members as an ordered `Vec` (insertion order, exactly
+/// as they appeared on the wire) rather than a map: the telemetry emitters
+/// never produce duplicate keys, and a `Vec` keeps iteration deterministic
+/// without imposing an ordering the stream did not have.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` — also what [`number_into`] emits for non-finite floats.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64` (the only numeric type the telemetry
+    /// schema emits; u64 counters up to 2^53 round-trip exactly).
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// `[ ... ]`.
+    Array(Vec<JsonValue>),
+    /// `{ "k": v, ... }` in wire order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member `key` of an object (first occurrence), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `line` as exactly one well-formed JSON value.
 ///
 /// Returns `Err` with a byte offset and message on the first violation.
 /// Accepts the full JSON grammar (objects, arrays, strings, numbers,
 /// `true`/`false`/`null`) — strict about trailing content and control
 /// characters in strings.
-pub fn validate_line(line: &str) -> Result<(), String> {
+pub fn parse_line(line: &str) -> Result<JsonValue, String> {
     let bytes = line.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing content at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
+}
+
+/// Validates that `line` is exactly one well-formed JSON value.
+///
+/// Equivalent to [`parse_line`] with the value discarded.
+pub fn validate_line(line: &str) -> Result<(), String> {
+    parse_line(line).map(|_| ())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -62,94 +139,159 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b't') => parse_literal(bytes, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null").map(|()| JsonValue::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
         Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
         None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // consume '{'
     skip_ws(bytes, pos);
+    let mut members = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Object(members));
     }
     loop {
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b'"') {
             return Err(format!("expected string key at byte {pos}", pos = *pos));
         }
-        parse_string(bytes, pos)?;
+        let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(members));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // consume '['
     skip_ws(bytes, pos);
+    let mut items = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(items));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        items.push(parse_value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    let mut out = String::new();
     *pos += 1; // consume opening '"'
     while let Some(&c) = bytes.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
                         *pos += 1;
-                        for _ in 0..4 {
-                            match bytes.get(*pos) {
-                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
-                                _ => {
-                                    return Err(format!("bad \\u escape at byte {pos}", pos = *pos))
+                        let first = parse_hex4(bytes, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: a low surrogate must follow.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let second = parse_hex4(bytes, pos)?;
+                                if (0xDC00..0xE000).contains(&second) {
+                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                                } else {
+                                    return Err(format!(
+                                        "unpaired surrogate before byte {pos}",
+                                        pos = *pos
+                                    ));
                                 }
+                            } else {
+                                return Err(format!(
+                                    "unpaired surrogate before byte {pos}",
+                                    pos = *pos
+                                ));
+                            }
+                        } else if (0xDC00..0xE000).contains(&first) {
+                            return Err(format!(
+                                "unpaired low surrogate before byte {pos}",
+                                pos = *pos
+                            ));
+                        } else {
+                            first
+                        };
+                        match char::from_u32(code) {
+                            Some(ch) => out.push(ch),
+                            None => {
+                                return Err(format!(
+                                    "invalid \\u escape before byte {pos}",
+                                    pos = *pos
+                                ))
                             }
                         }
                     }
@@ -162,10 +304,46 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
                     pos = *pos
                 ))
             }
-            _ => *pos += 1,
+            _ => {
+                // Copy one UTF-8 scalar (the input is a &str, so boundaries
+                // are trustworthy; take the full multi-byte sequence).
+                let width = utf8_width(c);
+                match bytes
+                    .get(*pos..*pos + width)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                {
+                    Some(s) => out.push_str(s),
+                    None => return Err(format!("bad UTF-8 at byte {pos}", pos = *pos)),
+                }
+                *pos += width;
+            }
         }
     }
     Err("unterminated string".to_string())
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        match bytes.get(*pos) {
+            Some(h) if h.is_ascii_hexdigit() => {
+                let d = (*h as char).to_digit(16).unwrap_or(0);
+                v = v * 16 + d;
+                *pos += 1;
+            }
+            _ => return Err(format!("bad \\u escape at byte {pos}", pos = *pos)),
+        }
+    }
+    Ok(v)
 }
 
 fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
@@ -177,7 +355,7 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -213,7 +391,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             *pos += 1;
         }
     }
-    Ok(())
+    // The grammar above admits exactly the strings f64::from_str accepts.
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("bad number at byte {start}"))?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("bad number at byte {start}"))
 }
 
 #[cfg(test)]
@@ -268,8 +451,42 @@ mod tests {
             "\"unterminated",
             "\"raw\tcontrol\"",
             "NaN",
+            "\"lone \\ud800 surrogate\"",
         ] {
             assert!(validate_line(line).is_err(), "should reject: {line}");
         }
+    }
+
+    #[test]
+    fn parse_builds_value_trees() {
+        let v = parse_line(r#"{"type":"span","id":7,"parent":null,"attrs":{"m":64.5},"ok":true}"#)
+            .expect("parses");
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("span"));
+        assert_eq!(v.get("id").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("parent"), Some(&JsonValue::Null));
+        assert_eq!(
+            v.get("attrs")
+                .and_then(|a| a.get("m"))
+                .and_then(JsonValue::as_f64),
+            Some(64.5)
+        );
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+        let arr = parse_line("[1, 2.5, -3e2]").expect("parses");
+        let items = arr.as_array().expect("array");
+        assert_eq!(items[2].as_f64(), Some(-300.0));
+        assert_eq!(items[2].as_u64(), None, "negative is not u64");
+    }
+
+    #[test]
+    fn parse_resolves_escapes_and_surrogates() {
+        let v = parse_line(r#""a\"b\\c\ndA 😀""#).expect("parses");
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41} 😀"));
+        // Escaped emission round-trips through the parser.
+        let mut wire = String::from('"');
+        escape_into("x\t\"y\"\u{3}", &mut wire);
+        wire.push('"');
+        let back = parse_line(&wire).expect("round-trip");
+        assert_eq!(back.as_str(), Some("x\t\"y\"\u{3}"));
     }
 }

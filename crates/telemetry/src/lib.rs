@@ -21,6 +21,10 @@
 //!   histograms) and the end-of-run summary. Same value convention; the
 //!   summary itself is human-readable text on stderr.
 //!
+//! A third variable bounds file-sink growth: `TCL_TRACE_MAX_MB=<MiB>`
+//! stops appending once the cap is reached and surfaces the number of
+//! dropped events through [`events_dropped`] and [`emit_summary`].
+//!
 //! When a variable is unset the corresponding fast path is a single relaxed
 //! atomic load and a branch: no allocation, no locking, no clock reads, and
 //! — critically for the kernels — no change to any computed float. The
@@ -67,10 +71,10 @@ mod sink;
 mod span;
 
 pub use metrics::{
-    counter_add, counter_value, gauge_set, gauge_set_indexed, hist_record, render_summary,
-    write_metrics_snapshot, FixedHistogram,
+    counter_add, counter_value, gauge_set, gauge_set_indexed, hist_record, metrics_snapshot,
+    render_summary, write_metrics_snapshot, FixedHistogram, MetricSnapshot,
 };
-pub use sink::{events_emitted, flush, log};
+pub use sink::{events_dropped, events_emitted, flush, log};
 pub use span::{current_span_id, propagate_parent, span, span_with, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -116,10 +120,25 @@ pub fn metrics_enabled() -> bool {
 /// Prints the end-of-run metrics summary to stderr when metrics are
 /// enabled, and mirrors the registry into the trace stream when tracing is
 /// enabled. Call once at the end of a run (the bench bins do).
+///
+/// When the `TCL_TRACE_MAX_MB` file-sink cap suppressed events, the count
+/// is surfaced both on stderr and as a final `{"type":"dropped",...}`
+/// JSONL marker (written past the cap, so readers always learn the trace
+/// is a prefix of the run rather than the whole of it).
 pub fn emit_summary() {
     if trace_enabled() {
         write_metrics_snapshot();
+        let dropped = events_dropped();
+        if dropped > 0 {
+            sink::emit_line_unbounded(format!(
+                "{{\"type\":\"dropped\",\"count\":{dropped},\"reason\":\"TCL_TRACE_MAX_MB\"}}"
+            ));
+        }
         flush();
+    }
+    let dropped = events_dropped();
+    if dropped > 0 {
+        eprintln!("[telemetry] {dropped} trace event(s) dropped by the TCL_TRACE_MAX_MB cap");
     }
     if metrics_enabled() {
         let summary = render_summary();

@@ -84,6 +84,52 @@ impl FixedHistogram {
         }
     }
 
+    /// Sum of all recorded samples (0.0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded distribution, at
+    /// bucket resolution: the rank-`⌈q·n⌉` sample is located in its bucket
+    /// and its value estimated by linear interpolation across that bucket,
+    /// then clamped to the exact recorded maximum (so `quantile(1.0) ==
+    /// max()` exactly, and a p99 never reports a value no sample reached).
+    ///
+    /// Returns 0.0 when empty. `q` outside `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let width = self.upper / self.counts.len() as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate within bucket i: the (rank - seen)-th of its
+                // c samples, assuming uniform spread across the bucket.
+                let frac = (rank - seen) as f64 / c as f64;
+                let value = (i as f64 + frac) * width;
+                return value.min(self.max());
+            }
+            seen += c;
+        }
+        self.max()
+    }
+
+    /// Median ([`FixedHistogram::quantile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile ([`FixedHistogram::quantile`] at 0.99).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Upper bound of the bucketed range.
     pub fn upper(&self) -> f64 {
         self.upper
@@ -224,6 +270,80 @@ pub fn counter_value(name: &str) -> Option<u64> {
     }
 }
 
+/// One metric's point-in-time state, as captured by [`metrics_snapshot`].
+///
+/// This is the read surface the `tcl-obs` HTTP exporter serves `/metrics`
+/// and `/summary` from; it is deliberately a plain value (no registry
+/// references) so rendering happens outside the registry lock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A monotonic counter.
+    Counter {
+        /// Metric name (indexed gauges carry their `[i]` suffix).
+        name: String,
+        /// Current value.
+        value: u64,
+    },
+    /// A last/min/max gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Most recently set value.
+        last: f64,
+        /// Smallest value seen this run.
+        min: f64,
+        /// Largest value seen this run.
+        max: f64,
+    },
+    /// A fixed-bucket histogram (cloned, so quantiles can be computed
+    /// without holding the registry lock).
+    Hist {
+        /// Metric name.
+        name: String,
+        /// The histogram contents.
+        hist: FixedHistogram,
+    },
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            MetricSnapshot::Counter { name, .. }
+            | MetricSnapshot::Gauge { name, .. }
+            | MetricSnapshot::Hist { name, .. } => name,
+        }
+    }
+}
+
+/// Captures the current state of every registered metric, in name order.
+///
+/// Unlike the update functions this is **not** gated on
+/// [`crate::metrics_enabled`]: it reads whatever the registry holds (an
+/// empty `Vec` when metrics were never enabled), because the exporter must
+/// be able to answer scrapes deterministically regardless of gating.
+pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry();
+    reg.iter()
+        .map(|(name, metric)| match metric {
+            Metric::Counter(v) => MetricSnapshot::Counter {
+                name: name.clone(),
+                value: *v,
+            },
+            Metric::Gauge { last, min, max } => MetricSnapshot::Gauge {
+                name: name.clone(),
+                last: *last,
+                min: *min,
+                max: *max,
+            },
+            Metric::Hist(h) => MetricSnapshot::Hist {
+                name: name.clone(),
+                hist: h.clone(),
+            },
+        })
+        .collect()
+}
+
 /// Renders the registry as a human-readable end-of-run table.
 ///
 /// Returns an empty string when nothing was recorded.
@@ -245,11 +365,12 @@ pub fn render_summary() -> String {
             }
             Metric::Hist(h) => {
                 out.push_str(&format!(
-                    "  hist    {name:<32} n={} mean={:.6} max={:.6} upper={:.3}\n",
+                    "  hist    {name:<32} n={} mean={:.6} p50={:.6} p99={:.6} max={:.6}\n",
                     h.total(),
                     h.mean(),
+                    h.p50(),
+                    h.p99(),
                     h.max(),
-                    h.upper(),
                 ));
             }
         }
@@ -333,6 +454,57 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.counts(), &[2, 2, 1, 2]);
         assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp_to_max() {
+        let mut h = FixedHistogram::new(10.0, 10);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for v in [1.5, 2.5, 3.5, 4.5] {
+            h.record(v);
+        }
+        // Rank 2 of 4 at q=0.5 lands in bucket [2,3): one sample there.
+        assert!((h.p50() - 3.0).abs() < 1e-9, "p50 = {}", h.p50());
+        // p99 → rank 4, bucket [4,5), clamped to the exact max 4.5.
+        assert!((h.p99() - 4.5).abs() < 1e-9, "p99 = {}", h.p99());
+        assert_eq!(h.quantile(1.0), h.max());
+        assert!((h.sum() - 12.0).abs() < 1e-9);
+        // A heavy single bucket interpolates within it.
+        let mut u = FixedHistogram::new(1.0, 1);
+        for _ in 0..100 {
+            u.record(0.9);
+        }
+        assert!(u.p50() <= 0.9 && u.p50() > 0.0);
+        assert_eq!(u.quantile(-1.0), u.quantile(0.0), "q clamps");
+    }
+
+    #[test]
+    fn snapshot_mirrors_registry_without_gating() {
+        let (snaps, _lines) = with_captured(|| {
+            reset_metrics();
+            counter_add("t.snap_counter", 7);
+            gauge_set("t.snap_gauge", 2.0);
+            gauge_set("t.snap_gauge", -1.0);
+            hist_record("t.snap_hist", 0.5, 1.0, 4);
+            metrics_snapshot()
+        });
+        assert!(snaps.iter().any(|s| matches!(
+            s,
+            MetricSnapshot::Counter { name, value: 7 } if name == "t.snap_counter"
+        )));
+        assert!(snaps.iter().any(|s| matches!(
+            s,
+            MetricSnapshot::Gauge { name, last, min, max }
+                if name == "t.snap_gauge" && *last == -1.0 && *min == -1.0 && *max == 2.0
+        )));
+        assert!(snaps.iter().any(
+            |s| matches!(s, MetricSnapshot::Hist { name, hist } if name == "t.snap_hist" && hist.total() == 1)
+        ));
+        // Name order (BTreeMap order) is deterministic.
+        let names: Vec<&str> = snaps.iter().map(MetricSnapshot::name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 
     #[test]
