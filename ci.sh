@@ -119,12 +119,31 @@ rm -f target/telemetry_smoke.folded target/telemetry_smoke_truncated.jsonl
 echo "tcl-trace OK (summary/flame/critical-path/diff + truncation caught)"
 
 echo "==> bench binaries answer --help (incl. --resume pass-through)"
-for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay engine_bench obs_bench; do
+for bin in table1 figure1 latency_curve lambda_init reset_mode energy lambda_decay engine_bench obs_bench serve_bench; do
   cargo run --release -q -p tcl-bench --bin "$bin" -- --help | grep -q TCL_TRACE
   cargo run --release -q -p tcl-bench --bin "$bin" -- --resume --help | grep -q TCL_CKPT_EVERY
 done
 
 echo "==> checkpoint/resume crash-safety suite (bit-exact kill-and-resume)"
 cargo test --release -q -p tcl-nn --test checkpoint_resume
+
+echo "==> tcl-serve: load-simulation + fault-injection suites (thread matrix)"
+# The serving core is virtual-clock deterministic: the sim-load suite pins
+# completion-order fingerprints that must be byte-identical across worker
+# counts, so the whole suite runs as separate processes at each setting.
+for t in 1 4; do
+  echo "==> cargo test -p tcl-serve --tests (TCL_THREADS=$t)"
+  TCL_THREADS=$t cargo test -q -p tcl-serve --tests
+done
+./target/release/tcl_serve --help | grep -q TCL_SERVE_ADDR
+# Negative control: a request body cut off mid-transfer must resolve to a
+# timely 4xx (slow-loris timeout), never a hang or a served answer.
+serve_out=$(cargo test -q -p tcl-serve --test faults   truncated_body_answers_4xx_within_timeout -- --exact 2>&1)
+if ! printf '%s\n' "$serve_out" | grep -q '1 passed'; then
+  echo "FAIL: truncated-body negative control did not run/pass" >&2
+  printf '%s\n' "$serve_out" >&2
+  exit 1
+fi
+echo "tcl-serve OK (deterministic across TCL_THREADS={1,4} + truncated-body control)"
 
 echo "CI OK"

@@ -1,0 +1,332 @@
+//! Load-sweep benchmark of the `tcl-serve` continuous-batching service:
+//! offered load vs achieved throughput, latency percentiles, and the
+//! saturation knee — at fixed accuracy.
+//!
+//! ```text
+//! cargo run --release -p tcl-bench --bin serve_bench
+//! ```
+//!
+//! The sweep drives the *deterministic* serving core (virtual clock +
+//! simulated transport, the same substrate as the `tcl-serve` test
+//! suites), so queueing behavior — latency growth, queue overflow, the
+//! knee — is an exact, reproducible property of the admission policy
+//! rather than of the benchmark machine. Wall-clock time is measured
+//! per row as well, giving the real engine-side cost of the same work.
+//!
+//! Offered load is an open-loop arrival process (seeded jitter around the
+//! target rate); requests carry no deadlines, so overload shows up as
+//! bounded-queue sheds (429) and latency inflation, never as accuracy
+//! loss: every completed answer is the same bitwise result batch
+//! evaluation would produce, which the accuracy column pins per row.
+//!
+//! Writes `BENCH_serve.json` at the repo root: one row per offered load
+//! plus the saturation-knee row (the first load where the service sheds
+//! or p99 latency exceeds 5× the lightest load's p99).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tcl_bench::{help_requested, render_table, Scale};
+use tcl_serve::sim::{infer_request, SimNet};
+use tcl_serve::{LaneBackend, ServeConfig, Server, VirtualClock};
+use tcl_snn::{
+    ExitPolicy, IfNeurons, Readout, ResetMode, SpikingLayer, SpikingNetwork, SpikingNode,
+    SynapticOp,
+};
+use tcl_tensor::{SeededRng, Tensor};
+
+const FEATURES: usize = 8;
+const LANES: usize = 8;
+const SEED: u64 = 0x5E27E;
+
+/// One identity spiking layer: class `k` for the sample whose `k`-th
+/// feature dominates, so expected answers are known without training.
+fn identity_net() -> SpikingNetwork {
+    let mut weight = vec![0.0f32; FEATURES * FEATURES];
+    for i in 0..FEATURES {
+        weight[i * FEATURES + i] = 1.0;
+    }
+    let weight = Tensor::from_vec([FEATURES, FEATURES], weight).expect("identity weight");
+    SpikingNetwork::new(vec![SpikingNode::Spiking(SpikingLayer::new(
+        SynapticOp::Linear { weight, bias: None },
+        IfNeurons::new(1.0, ResetMode::Subtract),
+    ))])
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        capacity: LANES,
+        queue_depth: 2 * LANES,
+        feat_dims: vec![FEATURES],
+        policy: ExitPolicy::Adaptive {
+            patience: 4,
+            min_margin: 2.0,
+            min_steps: 6,
+        },
+        max_steps: 100,
+        us_per_step: 100,
+        steps_per_tick: 1,
+        max_body: 4096,
+        head_timeout_us: 1_000_000,
+        max_conns: 4096,
+    }
+}
+
+/// The request mix: mostly confident samples (early exit ~10 steps), one
+/// in eight a near-tie that rides a long margin climb. Returns (sample,
+/// label) for request `i`.
+fn sample_for(i: usize, rng: &mut SeededRng) -> (Vec<f32>, usize) {
+    let label = rng.below(FEATURES);
+    let mut sample = vec![0.05f32; FEATURES];
+    if i % 8 == 7 {
+        // Near-tie: margin grows slowly, exercising long-running lanes.
+        sample[label] = 0.55;
+        sample[(label + 1) % FEATURES] = 0.50;
+    } else {
+        sample[label] = 0.75 + rng.uniform(0.0, 0.2);
+    }
+    (sample, label)
+}
+
+struct LoadRow {
+    offered_rps: f64,
+    completed: u64,
+    shed: u64,
+    accuracy: f64,
+    p50_us: f64,
+    p99_us: f64,
+    achieved_rps: f64,
+    engine_steps: u64,
+    lane_steps: u64,
+    wall_ms: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Runs one offered-load point: `n_req` open-loop arrivals at
+/// `offered_rps` against a fresh server; returns the measured row.
+fn run_load(offered_rps: f64, n_req: usize) -> LoadRow {
+    let cfg = serve_config();
+    let net = identity_net();
+    let clock = VirtualClock::new();
+    let sim = SimNet::new(&clock);
+
+    let mut rng = SeededRng::new(SEED);
+    let mean_gap_us = 1e6 / offered_rps;
+    let mut t = 0f64;
+    let mut clients = Vec::with_capacity(n_req);
+    let mut labels = Vec::with_capacity(n_req);
+    for i in 0..n_req {
+        // Jittered open-loop arrivals: uniform in [0.5, 1.5] × mean gap.
+        t += mean_gap_us * (0.5 + f64::from(rng.uniform(0.0, 1.0)));
+        let (sample, label) = sample_for(i, &mut rng);
+        clients.push(sim.request_at(t as u64, infer_request(&sample, None)));
+        labels.push(label);
+    }
+
+    let factory = {
+        let net = net.clone();
+        let capacity = cfg.capacity;
+        let feat_dims = cfg.feat_dims.clone();
+        let policy = cfg.policy;
+        Box::new(move || -> Box<dyn tcl_serve::Backend> {
+            Box::new(
+                LaneBackend::new(&net, capacity, &feat_dims, Readout::SpikeCount, policy)
+                    .expect("lane backend"),
+            )
+        })
+    };
+    let mut server =
+        Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
+
+    // One engine timestep per 100 virtual µs tick (steps_per_tick ×
+    // us_per_step), so the engine's virtual step rate is load-independent
+    // and latency resolves at single-step granularity.
+    let tick_us = 100;
+    let start = Instant::now();
+    let mut ticks = 0u64;
+    while !(server.idle() && sim.pending() == 0) {
+        server.tick();
+        clock.advance(tick_us);
+        ticks += 1;
+        assert!(ticks < 50_000_000, "load sweep failed to drain");
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut latencies = Vec::new();
+    let mut correct = 0u64;
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    let mut last_close = 0u64;
+    for (client, label) in clients.iter().zip(&labels) {
+        last_close = last_close.max(client.closed_at().unwrap_or(0));
+        match client.status() {
+            Some(200) => {
+                completed += 1;
+                let body = tcl_telemetry::json::parse_line(client.body().trim())
+                    .expect("response body parses");
+                let pred = body
+                    .get("pred")
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(u64::MAX);
+                let latency = body
+                    .get("latency_us")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                latencies.push(latency);
+                if pred == *label as u64 {
+                    correct += 1;
+                }
+            }
+            Some(429) | Some(503) => shed += 1,
+            other => panic!("unexpected response status {other:?}"),
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let makespan_s = (last_close.max(1) as f64) / 1e6;
+    LoadRow {
+        offered_rps,
+        completed,
+        shed,
+        accuracy: if completed > 0 {
+            correct as f64 / completed as f64
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        achieved_rps: completed as f64 / makespan_s,
+        engine_steps: server.engine_steps(),
+        lane_steps: server.lane_steps(),
+        wall_ms,
+    }
+}
+
+fn main() {
+    if help_requested(
+        "serve_bench",
+        "continuous-batching serving load sweep: offered load vs achieved req/s, \
+         p50/p99 latency, sheds, and the saturation knee at fixed accuracy \
+         (deterministic virtual-clock simulation); writes BENCH_serve.json",
+    ) {
+        return;
+    }
+    let scale = Scale::from_env();
+    let n_req = match scale {
+        Scale::Quick => 150,
+        Scale::Standard => 400,
+        Scale::Full => 1200,
+    };
+    let loads: &[f64] = &[250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0];
+
+    println!(
+        "== serving load sweep ({} scale: {n_req} requests/row, {LANES} lanes) ==\n",
+        scale.name()
+    );
+    let rows: Vec<LoadRow> = loads.iter().map(|&rps| run_load(rps, n_req)).collect();
+
+    // Saturation knee: the first load that sheds, or whose p99 latency
+    // exceeds 5× the lightest load's p99.
+    let base_p99 = rows.first().map_or(0.0, |r| r.p99_us);
+    let knee = rows
+        .iter()
+        .position(|r| r.shed > 0 || r.p99_us > 5.0 * base_p99)
+        .unwrap_or(rows.len() - 1);
+
+    let header: Vec<String> = [
+        "offered_rps",
+        "achieved_rps",
+        "completed",
+        "shed",
+        "accuracy",
+        "p50_us",
+        "p99_us",
+        "engine_steps",
+        "wall_ms",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                format!("{:.0}{}", r.offered_rps, if i == knee { " *" } else { "" }),
+                format!("{:.0}", r.achieved_rps),
+                r.completed.to_string(),
+                r.shed.to_string(),
+                format!("{:.3}", r.accuracy),
+                format!("{:.0}", r.p50_us),
+                format!("{:.0}", r.p99_us),
+                r.engine_steps.to_string(),
+                format!("{:.1}", r.wall_ms),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &table));
+    println!("* saturation knee");
+
+    // Accuracy is load-invariant by construction (completed answers are
+    // the batch-evaluation results); fail loudly if serving ever bends it.
+    let acc0 = rows[0].accuracy;
+    for r in &rows {
+        assert!(
+            (r.accuracy - acc0).abs() < 1e-9,
+            "accuracy moved under load: {} vs {acc0} at {} rps",
+            r.accuracy,
+            r.offered_rps
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"identity-{FEATURES} spiking net, {LANES} lanes, adaptive exit \
+         (patience 4, margin 2), {n_req} open-loop requests per row ({} scale)\",",
+        scale.name(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"clock\": \"virtual (deterministic); wall_ms is the real engine cost per row\","
+    );
+    let _ = writeln!(json, "  \"accuracy_fixed\": {acc0:.4},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"offered_rps\": {:.0}, \"achieved_rps\": {:.1}, \"completed\": {}, \
+             \"shed\": {}, \"accuracy\": {:.4}, \"p50_us\": {:.0}, \"p99_us\": {:.0}, \
+             \"engine_steps\": {}, \"lane_steps\": {}, \"wall_ms\": {:.1} }}{}",
+            r.offered_rps,
+            r.achieved_rps,
+            r.completed,
+            r.shed,
+            r.accuracy,
+            r.p50_us,
+            r.p99_us,
+            r.engine_steps,
+            r.lane_steps,
+            r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"knee\": {{ \"offered_rps\": {:.0}, \"achieved_rps\": {:.1}, \"p99_us\": {:.0}, \
+         \"shed\": {} }}",
+        rows[knee].offered_rps, rows[knee].achieved_rps, rows[knee].p99_us, rows[knee].shed,
+    );
+    let _ = writeln!(json, "}}");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("json: {}", path.display());
+}

@@ -53,7 +53,7 @@ impl Finding {
 /// Crates whose non-test code must be deterministic (D-series scope).
 /// Timing belongs to `telemetry`/`bench`; randomness flows through
 /// `SeededRng`/`SmallRng`.
-const D_SCOPE: &[&str] = &["tensor", "nn", "snn", "core", "data", "models"];
+const D_SCOPE: &[&str] = &["tensor", "nn", "snn", "core", "data", "models", "serve"];
 
 /// Crates exempt from the panic policy (P-series): `bench` binaries may
 /// unwrap CLI arguments and I/O at top level.
@@ -347,6 +347,18 @@ pub fn check_file(path: &str, text: &str, krate: &str) -> Vec<Finding> {
                     &mut out,
                 );
             }
+            if name == "thread" && file.is_path_sep(c + 1) && file.is_ident(c + 3, "sleep") {
+                emit(
+                    &file,
+                    t,
+                    "D1",
+                    format!(
+                        "blocking `thread::sleep` in deterministic crate `{krate}`; \
+                         time must flow through an injected Clock (main()-edge only)"
+                    ),
+                    &mut out,
+                );
+            }
             if name == "thread_rng" || name == "from_entropy" {
                 emit(
                     &file,
@@ -607,11 +619,14 @@ fn gated_regions(file: &SourceFile) -> Vec<(usize, usize)> {
 pub const RULES: &[(&str, &str)] = &[
     (
         "D1",
-        "Wall-clock reads (SystemTime::now, Instant::now) are banned from the \
-         deterministic crates (tensor, nn, snn, core, data, models) outside test code. \
-         Results must be a pure function of inputs + seeds so golden snapshots and the \
-         bitwise parallel==serial contract hold; timing lives in telemetry/bench. \
-         Timing that only feeds gated telemetry may carry a \
+        "Wall-clock reads (SystemTime::now, Instant::now) and blocking sleeps \
+         (thread::sleep) are banned from the deterministic crates (tensor, nn, snn, \
+         core, data, models, serve) outside test code. Results must be a pure function \
+         of inputs + seeds so golden snapshots, the bitwise parallel==serial contract, \
+         and the virtual-clock serving simulations hold; timing lives in \
+         telemetry/bench, and the serving library takes time through an injected Clock \
+         (real Instant only at the tcl_serve main() edge). Timing that only feeds gated \
+         telemetry, or a main()-edge clock binding, may carry a \
          `// lint: allow(D1) reason` pragma.",
     ),
     (

@@ -26,6 +26,25 @@ fn d1_flags_wall_clock_in_deterministic_crates() {
 }
 
 #[test]
+fn d1_covers_the_serving_crate_and_blocking_sleeps() {
+    // The serving library must take time through an injected Clock; both a
+    // wall-clock read and a pacing sleep are determinism leaks there.
+    let src = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(rules(&lint("serve", src)), ["D1"]);
+    let src = "fn f() { std::thread::sleep(Duration::from_millis(1)); }";
+    assert_eq!(rules(&lint("serve", src)), ["D1"]);
+    let src = "fn f() { thread::sleep(Duration::from_millis(1)); }";
+    assert_eq!(rules(&lint("snn", src)), ["D1"]);
+    // `sleep` without the `thread::` path (e.g. a method named sleep) and
+    // unrelated `thread` idents stay clean.
+    assert!(lint("serve", "fn f(s: &Sim) { s.sleep(3); }").is_empty());
+    assert!(lint("serve", "fn f() { let thread = 1; }").is_empty());
+    // The obs exporter legitimately sleeps between scrapes: out of scope.
+    let src = "fn f() { std::thread::sleep(Duration::from_millis(1)); }";
+    assert!(lint("obs", src).is_empty());
+}
+
+#[test]
 fn d1_pragma_with_reason_suppresses() {
     let src =
         "fn f() {\n    // lint: allow(D1) feeds only a gated gauge\n    let t = Instant::now();\n}";

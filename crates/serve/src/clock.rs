@@ -1,0 +1,72 @@
+//! Time as a capability.
+//!
+//! Everything in this crate that needs "now" asks a [`Clock`], and the only
+//! clock the library ships is the [`VirtualClock`] — a counter the test (or
+//! bench) harness advances by hand. Wall time exists solely in the
+//! `tcl_serve` binary, which binds a real-`Instant` clock at the `main()`
+//! edge. The payoff is that the entire serving state machine — admission,
+//! deadlines, slow-loris timeouts, load shedding, drain — runs under a
+//! deterministic clock in tests: the same scenario script produces the same
+//! microsecond-stamped outcome on every run and every machine (lint rule D1
+//! enforces that no wall clock leaks into the library).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A monotonic microsecond clock.
+pub trait Clock {
+    /// Microseconds since an arbitrary epoch. Must never decrease.
+    fn now_us(&self) -> u64;
+}
+
+/// A hand-advanced clock for deterministic simulation.
+///
+/// Cloning yields a handle onto the same underlying counter, so a harness
+/// can keep one handle while the server owns another.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Rc<Cell<u64>>,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.set(self.now.get() + us);
+    }
+
+    /// Jumps the clock to an absolute time (clamped monotonic: a target in
+    /// the past leaves the clock where it is).
+    pub fn set(&self, us: u64) {
+        self.now.set(us.max(self.now.get()));
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_counter() {
+        let clock = VirtualClock::new();
+        let handle = clock.clone();
+        assert_eq!(clock.now_us(), 0);
+        handle.advance(250);
+        assert_eq!(clock.now_us(), 250);
+        clock.set(1_000);
+        assert_eq!(handle.now_us(), 1_000);
+        // set() never rewinds.
+        clock.set(500);
+        assert_eq!(handle.now_us(), 1_000);
+    }
+}

@@ -1,0 +1,315 @@
+//! A minimal, incremental HTTP/1.0-style request parser and response
+//! builder — the same hand-rolled dialect as the `tcl-obs` metrics
+//! exporter (one request per connection, `Connection: close`, no TLS, no
+//! keep-alive, no chunked bodies), extended with POST bodies for inference
+//! requests.
+//!
+//! The parser is a push-style state machine: the server feeds it whatever
+//! bytes arrived this tick and it answers "need more", "here is the
+//! request", or "reject with this status". All limits (header size, body
+//! size) are enforced *during* accumulation, so a hostile client can never
+//! make the server buffer unbounded data, and a truncated body simply
+//! parks the parser in `NeedMore` until the slow-loris deadline fires.
+
+/// Maximum bytes of request head (request line + headers) accepted.
+pub const MAX_HEAD: usize = 4096;
+
+/// A parsed request, ready for dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `POST` (anything else is rejected at parse time).
+    pub method: Method,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Request body (empty for GET).
+    pub body: Vec<u8>,
+}
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read-only endpoints (`/healthz`, `/stats`).
+    Get,
+    /// Inference submission (`/infer`).
+    Post,
+}
+
+/// Parser verdict after consuming the bytes seen so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// The request is incomplete; feed more bytes (or time out).
+    NeedMore,
+    /// A full request was assembled.
+    Ready(Request),
+    /// The request is invalid; respond with this status and close.
+    Reject {
+        /// HTTP status code to answer with.
+        status: u16,
+        /// Short human-readable reason for the response body.
+        reason: &'static str,
+    },
+}
+
+/// Incremental request parser: call [`RequestParser::feed`] with each chunk.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Parsed head, once the blank line has been seen:
+    /// (method, path, content-length, body start offset in `buf`).
+    head: Option<(Method, String, usize, usize)>,
+    max_body: usize,
+}
+
+impl RequestParser {
+    /// A parser accepting at most `max_body` body bytes.
+    pub fn new(max_body: usize) -> Self {
+        RequestParser {
+            buf: Vec::new(),
+            head: None,
+            max_body,
+        }
+    }
+
+    /// Total bytes buffered so far (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes one chunk of bytes and returns the current verdict.
+    pub fn feed(&mut self, chunk: &[u8]) -> Parse {
+        self.buf.extend_from_slice(chunk);
+        if self.head.is_none() {
+            let Some(head_end) = find_blank_line(&self.buf) else {
+                return if self.buf.len() > MAX_HEAD {
+                    Parse::Reject {
+                        status: 431,
+                        reason: "request head too large",
+                    }
+                } else {
+                    Parse::NeedMore
+                };
+            };
+            if head_end > MAX_HEAD {
+                return Parse::Reject {
+                    status: 431,
+                    reason: "request head too large",
+                };
+            }
+            match parse_head(&self.buf[..head_end]) {
+                Ok((method, path, content_length)) => {
+                    if content_length > self.max_body {
+                        return Parse::Reject {
+                            status: 413,
+                            reason: "request body too large",
+                        };
+                    }
+                    self.head = Some((method, path, content_length, head_end));
+                }
+                Err((status, reason)) => return Parse::Reject { status, reason },
+            }
+        }
+        let Some((method, path, content_length, body_start)) = self.head.as_ref() else {
+            // Unreachable: the head is assigned directly above on the only
+            // path that reaches here.
+            return Parse::NeedMore;
+        };
+        let have = self.buf.len() - body_start;
+        if have < *content_length {
+            return Parse::NeedMore;
+        }
+        let body = self.buf[*body_start..*body_start + *content_length].to_vec();
+        Parse::Ready(Request {
+            method: *method,
+            path: path.clone(),
+            body,
+        })
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` (or `\n\n`) terminating the head.
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+type HeadFields = (Method, String, usize);
+
+fn parse_head(head: &[u8]) -> Result<HeadFields, (u16, &'static str)> {
+    let text = std::str::from_utf8(head).map_err(|_| (400u16, "non-UTF-8 request head"))?;
+    let mut lines = text.lines();
+    let request_line = lines.next().ok_or((400, "empty request"))?;
+    if request_line.trim().is_empty() {
+        return Err((400, "empty request"));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("POST") => Method::Post,
+        _ => return Err((405, "method not allowed")),
+    };
+    let raw_path = parts.next().ok_or((400, "missing request path"))?;
+    let path = raw_path.split('?').next().unwrap_or(raw_path).to_string();
+    let mut content_length = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            let parsed: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| (400, "bad Content-Length"))?;
+            content_length = Some(parsed);
+        }
+    }
+    let content_length = match (method, content_length) {
+        (Method::Get, _) => 0,
+        (Method::Post, Some(n)) => n,
+        (Method::Post, None) => return Err((411, "Content-Length required")),
+    };
+    Ok((method, path, content_length))
+}
+
+/// Builds a complete HTTP response (status line, headers, body).
+/// `retry_after_s` adds a `Retry-After` header (load-shed responses).
+pub fn response(status: u16, body: &str, retry_after_s: Option<u64>) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let content_type = if body.trim_start().starts_with('{') {
+        "application/json; charset=utf-8"
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len(),
+    );
+    if let Some(s) = retry_after_s {
+        head.push_str(&format!("Retry-After: {s}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(parser: &mut RequestParser, bytes: &[u8]) -> Parse {
+        parser.feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_post_fed_byte_by_byte() {
+        let raw = b"POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut parser = RequestParser::new(64);
+        let mut verdict = Parse::NeedMore;
+        for &b in raw.iter() {
+            verdict = parser.feed(&[b]);
+            if !matches!(verdict, Parse::NeedMore) && b != *raw.last().unwrap() {
+                // Only the final byte may complete the request.
+                assert_eq!(verdict, Parse::NeedMore);
+            }
+        }
+        match verdict {
+            Parse::Ready(req) => {
+                assert_eq!(req.method, Method::Post);
+                assert_eq!(req.path, "/infer");
+                assert_eq!(req.body, b"abcd");
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_ignores_content_and_strips_query() {
+        let mut parser = RequestParser::new(0);
+        match feed_all(&mut parser, b"GET /stats?verbose=1 HTTP/1.1\r\n\r\n") {
+            Parse::Ready(req) => {
+                assert_eq!(req.method, Method::Get);
+                assert_eq!(req.path, "/stats");
+                assert!(req.body.is_empty());
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_and_heads_are_rejected() {
+        let mut parser = RequestParser::new(8);
+        let verdict = feed_all(
+            &mut parser,
+            b"POST /infer HTTP/1.1\r\nContent-Length: 9\r\n\r\n",
+        );
+        assert_eq!(
+            verdict,
+            Parse::Reject {
+                status: 413,
+                reason: "request body too large"
+            }
+        );
+        let mut parser = RequestParser::new(8);
+        let huge = vec![b'a'; MAX_HEAD + 1];
+        assert!(matches!(
+            feed_all(&mut parser, &huge),
+            Parse::Reject { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn bad_requests_get_specific_statuses() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"PUT /infer HTTP/1.1\r\n\r\n", 405),
+            (b"POST /infer HTTP/1.1\r\n\r\n", 411),
+            (b"POST /infer HTTP/1.1\r\nContent-Length: x\r\n\r\n", 400),
+            (b"\r\n\r\n", 400),
+        ];
+        for (raw, status) in cases {
+            let mut parser = RequestParser::new(64);
+            match feed_all(&mut parser, raw) {
+                Parse::Reject { status: s, .. } => assert_eq!(s, *status, "{raw:?}"),
+                other => panic!("{raw:?}: expected Reject({status}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_body_stays_incomplete() {
+        let mut parser = RequestParser::new(64);
+        let verdict = feed_all(
+            &mut parser,
+            b"POST /infer HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+        );
+        assert_eq!(verdict, Parse::NeedMore);
+    }
+
+    #[test]
+    fn responses_carry_status_length_and_retry_after() {
+        let shed = String::from_utf8(response(429, "{\"error\":\"shed\"}", Some(2))).unwrap();
+        assert!(shed.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(shed.contains("Retry-After: 2\r\n"));
+        assert!(shed.contains("Content-Length: 16\r\n"));
+        assert!(shed.contains("application/json"));
+        assert!(shed.ends_with("{\"error\":\"shed\"}"));
+        let ok = String::from_utf8(response(200, "ok\n", None)).unwrap();
+        assert!(ok.contains("text/plain"));
+        assert!(!ok.contains("Retry-After"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Deterministic network simulation: scripted clients over a
+//! [`VirtualClock`].
+//!
+//! A [`SimNet`] is an in-memory [`Transport`] whose connections follow
+//! byte-level scripts pinned to virtual timestamps: "at t=1200µs this
+//! client's next 40 bytes become readable", "at t=5000µs it disconnects".
+//! Combined with the virtual clock this makes serving scenarios exact
+//! replays — open-loop arrival processes, slow-loris dribble, mid-request
+//! disconnects — with the response bytes and completion order observable
+//! through [`ClientHandle`]s. The load-simulation and fault-injection
+//! suites are written entirely against this module; nothing here touches
+//! real sockets or wall time.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::clock::{Clock, VirtualClock};
+use crate::transport::{Connection, Io, Transport};
+
+/// One scripted client action, pinned to an absolute virtual time.
+#[derive(Debug, Clone)]
+pub enum Chunk {
+    /// Bytes that become readable at the given time.
+    Bytes(Vec<u8>),
+    /// The client disconnects at the given time (mid-request hangup).
+    Hangup,
+}
+
+/// The client-observable side of a simulated connection.
+#[derive(Debug, Default)]
+pub struct ClientSide {
+    /// Response bytes the server has written so far.
+    pub response: Vec<u8>,
+    /// Virtual time at which the server closed the connection (response
+    /// complete or aborted).
+    pub closed_at: Option<u64>,
+    /// Global completion index: the n-th connection the server closed.
+    /// This is the completion-order fingerprint the determinism suite
+    /// compares across runs and thread counts.
+    pub completion_index: Option<u64>,
+}
+
+/// Shared handle onto a simulated client (the test's view).
+#[derive(Debug, Clone)]
+pub struct ClientHandle {
+    side: Rc<RefCell<ClientSide>>,
+}
+
+impl ClientHandle {
+    /// The full response text received so far.
+    pub fn response_text(&self) -> String {
+        String::from_utf8_lossy(&self.side.borrow().response).into_owned()
+    }
+
+    /// The HTTP status code of the response, if a status line has arrived.
+    pub fn status(&self) -> Option<u16> {
+        let side = self.side.borrow();
+        let text = std::str::from_utf8(&side.response).ok()?;
+        let line = text.lines().next()?;
+        line.split_whitespace().nth(1)?.parse().ok()
+    }
+
+    /// The response body (bytes after the blank line), as text.
+    pub fn body(&self) -> String {
+        let text = self.response_text();
+        match text.find("\r\n\r\n") {
+            Some(p) => text[p + 4..].to_string(),
+            None => String::new(),
+        }
+    }
+
+    /// When the server closed this connection (virtual µs), if it has.
+    pub fn closed_at(&self) -> Option<u64> {
+        self.side.borrow().closed_at
+    }
+
+    /// This connection's global completion index, if closed.
+    pub fn completion_index(&self) -> Option<u64> {
+        self.side.borrow().completion_index
+    }
+}
+
+struct SimConn {
+    clock: VirtualClock,
+    script: VecDeque<(u64, Chunk)>,
+    /// Read offset into the front chunk.
+    cursor: usize,
+    side: Rc<RefCell<ClientSide>>,
+    /// Per-call write cap (simulates a congested client; `usize::MAX`
+    /// means unlimited).
+    write_limit: usize,
+    completions: Rc<RefCell<u64>>,
+    closed: bool,
+}
+
+impl Connection for SimConn {
+    fn poll_read(&mut self, buf: &mut [u8]) -> Io {
+        let now = self.clock.now_us();
+        let Some((at, chunk)) = self.script.front() else {
+            return Io::WouldBlock;
+        };
+        if *at > now {
+            return Io::WouldBlock;
+        }
+        match chunk {
+            Chunk::Hangup => Io::Closed,
+            Chunk::Bytes(bytes) => {
+                let remaining = &bytes[self.cursor..];
+                let n = remaining.len().min(buf.len());
+                buf[..n].copy_from_slice(&remaining[..n]);
+                self.cursor += n;
+                if self.cursor >= bytes.len() {
+                    self.script.pop_front();
+                    self.cursor = 0;
+                }
+                if n == 0 {
+                    // An empty scripted chunk: treat as no progress.
+                    self.script.pop_front();
+                    Io::WouldBlock
+                } else {
+                    Io::Data(n)
+                }
+            }
+        }
+    }
+
+    fn poll_write(&mut self, data: &[u8]) -> Io {
+        // A hung-up client rejects writes too (once its hangup time has
+        // passed): the server sees the disconnect on the write path.
+        let now = self.clock.now_us();
+        if self
+            .script
+            .front()
+            .is_some_and(|(at, c)| matches!(c, Chunk::Hangup) && *at <= now)
+        {
+            return Io::Closed;
+        }
+        let n = data.len().min(self.write_limit);
+        if n == 0 {
+            return Io::WouldBlock;
+        }
+        self.side
+            .borrow_mut()
+            .response
+            .extend_from_slice(&data[..n]);
+        Io::Data(n)
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let mut side = self.side.borrow_mut();
+        side.closed_at = Some(self.clock.now_us());
+        let mut seq = self.completions.borrow_mut();
+        side.completion_index = Some(*seq);
+        *seq += 1;
+    }
+}
+
+struct SimNetInner {
+    clock: VirtualClock,
+    /// Pending connections: (arrival time, admission sequence, conn).
+    /// Kept sorted by (arrival, seq) so accepts happen in schedule order.
+    arrivals: Vec<(u64, u64, SimConn)>,
+    next_seq: u64,
+    completions: Rc<RefCell<u64>>,
+}
+
+/// A simulated listener; clone handles freely (all clones share state).
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Rc<RefCell<SimNetInner>>,
+}
+
+impl SimNet {
+    /// A network on the given clock.
+    pub fn new(clock: &VirtualClock) -> Self {
+        SimNet {
+            inner: Rc::new(RefCell::new(SimNetInner {
+                clock: clock.clone(),
+                arrivals: Vec::new(),
+                next_seq: 0,
+                completions: Rc::new(RefCell::new(0)),
+            })),
+        }
+    }
+
+    /// Schedules a client that connects at `connect_at` and plays
+    /// `script` (each chunk pinned to its own absolute time), returning
+    /// the handle the test observes the response through.
+    pub fn connect_at(&self, connect_at: u64, script: Vec<(u64, Chunk)>) -> ClientHandle {
+        self.connect_throttled(connect_at, script, usize::MAX)
+    }
+
+    /// Like [`SimNet::connect_at`] with a per-call write cap, simulating
+    /// a client that drains the response slowly.
+    pub fn connect_throttled(
+        &self,
+        connect_at: u64,
+        script: Vec<(u64, Chunk)>,
+        write_limit: usize,
+    ) -> ClientHandle {
+        let mut inner = self.inner.borrow_mut();
+        let side = Rc::new(RefCell::new(ClientSide::default()));
+        let conn = SimConn {
+            clock: inner.clock.clone(),
+            script: script.into_iter().collect(),
+            cursor: 0,
+            side: Rc::clone(&side),
+            write_limit,
+            completions: Rc::clone(&inner.completions),
+            closed: false,
+        };
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.arrivals.push((connect_at, seq, conn));
+        inner.arrivals.sort_by_key(|(at, seq, _)| (*at, *seq));
+        ClientHandle { side }
+    }
+
+    /// Schedules an ordinary single-shot request: connect and send the
+    /// whole request at `at`.
+    pub fn request_at(&self, at: u64, request: Vec<u8>) -> ClientHandle {
+        self.connect_at(at, vec![(at, Chunk::Bytes(request))])
+    }
+
+    /// Connections not yet accepted by the server.
+    pub fn pending(&self) -> usize {
+        self.inner.borrow().arrivals.len()
+    }
+}
+
+impl Transport for SimNet {
+    fn poll_accept(&mut self) -> Option<Box<dyn Connection>> {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.clock.now_us();
+        if inner.arrivals.first().is_some_and(|(at, _, _)| *at <= now) {
+            let (_, _, conn) = inner.arrivals.remove(0);
+            Some(Box::new(conn))
+        } else {
+            None
+        }
+    }
+}
+
+/// Builds the HTTP bytes of one `/infer` request.
+pub fn infer_request(sample: &[f32], deadline_us: Option<u64>) -> Vec<u8> {
+    let mut body = String::from("{\"sample\":[");
+    for (i, v) in sample.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        tcl_telemetry::json::number_into(f64::from(*v), &mut body);
+    }
+    body.push(']');
+    if let Some(d) = deadline_us {
+        body.push_str(",\"deadline_us\":");
+        body.push_str(&d.to_string());
+    }
+    body.push('}');
+    let mut out = format!(
+        "POST /infer HTTP/1.1\r\nHost: sim\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Builds the HTTP bytes of a GET request.
+pub fn get_request(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: sim\r\n\r\n").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_bytes_become_readable_on_schedule() {
+        let clock = VirtualClock::new();
+        let mut net = SimNet::new(&clock);
+        let _client = net.connect_at(
+            100,
+            vec![
+                (100, Chunk::Bytes(b"hel".to_vec())),
+                (300, Chunk::Bytes(b"lo".to_vec())),
+            ],
+        );
+        assert!(net.poll_accept().is_none(), "not connected yet");
+        clock.advance(100);
+        let mut conn = net.poll_accept().expect("arrival due");
+        assert!(net.poll_accept().is_none(), "only one client");
+        let mut buf = [0u8; 16];
+        assert_eq!(conn.poll_read(&mut buf), Io::Data(3));
+        assert_eq!(&buf[..3], b"hel");
+        assert_eq!(conn.poll_read(&mut buf), Io::WouldBlock, "chunk 2 not due");
+        clock.advance(200);
+        assert_eq!(conn.poll_read(&mut buf), Io::Data(2));
+        assert_eq!(conn.poll_read(&mut buf), Io::WouldBlock, "script drained");
+    }
+
+    #[test]
+    fn hangup_surfaces_on_read_and_write() {
+        let clock = VirtualClock::new();
+        let mut net = SimNet::new(&clock);
+        let client = net.connect_at(
+            0,
+            vec![(0, Chunk::Bytes(b"PARTIAL".to_vec())), (50, Chunk::Hangup)],
+        );
+        let mut conn = net.poll_accept().expect("due");
+        let mut buf = [0u8; 16];
+        assert_eq!(conn.poll_read(&mut buf), Io::Data(7));
+        assert_eq!(conn.poll_read(&mut buf), Io::WouldBlock, "hangup not due");
+        clock.advance(50);
+        assert_eq!(conn.poll_read(&mut buf), Io::Closed);
+        assert_eq!(conn.poll_write(b"x"), Io::Closed);
+        conn.close();
+        assert_eq!(client.closed_at(), Some(50));
+        assert_eq!(client.completion_index(), Some(0));
+    }
+
+    #[test]
+    fn writes_land_in_the_client_handle() {
+        let clock = VirtualClock::new();
+        let mut net = SimNet::new(&clock);
+        let client = net.connect_throttled(0, vec![], 4);
+        let mut conn = net.poll_accept().expect("due");
+        assert_eq!(
+            conn.poll_write(b"HTTP/1.1 200 OK"),
+            Io::Data(4),
+            "throttled"
+        );
+        assert_eq!(conn.poll_write(b"/1.1 200 OK"), Io::Data(4));
+        assert_eq!(client.response_text(), "HTTP/1.1");
+    }
+
+    #[test]
+    fn accepts_follow_schedule_order_not_insertion_order() {
+        let clock = VirtualClock::new();
+        let mut net = SimNet::new(&clock);
+        let _late = net.connect_at(500, vec![(500, Chunk::Bytes(b"B".to_vec()))]);
+        let _early = net.connect_at(100, vec![(100, Chunk::Bytes(b"A".to_vec()))]);
+        clock.advance(500);
+        let mut first = net.poll_accept().expect("two due");
+        let mut buf = [0u8; 1];
+        assert_eq!(first.poll_read(&mut buf), Io::Data(1));
+        assert_eq!(buf[0], b'A', "earlier arrival accepted first");
+        let mut second = net.poll_accept().expect("second due");
+        assert_eq!(second.poll_read(&mut buf), Io::Data(1));
+        assert_eq!(buf[0], b'B');
+    }
+
+    #[test]
+    fn request_builders_emit_valid_http() {
+        let req = String::from_utf8(infer_request(&[0.5, 1.0], Some(800))).unwrap();
+        assert!(req.starts_with("POST /infer HTTP/1.1\r\n"));
+        let body = req.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body, "{\"sample\":[0.5,1.0],\"deadline_us\":800}");
+        assert!(req.contains(&format!("Content-Length: {}\r\n", body.len())));
+        let get = String::from_utf8(get_request("/healthz")).unwrap();
+        assert_eq!(get, "GET /healthz HTTP/1.1\r\nHost: sim\r\n\r\n");
+    }
+}

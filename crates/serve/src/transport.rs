@@ -1,0 +1,45 @@
+//! Byte transport as a capability.
+//!
+//! The server core speaks to clients through the [`Transport`] /
+//! [`Connection`] trait pair instead of `std::net` directly. Both are
+//! *non-blocking*: every call returns immediately with either progress or
+//! [`Io::WouldBlock`], and the server's tick loop is responsible for coming
+//! back later. The library ships only the in-memory simulation transport
+//! ([`crate::sim`]); real sockets bind at the `main()` edge in the
+//! `tcl_serve` binary. This mirrors the [`Clock`](crate::Clock) split and is
+//! what lets the fault-injection suite script byte-level misbehavior —
+//! mid-request disconnects, slow-loris dribble, oversized bodies — against
+//! the exact state machine production traffic hits.
+
+/// Outcome of one non-blocking I/O attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Io {
+    /// `n > 0` bytes were transferred.
+    Data(usize),
+    /// No progress possible right now; try again next tick.
+    WouldBlock,
+    /// The peer is gone (EOF, reset, or any unrecoverable error — the
+    /// server treats all of them as "stop talking to this connection").
+    Closed,
+}
+
+/// One bidirectional byte stream to a client.
+pub trait Connection {
+    /// Reads available bytes into `buf` without blocking.
+    fn poll_read(&mut self, buf: &mut [u8]) -> Io;
+
+    /// Writes a prefix of `data` without blocking; [`Io::Data`] reports how
+    /// many bytes were accepted.
+    fn poll_write(&mut self, data: &[u8]) -> Io;
+
+    /// Closes the connection (response complete or aborted). Idempotent.
+    fn close(&mut self);
+}
+
+/// A listener producing [`Connection`]s.
+pub trait Transport {
+    /// Accepts one pending connection, or `None` when no client is waiting.
+    /// The server drains this every tick, so the accept queue is never
+    /// starved by slow request handling.
+    fn poll_accept(&mut self) -> Option<Box<dyn Connection>>;
+}

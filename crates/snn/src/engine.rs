@@ -501,7 +501,9 @@ fn gather_lanes(data: &Tensor, lanes: &[usize]) -> Result<Tensor> {
 /// Top-1 index and top-1 minus top-2 gap of a score row, with the same tie
 /// rule as [`ops::argmax_rows`] (strict `>`, first index wins). A one-class
 /// row has an infinite margin (there is no runner-up to overtake).
-fn top2(row: &[f32]) -> (usize, f32) {
+/// Shared with the lane engine so both early-exit paths retire on the
+/// exact same readout decision.
+pub(crate) fn top2(row: &[f32]) -> (usize, f32) {
     let mut best = 0usize;
     let mut best_v = row[0];
     let mut second = f32::NEG_INFINITY;

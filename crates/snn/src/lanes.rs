@@ -1,0 +1,590 @@
+//! Lane-oriented submit/poll inference: the continuous-batching substrate.
+//!
+//! [`Engine`](crate::Engine) is a *batch-call* API: one call sweeps a whole
+//! dataset and returns when every sample finished. A serving workload is the
+//! opposite shape — requests arrive one at a time, at unpredictable moments,
+//! and each wants an answer as soon as *its own* evidence is stable, not when
+//! the batch is done. [`LaneEngine`] closes that gap by exposing the engine's
+//! early-exit machinery as an open timestep loop:
+//!
+//! * [`LaneEngine::submit`] admits one sample into a free **lane** (a row of
+//!   the running batch). Admission appends a zero membrane row to every
+//!   neuron bank ([`SpikingNetwork::grow_rows`]) — bit-for-bit the state of a
+//!   freshly reset network — so a lane admitted at global step 512 simulates
+//!   exactly as if it had been presented alone at step 1.
+//! * [`LaneEngine::step`] advances every active lane one timestep and returns
+//!   the lanes that **retired** this step: either their readout margin has
+//!   been stable for `patience` steps (early exit, same rule as
+//!   [`ExitPolicy::Adaptive`]) or they exhausted their per-lane step budget
+//!   (the deadline mapped onto the exit policy by the caller).
+//! * Retired lanes are compacted out ([`SpikingNetwork::retain_rows`]), so
+//!   freed capacity is immediately available to the next `submit` — this is
+//!   what makes continuous batching pay: early-exited rows hand their lane to
+//!   a waiting request mid-loop instead of idling until the batch drains.
+//!
+//! Because every kernel computes batch rows independently (the invariant the
+//! engine's compaction already relies on), a lane's trajectory — scores,
+//! margins, exit step — is bitwise identical whatever its batchmates are.
+//! The `lane_engine_matches_batch_engine` test pins this against
+//! [`Engine::evaluate`], and the serving crate's simulation suite pins it
+//! across staggered admission orders.
+
+use crate::engine::{top2, ExitPolicy};
+use crate::network::SpikingNetwork;
+use crate::sim::Readout;
+use tcl_tensor::{Result, Shape, Tensor, TensorError};
+
+/// Identifier of a submitted sample, unique within one [`LaneEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LaneId(pub u64);
+
+/// A retired lane: the answer for one submitted sample.
+#[derive(Debug, Clone)]
+pub struct LaneOutput {
+    /// The id returned by [`LaneEngine::submit`].
+    pub id: LaneId,
+    /// Predicted class (argmax of `scores`, first index wins ties).
+    pub pred: usize,
+    /// Timesteps this lane simulated before retiring.
+    pub steps: usize,
+    /// `true` if the lane retired on margin stability before its budget;
+    /// `false` if it ran its full step budget.
+    pub early: bool,
+    /// Top-1 minus top-2 readout score gap at retirement.
+    pub margin: f32,
+    /// Per-class readout scores at retirement (spike counts or integrated
+    /// membrane current, per the configured [`Readout`]).
+    pub scores: Vec<f32>,
+}
+
+/// One active lane's bookkeeping (indexes into the compacted batch are
+/// implicit: `lanes[p]` owns batch row `p`).
+#[derive(Debug, Clone)]
+struct Lane {
+    id: LaneId,
+    /// Timesteps simulated so far for this lane.
+    age: usize,
+    /// Retire unconditionally once `age` reaches this.
+    budget: usize,
+    /// Top-1 class at the last scored step.
+    last_top: usize,
+    /// Consecutive steps the margin has been stable.
+    stable: usize,
+}
+
+/// A continuous-batching inference session over one spiking network (see
+/// the module docs).
+///
+/// Single-threaded by design: the serving loop owns it and drives it from
+/// one thread; kernel-level fan-out inside [`SpikingNetwork::step`] still
+/// engages the process thread pool (`TCL_THREADS`) with bitwise-identical
+/// results for every worker count.
+#[derive(Debug, Clone)]
+pub struct LaneEngine {
+    net: SpikingNetwork,
+    readout: Readout,
+    policy: ExitPolicy,
+    capacity: usize,
+    lanes: Vec<Lane>,
+    /// Active stimulus rows, row-major (`lanes.len()` rows).
+    x: Vec<f32>,
+    /// Per-sample feature dims (without the batch dim); set by first submit.
+    feat_dims: Option<Vec<usize>>,
+    /// Accumulated output spike counts, `lanes.len() × classes` row-major.
+    counts: Vec<f32>,
+    /// Output classes; 0 until the first step discovers the output width.
+    classes: usize,
+    next_id: u64,
+    engine_steps: u64,
+    lane_steps: u64,
+}
+
+impl LaneEngine {
+    /// Creates a session over a clone of `net` with room for `capacity`
+    /// concurrent lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero capacity or an invalid policy.
+    pub fn new(
+        net: &SpikingNetwork,
+        capacity: usize,
+        readout: Readout,
+        policy: ExitPolicy,
+    ) -> Result<Self> {
+        policy.validate()?;
+        if capacity == 0 {
+            return Err(TensorError::InvalidArgument {
+                detail: "lane engine: capacity must be at least 1".into(),
+            });
+        }
+        let mut net = net.clone();
+        net.reset();
+        Ok(LaneEngine {
+            net,
+            readout,
+            policy,
+            capacity,
+            lanes: Vec::new(),
+            x: Vec::new(),
+            feat_dims: None,
+            counts: Vec::new(),
+            classes: 0,
+            next_id: 0,
+            engine_steps: 0,
+            lane_steps: 0,
+        })
+    }
+
+    /// Maximum concurrent lanes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently occupied lanes.
+    pub fn active(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lanes available for [`LaneEngine::submit`] right now.
+    pub fn free_lanes(&self) -> usize {
+        self.capacity - self.lanes.len()
+    }
+
+    /// Timesteps the shared loop has advanced (each may serve many lanes).
+    pub fn engine_steps(&self) -> u64 {
+        self.engine_steps
+    }
+
+    /// Total lane-timesteps simulated: `Σ active-lanes` over all steps.
+    /// This is the work measure continuous batching minimizes — compare it
+    /// to `batch_rows × max_t` for the equivalent fixed back-to-back sweeps.
+    pub fn lane_steps(&self) -> u64 {
+        self.lane_steps
+    }
+
+    /// Admits one sample into a free lane.
+    ///
+    /// `sample` carries a single presentation without the batch dimension
+    /// (e.g. `[features]` or `[c, h, w]`) or with a unit one (`[1, ...]`).
+    /// `budget` is the lane's maximum timesteps — the deadline, expressed in
+    /// the exit policy's currency; the lane retires unconditionally when it
+    /// has simulated `budget` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when every lane is occupied, on a zero budget, or on
+    /// a shape mismatch with previously admitted samples.
+    pub fn submit(&mut self, sample: &Tensor, budget: usize) -> Result<LaneId> {
+        if self.lanes.len() >= self.capacity {
+            return Err(TensorError::InvalidArgument {
+                detail: format!("lane engine: all {} lanes occupied", self.capacity),
+            });
+        }
+        if budget == 0 {
+            return Err(TensorError::InvalidArgument {
+                detail: "lane engine: step budget must be at least 1".into(),
+            });
+        }
+        let dims: Vec<usize> = match sample.dims() {
+            [1, rest @ ..] if !rest.is_empty() => rest.to_vec(),
+            dims => dims.to_vec(),
+        };
+        match &self.feat_dims {
+            None => self.feat_dims = Some(dims),
+            Some(expected) if *expected == dims => {}
+            Some(expected) => {
+                return Err(TensorError::InvalidArgument {
+                    detail: format!(
+                        "lane engine: sample dims {dims:?} do not match session dims {expected:?}"
+                    ),
+                });
+            }
+        }
+        // Admission: one stimulus row, one zero membrane row per bank, one
+        // zero count row (when the output width is already known).
+        self.x.extend_from_slice(sample.data());
+        self.net.grow_rows(1);
+        if self.classes > 0 {
+            self.counts.resize(self.counts.len() + self.classes, 0.0);
+        }
+        let id = LaneId(self.next_id);
+        self.next_id += 1;
+        self.lanes.push(Lane {
+            id,
+            age: 0,
+            budget,
+            last_top: 0,
+            stable: 0,
+        });
+        Ok(id)
+    }
+
+    /// Advances every active lane one timestep; returns the lanes that
+    /// retired this step (possibly empty). A no-op returning `[]` when no
+    /// lane is active.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network shape errors. On error the session should be
+    /// considered poisoned (the serving layer rebuilds it and re-submits).
+    pub fn step(&mut self) -> Result<Vec<LaneOutput>> {
+        if self.lanes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let active = self.lanes.len();
+        // lint: allow(P1) feat_dims is set by the first submit, and lanes
+        // is nonempty here, so at least one submit has run
+        let feat = self.feat_dims.as_ref().expect("set by first submit");
+        let mut dims = Vec::with_capacity(feat.len() + 1);
+        dims.push(active);
+        dims.extend_from_slice(feat);
+        let stimulus = Tensor::from_vec(Shape::new(dims), self.x.clone())?;
+        let spikes = self.net.step(&stimulus)?;
+        let (_, classes) = spikes.shape().as_matrix()?;
+        if self.classes == 0 {
+            self.classes = classes;
+            self.counts = vec![0.0; active * classes];
+        }
+        for (c, s) in self.counts.iter_mut().zip(spikes.data()) {
+            *c += s;
+        }
+        self.engine_steps += 1;
+        self.lane_steps += active as u64;
+
+        let (adaptive, patience, min_margin, min_steps) = match self.policy {
+            ExitPolicy::Off => (false, 0, 0.0, 0),
+            ExitPolicy::Adaptive {
+                patience,
+                min_margin,
+                min_steps,
+            } => (true, patience, min_margin, min_steps),
+        };
+        // Score every step under the adaptive policy (the margin machinery
+        // needs it); under Off only when some lane completes its budget.
+        let budget_due = self.lanes.iter().any(|l| l.age + 1 >= l.budget);
+        let scores = if adaptive || budget_due {
+            Some(self.scores())
+        } else {
+            None
+        };
+        let mut retired = Vec::new();
+        let mut keep = Vec::with_capacity(active);
+        for (p, lane) in self.lanes.iter_mut().enumerate() {
+            lane.age += 1;
+            let t = lane.age;
+            if let Some(scores) = &scores {
+                let row = &scores[p * classes..(p + 1) * classes];
+                let (top, margin) = top2(row);
+                // Same stability update as the batch engine's adaptive path:
+                // the streak continues only while the argmax holds and the
+                // margin clears the bar.
+                if margin >= min_margin && top == lane.last_top && lane.stable > 0 {
+                    lane.stable += 1;
+                } else if margin >= min_margin {
+                    lane.stable = 1;
+                } else {
+                    lane.stable = 0;
+                }
+                lane.last_top = top;
+            }
+            let early = adaptive && t >= min_steps && t < lane.budget && lane.stable >= patience;
+            let done = early || t >= lane.budget;
+            if done {
+                // lint: allow(P1) done implies budget_due or an adaptive
+                // retirement, both of which force scores to be computed
+                let scores = scores.as_ref().expect("scored on retirement steps");
+                let row = scores[p * classes..(p + 1) * classes].to_vec();
+                let (pred, margin) = top2(&row);
+                retired.push(LaneOutput {
+                    id: lane.id,
+                    pred,
+                    steps: t,
+                    early,
+                    margin,
+                    scores: row,
+                });
+            } else {
+                keep.push(p);
+            }
+        }
+        if retired.len() != active - keep.len() {
+            // Defensive: the two partitions above must agree.
+            return Err(TensorError::InvalidArgument {
+                detail: "lane engine: retirement bookkeeping diverged".into(),
+            });
+        }
+        if !retired.is_empty() {
+            self.compact(&keep)?;
+        }
+        Ok(retired)
+    }
+
+    /// Readout scores for all active lanes, `active × classes` row-major.
+    /// Elementwise identical to the batch engine's `readout_scores`
+    /// (`counts` for spike-count readout, `counts·V_thr + V` for membrane).
+    fn scores(&self) -> Vec<f32> {
+        match self.readout {
+            Readout::SpikeCount => self.counts.clone(),
+            Readout::Membrane => {
+                let thr = self.net.output_threshold().unwrap_or(1.0);
+                let mut s: Vec<f32> = self.counts.iter().map(|c| c * thr).collect();
+                if let Some(v) = self.net.output_potential() {
+                    for (si, vi) in s.iter_mut().zip(v.data()) {
+                        *si += vi;
+                    }
+                }
+                s
+            }
+        }
+    }
+
+    /// Drops retired rows from the network, the stimulus, the counts, and
+    /// the lane table (batch row `p` stays aligned with `lanes[p]`).
+    fn compact(&mut self, keep: &[usize]) -> Result<()> {
+        self.net.retain_rows(keep)?;
+        // lint: allow(P1) feat_dims is set before any lane can retire
+        let row = self.feat_dims.as_ref().expect("set by first submit");
+        let row: usize = row.iter().product();
+        let mut x = Vec::with_capacity(keep.len() * row);
+        for &p in keep {
+            x.extend_from_slice(&self.x[p * row..(p + 1) * row]);
+        }
+        self.x = x;
+        let mut counts = Vec::with_capacity(keep.len() * self.classes);
+        for &p in keep {
+            counts.extend_from_slice(&self.counts[p * self.classes..(p + 1) * self.classes]);
+        }
+        self.counts = counts;
+        let mut lanes = Vec::with_capacity(keep.len());
+        for &p in keep {
+            lanes.push(self.lanes[p].clone());
+        }
+        self.lanes = lanes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::neuron::{IfNeurons, ResetMode};
+    use crate::node::{SpikingLayer, SpikingNode};
+    use crate::sim::SimConfig;
+    use crate::synop::SynapticOp;
+
+    fn copy_net() -> SpikingNetwork {
+        SpikingNetwork::new(vec![SpikingNode::Spiking(SpikingLayer::new(
+            SynapticOp::Linear {
+                weight: Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap(),
+                bias: None,
+            },
+            IfNeurons::new(1.0, ResetMode::Subtract),
+        ))])
+    }
+
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let images =
+            Tensor::from_vec([4, 2], vec![0.9, 0.1, 0.8, 0.3, 0.2, 0.7, 0.05, 0.6]).unwrap();
+        (images, vec![0, 0, 1, 1])
+    }
+
+    fn row(images: &Tensor, i: usize) -> Tensor {
+        let cols = images.dims()[1];
+        Tensor::from_vec([cols], images.data()[i * cols..(i + 1) * cols].to_vec()).unwrap()
+    }
+
+    /// Serial oracle: one sample alone on a fresh network for `t` steps,
+    /// returning the spike-count readout scores.
+    fn solo_scores(net: &SpikingNetwork, sample: &Tensor, t: usize) -> Vec<f32> {
+        let mut net = net.clone();
+        net.reset();
+        let cols = sample.len();
+        let x = Tensor::from_vec([1, cols], sample.data().to_vec()).unwrap();
+        let mut counts: Option<Tensor> = None;
+        for _ in 0..t {
+            let s = net.step(&x).unwrap();
+            match &mut counts {
+                Some(c) => c.add_assign(&s).unwrap(),
+                None => counts = Some(s),
+            }
+        }
+        counts.unwrap().into_vec()
+    }
+
+    fn drain(engine: &mut LaneEngine) -> Vec<LaneOutput> {
+        let mut out = Vec::new();
+        while engine.active() > 0 {
+            out.extend(engine.step().unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn lane_engine_matches_batch_engine() {
+        let net = copy_net();
+        let (x, y) = toy_data();
+        let max_t = 100;
+        let policy = ExitPolicy::Adaptive {
+            patience: 5,
+            min_margin: 3.0,
+            min_steps: 10,
+        };
+        let cfg = SimConfig::new(vec![max_t], 4, Readout::SpikeCount).unwrap();
+        let mut batch = Engine::with_threads(1);
+        let reference = batch.evaluate(&net, &x, &y, &cfg, policy).unwrap();
+
+        let mut lanes = LaneEngine::new(&net, 4, Readout::SpikeCount, policy).unwrap();
+        let ids: Vec<LaneId> = (0..4)
+            .map(|i| lanes.submit(&row(&x, i), max_t).unwrap())
+            .collect();
+        let mut outputs = drain(&mut lanes);
+        outputs.sort_by_key(|o| o.id);
+        assert_eq!(outputs.len(), 4);
+        for (i, out) in outputs.iter().enumerate() {
+            assert_eq!(out.id, ids[i]);
+            assert_eq!(out.pred, reference.predictions[i], "sample {i}");
+            assert_eq!(out.steps, reference.exit_steps[i], "sample {i}");
+            assert_eq!(out.early, reference.exited[i], "sample {i}");
+        }
+        // The shared loop ran to the slowest lane; total lane work matches
+        // the batch engine's per-sample exit steps exactly.
+        let expected_lane_steps: u64 = reference.exit_steps.iter().map(|&s| s as u64).sum();
+        assert_eq!(lanes.lane_steps(), expected_lane_steps);
+        assert_eq!(
+            lanes.engine_steps(),
+            *reference.exit_steps.iter().max().unwrap() as u64
+        );
+    }
+
+    #[test]
+    fn staggered_admission_is_bitwise_equal_to_solo_runs() {
+        // Sample B joins 7 steps after A; both must produce exactly the
+        // scores a solo presentation would.
+        let net = copy_net();
+        let (x, _) = toy_data();
+        let policy = ExitPolicy::Off;
+        let mut lanes = LaneEngine::new(&net, 2, Readout::SpikeCount, policy).unwrap();
+        lanes.submit(&row(&x, 0), 20).unwrap();
+        let mut outputs = Vec::new();
+        for _ in 0..7 {
+            outputs.extend(lanes.step().unwrap());
+        }
+        lanes.submit(&row(&x, 2), 20).unwrap();
+        outputs.extend(drain(&mut lanes));
+        outputs.sort_by_key(|o| o.id);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].scores, solo_scores(&net, &row(&x, 0), 20));
+        assert_eq!(outputs[1].scores, solo_scores(&net, &row(&x, 2), 20));
+        assert!(!outputs[0].early && !outputs[1].early);
+        assert_eq!(outputs[0].steps, 20);
+        assert_eq!(outputs[1].steps, 20);
+        // B was admitted into the running loop: the shared loop is shorter
+        // than two back-to-back presentations.
+        assert_eq!(lanes.engine_steps(), 27);
+        assert_eq!(lanes.lane_steps(), 40);
+    }
+
+    #[test]
+    fn freed_lanes_are_reusable_and_budgets_are_per_lane() {
+        let net = copy_net();
+        let (x, _) = toy_data();
+        let mut lanes = LaneEngine::new(&net, 1, Readout::SpikeCount, ExitPolicy::Off).unwrap();
+        lanes.submit(&row(&x, 0), 5).unwrap();
+        // Capacity exhausted while the lane runs.
+        assert!(lanes.submit(&row(&x, 1), 5).is_err());
+        let mut retired = Vec::new();
+        for _ in 0..5 {
+            retired.extend(lanes.step().unwrap());
+        }
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].steps, 5);
+        assert_eq!(lanes.free_lanes(), 1);
+        // The freed lane admits a new sample with its own budget.
+        lanes.submit(&row(&x, 1), 3).unwrap();
+        let second = drain(&mut lanes);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].steps, 3);
+        assert_eq!(second[0].id, LaneId(1));
+    }
+
+    #[test]
+    fn membrane_readout_scores_match_solo_membrane_oracle() {
+        let net = copy_net();
+        let (x, _) = toy_data();
+        let mut lanes = LaneEngine::new(&net, 2, Readout::Membrane, ExitPolicy::Off).unwrap();
+        lanes.submit(&row(&x, 1), 6).unwrap();
+        lanes.submit(&row(&x, 3), 6).unwrap();
+        let mut outputs = drain(&mut lanes);
+        outputs.sort_by_key(|o| o.id);
+        // Membrane oracle: counts·thr + V after t steps, solo.
+        for (i, sample) in [1usize, 3].iter().enumerate() {
+            let mut solo = net.clone();
+            solo.reset();
+            let xs = Tensor::from_vec([1, 2], row(&x, *sample).data().to_vec()).unwrap();
+            let mut counts: Option<Tensor> = None;
+            for _ in 0..6 {
+                let s = solo.step(&xs).unwrap();
+                match &mut counts {
+                    Some(c) => c.add_assign(&s).unwrap(),
+                    None => counts = Some(s),
+                }
+            }
+            let thr = solo.output_threshold().unwrap();
+            let mut expected = counts.unwrap().scale(thr);
+            expected
+                .add_assign(solo.output_potential().unwrap())
+                .unwrap();
+            assert_eq!(outputs[i].scores, expected.into_vec(), "sample {sample}");
+        }
+    }
+
+    #[test]
+    fn invalid_sessions_and_submissions_are_rejected() {
+        let net = copy_net();
+        assert!(LaneEngine::new(&net, 0, Readout::SpikeCount, ExitPolicy::Off).is_err());
+        let bad_policy = ExitPolicy::Adaptive {
+            patience: 0,
+            min_margin: 1.0,
+            min_steps: 0,
+        };
+        assert!(LaneEngine::new(&net, 2, Readout::SpikeCount, bad_policy).is_err());
+        let mut lanes = LaneEngine::new(&net, 2, Readout::SpikeCount, ExitPolicy::Off).unwrap();
+        let sample = Tensor::from_vec([2], vec![0.5, 0.5]).unwrap();
+        assert!(lanes.submit(&sample, 0).is_err(), "zero budget");
+        lanes.submit(&sample, 4).unwrap();
+        let mismatched = Tensor::from_vec([3], vec![0.5; 3]).unwrap();
+        assert!(lanes.submit(&mismatched, 4).is_err(), "shape mismatch");
+        // Stepping an idle engine is a no-op.
+        let mut idle = LaneEngine::new(&net, 1, Readout::SpikeCount, ExitPolicy::Off).unwrap();
+        assert!(idle.step().unwrap().is_empty());
+        assert_eq!(idle.engine_steps(), 0);
+    }
+
+    #[test]
+    fn adaptive_lanes_exit_early_and_report_margins() {
+        let net = copy_net();
+        let (x, _) = toy_data();
+        let policy = ExitPolicy::Adaptive {
+            patience: 5,
+            min_margin: 3.0,
+            min_steps: 10,
+        };
+        let mut lanes = LaneEngine::new(&net, 4, Readout::SpikeCount, policy).unwrap();
+        for i in 0..4 {
+            lanes.submit(&row(&x, i), 100).unwrap();
+        }
+        let outputs = drain(&mut lanes);
+        assert_eq!(outputs.len(), 4);
+        assert!(outputs.iter().any(|o| o.early), "{outputs:?}");
+        for o in &outputs {
+            if o.early {
+                assert!((10..100).contains(&o.steps), "{o:?}");
+                assert!(o.margin >= 3.0, "{o:?}");
+            }
+        }
+        // Early exit saved lane work vs running all four to the budget.
+        assert!(lanes.lane_steps() < 4 * 100);
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+mod lanes;
 mod network;
 mod neuron;
 mod node;
@@ -53,6 +54,7 @@ mod synop;
 mod trace;
 
 pub use engine::{Engine, EngineResult, ExitPolicy};
+pub use lanes::{LaneEngine, LaneId, LaneOutput};
 pub use network::SpikingNetwork;
 pub use neuron::{IfNeurons, ResetMode};
 pub use node::{SpikingLayer, SpikingNode, SpikingResidual};

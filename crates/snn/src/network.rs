@@ -87,6 +87,21 @@ impl SpikingNetwork {
         Ok(())
     }
 
+    /// Appends `extra` fresh (zero-state) rows to every neuron bank's batch
+    /// dimension — the admission dual of [`SpikingNetwork::retain_rows`].
+    ///
+    /// A zero membrane row is bit-for-bit the state a reset bank adopts on
+    /// its first step, so a grown lane simulates exactly as if it had been
+    /// presented alone from step one; existing rows are untouched. This is
+    /// the primitive behind the lane engine's continuous batching: new
+    /// requests join the running timestep loop in lanes freed by early
+    /// exit, without restarting the batch.
+    pub fn grow_rows(&mut self, extra: usize) {
+        for node in &mut self.nodes {
+            node.grow_rows(extra);
+        }
+    }
+
     /// The final node's membrane potentials (used by the membrane readout),
     /// if the final node has neurons and at least one step has run.
     pub fn output_potential(&self) -> Option<&Tensor> {
@@ -243,6 +258,36 @@ mod tests {
         // Before any step there is no state, so compaction is a no-op.
         let mut fresh = two_layer_net();
         fresh.retain_rows(&[7]).unwrap();
+    }
+
+    #[test]
+    fn grow_rows_admits_lanes_bitwise_identical_to_solo_runs() {
+        // Run sample A alone for 3 steps, then grow a lane for sample B and
+        // run both; B's outputs must match a network that only ever saw B,
+        // and A's trajectory must be undisturbed by the admission.
+        let xa = Tensor::from_vec([1, 2], vec![0.8, 0.3]).unwrap();
+        let xb = Tensor::from_vec([1, 2], vec![0.1, 0.9]).unwrap();
+        let xab = Tensor::from_vec([2, 2], vec![0.8, 0.3, 0.1, 0.9]).unwrap();
+        let mut shared = two_layer_net();
+        let mut solo_a = two_layer_net();
+        let mut solo_b = two_layer_net();
+        for _ in 0..3 {
+            let ys = shared.step(&xa).unwrap();
+            let ya = solo_a.step(&xa).unwrap();
+            assert_eq!(ys.data(), ya.data());
+        }
+        shared.grow_rows(1);
+        for _ in 0..5 {
+            let ys = shared.step(&xab).unwrap();
+            let ya = solo_a.step(&xa).unwrap();
+            let yb = solo_b.step(&xb).unwrap();
+            assert_eq!(ys.at(0), ya.at(0));
+            assert_eq!(ys.at(1), yb.at(0));
+        }
+        // Growing before any step is a no-op (the first step shapes banks).
+        let mut fresh = two_layer_net();
+        fresh.grow_rows(4);
+        assert_eq!(fresh.neurons_per_node(), vec![0, 0]);
     }
 
     #[test]

@@ -182,6 +182,40 @@ impl IfNeurons {
         Ok(())
     }
 
+    /// Appends `extra` zero-potential rows to the bank's batch dimension.
+    ///
+    /// A zero membrane row is exactly the state a freshly reset neuron bank
+    /// adopts on its first step, so growing the batch admits new samples
+    /// mid-run without disturbing existing rows: this is the admission
+    /// primitive behind the lane engine's continuous batching, the dual of
+    /// [`IfNeurons::retain_rows`]. A no-op before the first step (the next
+    /// step shapes the bank to its full input batch anyway).
+    pub fn grow_rows(&mut self, extra: usize) {
+        let Some(v) = &self.potential else {
+            return;
+        };
+        if extra == 0 {
+            return;
+        }
+        let dims = v.dims();
+        let batch = dims.first().copied().unwrap_or(0);
+        // Row size from the trailing dims (v.len()/batch divides by zero on
+        // a fully retired bank, which must still be growable).
+        let row: usize = dims.iter().skip(1).product();
+        let mut data = Vec::with_capacity((batch + extra) * row);
+        data.extend_from_slice(v.data());
+        data.resize((batch + extra) * row, 0.0);
+        let mut out_dims = dims.to_vec();
+        if out_dims.is_empty() {
+            out_dims.push(batch + extra);
+        } else {
+            out_dims[0] = batch + extra;
+        }
+        // lint: allow(P1) dims/data lengths are constructed consistently above
+        let grown = Tensor::from_vec(Shape::new(out_dims), data).expect("consistent grow shape");
+        self.potential = Some(grown);
+    }
+
     /// Total spikes emitted since the last reset.
     pub fn spikes_emitted(&self) -> u64 {
         self.spikes_emitted
@@ -280,6 +314,34 @@ mod tests {
         assert!(bank.retain_rows(&[5]).is_err());
         bank.retain_rows(&[]).unwrap();
         assert_eq!(bank.potential().unwrap().dims(), &[0, 2]);
+    }
+
+    #[test]
+    fn grow_rows_appends_fresh_zero_lanes() {
+        let mut bank = IfNeurons::new(1.0, ResetMode::Subtract);
+        // Before the first step there is nothing to grow.
+        bank.grow_rows(3);
+        assert!(bank.potential().is_none());
+        let z = Tensor::from_vec([2, 2], vec![0.3, 0.4, 0.5, 0.6]).unwrap();
+        bank.step(&z).unwrap();
+        bank.grow_rows(1);
+        let v = bank.potential().unwrap();
+        assert_eq!(v.dims(), &[3, 2]);
+        assert_eq!(v.data(), &[0.3, 0.4, 0.5, 0.6, 0.0, 0.0]);
+        // The grown lane behaves exactly like a freshly reset bank: its
+        // first step integrates from zero.
+        let z3 = Tensor::from_vec([3, 2], vec![0.0, 0.0, 0.0, 0.0, 0.7, 0.7]).unwrap();
+        bank.step(&z3).unwrap();
+        let v = bank.potential().unwrap();
+        assert_eq!(v.data()[4], 0.7);
+        // grow_rows(0) is a no-op.
+        bank.grow_rows(0);
+        assert_eq!(bank.potential().unwrap().dims(), &[3, 2]);
+        // Growing an emptied bank (all lanes retired) works too.
+        bank.retain_rows(&[]).unwrap();
+        bank.grow_rows(2);
+        assert_eq!(bank.potential().unwrap().dims(), &[2, 2]);
+        assert_eq!(bank.potential().unwrap().data(), &[0.0; 4]);
     }
 
     #[test]

@@ -82,6 +82,13 @@ impl SpikingResidual {
         self.ns_neurons.retain_rows(keep)?;
         self.os_neurons.retain_rows(keep)
     }
+
+    /// Appends `extra` zero-state rows to both banks (see
+    /// [`IfNeurons::grow_rows`]).
+    pub fn grow_rows(&mut self, extra: usize) {
+        self.ns_neurons.grow_rows(extra);
+        self.os_neurons.grow_rows(extra);
+    }
 }
 
 /// A node of a spiking network.
@@ -150,6 +157,17 @@ impl SpikingNode {
             SpikingNode::AvgPool { .. } | SpikingNode::GlobalAvgPool | SpikingNode::Flatten => {
                 Ok(())
             }
+        }
+    }
+
+    /// Appends `extra` fresh (zero-state) rows to any neuron state's batch
+    /// dimension — the admission dual of [`SpikingNode::retain_rows`]
+    /// (stateless nodes have no per-sample state and are no-ops).
+    pub fn grow_rows(&mut self, extra: usize) {
+        match self {
+            SpikingNode::Spiking(layer) => layer.neurons.grow_rows(extra),
+            SpikingNode::Residual(block) => block.grow_rows(extra),
+            SpikingNode::AvgPool { .. } | SpikingNode::GlobalAvgPool | SpikingNode::Flatten => {}
         }
     }
 
