@@ -146,4 +146,21 @@ if ! printf '%s\n' "$serve_out" | grep -q '1 passed'; then
 fi
 echo "tcl-serve OK (deterministic across TCL_THREADS={1,4} + truncated-body control)"
 
+echo "==> tcl-serve: loopback soak (real sockets, reused connections)"
+# Drives the real tcl_serve binary over loopback TCP with kept-alive
+# connections, asserting zero parse errors and sheds-within-deadline, and
+# comparing p50/p99/shed against the virtual-clock prediction. Includes
+# the duplicate-Content-Length negative control (smuggling shape -> 400)
+# and an in-order pipelining probe.
+soak_out=$(TCL_SCALE=quick cargo run --release -q -p tcl-bench --bin serve_bench -- --soak 2>&1)
+for want in 'parse_errors=0' 'sheds-within-deadline held' \
+    'duplicate-Content-Length probe -> 400' 'pipelined burst answered in order' 'soak OK'; do
+  if ! printf '%s\n' "$soak_out" | grep -q "$want"; then
+    echo "FAIL: soak missing \"$want\"" >&2
+    printf '%s\n' "$soak_out" >&2
+    exit 1
+  fi
+done
+echo "tcl-serve soak OK (keep-alive over real sockets + duplicate-Content-Length control)"
+
 echo "CI OK"

@@ -167,6 +167,8 @@ fn main() -> ExitCode {
         max_body: 64 * 1024,
         head_timeout_us: 2_000_000,
         max_conns: 256,
+        max_requests_per_conn: 256,
+        idle_timeout_us: 5_000_000,
     };
     let listener = match TcpListener::bind(&addr) {
         Ok(l) => l,

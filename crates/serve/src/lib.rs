@@ -27,8 +27,10 @@
 //!
 //! ## Wire protocol
 //!
-//! One request per connection, `Connection: close` (the `tcl-obs`
-//! exporter dialect plus POST bodies):
+//! HTTP/1.1 with keep-alive: connections are reused across requests
+//! (bounded by `max_requests_per_conn` and an idle timeout), pipelined
+//! requests are answered strictly in arrival order, and any non-200
+//! response closes the connection. Endpoints:
 //!
 //! * `POST /infer` with body `{"sample":[...], "deadline_us": 50000}` →
 //!   `{"pred":…,"steps":…,"early":…,"margin":…,"latency_us":…}`
@@ -50,6 +52,6 @@ mod transport;
 
 pub use backend::{Backend, Completion, LaneBackend};
 pub use clock::{Clock, VirtualClock};
-pub use http::{response, Method, Parse, Request, RequestParser, MAX_HEAD};
+pub use http::{response, response_with, Method, Parse, Request, RequestParser, MAX_HEAD};
 pub use server::{BackendFactory, ServeConfig, ServeStats, Server, TickReport};
 pub use transport::{Connection, Io, Transport};

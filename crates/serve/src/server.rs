@@ -1,5 +1,5 @@
 //! The serving state machine: request admission, continuous batching,
-//! deadlines, load shedding, and drain.
+//! deadlines, load shedding, connection reuse, and drain.
 //!
 //! One [`Server`] owns a [`Transport`] (where requests come from), a
 //! [`Backend`] (the lane engine doing inference), and a [`Clock`] (what
@@ -13,29 +13,50 @@
 //! often ticks happen and how time advances, which is what makes the whole
 //! machine deterministic under simulation.
 //!
+//! ## Connection reuse
+//!
+//! The server speaks HTTP/1.1 keep-alive: after a `200` response it
+//! consumes exactly the parsed request's bytes, re-arms the incremental
+//! parser on the same connection, and parses the next request from any
+//! pipelined surplus already buffered. Requests on one connection are
+//! processed strictly in arrival order, one in flight at a time — a
+//! pipelined request is not even parsed until the previous response has
+//! been fully written, so responses can never interleave or reorder (and a
+//! pipelined request cannot EDF-jump its own predecessor). Reuse is
+//! bounded two ways: `max_requests_per_conn` caps requests per connection
+//! (the final response advertises `Connection: close`), and
+//! `idle_timeout_us` reaps kept-alive connections with no request bytes.
+//! Error responses (any non-200) always close — the parser may be
+//! unsynchronized with the client after a malformed request, and guessing
+//! is how request smuggling starts.
+//!
 //! ## Admission and deadlines
 //!
 //! A request's `deadline_us` is mapped onto the exit policy's currency —
 //! timesteps — via `us_per_step`: the lane gets a step budget of
 //! `min(deadline_us / us_per_step, max_steps)` and retires unconditionally
 //! when the budget is spent, so a deadline bounds simulation work *before*
-//! the work starts rather than cancelling it midway. Admission is
-//! first-come-first-served: a free lane admits immediately (joining the
-//! running timestep loop — continuous batching), otherwise the request
-//! waits in a bounded queue, and a full queue sheds with `429` +
-//! `Retry-After`. Queued requests that can no longer finish by their
-//! deadline are shed *early*, so every shed answer still arrives before
-//! the deadline it failed to meet.
+//! the work starts rather than cancelling it midway. A free lane admits
+//! immediately (joining the running timestep loop — continuous batching);
+//! otherwise the request waits in a bounded queue ordered
+//! **deadline-earliest-first**: the queued request whose absolute deadline
+//! expires soonest is admitted first, deadline-less requests rank last,
+//! and ties (including all the deadline-less requests among themselves)
+//! break FIFO by arrival. A full queue sheds with `429` + `Retry-After`.
+//! Queued requests that can no longer finish by their deadline are shed
+//! *early*, so every shed answer still arrives before the deadline it
+//! failed to meet.
 //!
 //! ## Faults
 //!
 //! Client misbehavior (mid-request disconnects, slow-loris dribble,
 //! oversized bodies) affects only the offending connection and increments
-//! a `serve.faults.*` counter. A failing backend step is survived too: the
-//! server rebuilds the backend from its factory and re-submits every
-//! in-flight request from step zero.
+//! a `serve.faults.*` counter. A keep-alive client that closes between
+//! requests is a clean close, not a fault. A failing backend step is
+//! survived too: the server rebuilds the backend from its factory and
+//! re-submits every in-flight request from step zero.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use crate::backend::{Backend, Completion};
 use crate::clock::Clock;
@@ -71,11 +92,18 @@ pub struct ServeConfig {
     /// Maximum request body bytes.
     pub max_body: usize,
     /// A connection still mid-request after this long is timed out
-    /// (slow-loris guard).
+    /// (slow-loris guard; measured from the current request's first byte,
+    /// or from accept for a connection that never sent one).
     pub head_timeout_us: u64,
     /// Maximum simultaneously open connections; beyond it new connections
     /// are answered `503` immediately.
     pub max_conns: usize,
+    /// Requests served per connection before the server closes it (the
+    /// keep-alive cap; `1` reproduces the close-per-request dialect).
+    pub max_requests_per_conn: usize,
+    /// A kept-alive connection with no request bytes for this long is
+    /// closed silently (idle keep-alive reaping).
+    pub idle_timeout_us: u64,
 }
 
 impl ServeConfig {
@@ -86,7 +114,7 @@ impl ServeConfig {
     /// Returns an error for zero sizes/rates or an invalid exit policy.
     pub fn validate(&self) -> Result<()> {
         self.policy.validate()?;
-        let checks: [(&str, bool); 7] = [
+        let checks: [(&str, bool); 9] = [
             ("capacity", self.capacity >= 1),
             (
                 "feat_dims product",
@@ -97,6 +125,8 @@ impl ServeConfig {
             ("steps_per_tick", self.steps_per_tick >= 1),
             ("head_timeout_us", self.head_timeout_us >= 1),
             ("max_conns", self.max_conns >= 1),
+            ("max_requests_per_conn", self.max_requests_per_conn >= 1),
+            ("idle_timeout_us", self.idle_timeout_us >= 1),
         ];
         for (name, ok) in checks {
             if !ok {
@@ -160,7 +190,12 @@ pub struct ServeStats {
     pub shed: u64,
     /// Completions delivered after their deadline.
     pub deadline_miss: u64,
-    /// Clients that vanished mid-request or mid-response.
+    /// Requests parsed on a reused (kept-alive) connection.
+    pub reused: u64,
+    /// Kept-alive connections reaped by the idle timeout.
+    pub idle_closed: u64,
+    /// Clients that vanished mid-request or mid-response (a keep-alive
+    /// client closing between requests is a clean close, not counted).
     pub faults_disconnect: u64,
     /// Connections timed out while dribbling their request.
     pub faults_slowloris: u64,
@@ -179,10 +214,11 @@ pub struct TickReport {
     pub responses: usize,
 }
 
-/// Per-connection parsing / response state.
+/// Per-connection lifecycle phase (the parser itself lives in
+/// [`ConnEntry`] so it survives across requests on a reused connection).
 enum ConnState {
-    /// Accumulating the request.
-    Reading(RequestParser),
+    /// Accumulating (or waiting for) the next request.
+    Reading,
     /// Request admitted (queued or in a lane); response not ready yet.
     Waiting,
     /// Flushing a response.
@@ -192,7 +228,19 @@ enum ConnState {
 struct ConnEntry {
     io: Box<dyn Connection>,
     state: ConnState,
-    opened_at: u64,
+    /// Incremental parser, re-armed across requests on this connection.
+    parser: RequestParser,
+    /// When the current in-progress request started accumulating
+    /// (slow-loris guard); `None` while the connection is idle between
+    /// keep-alive requests.
+    req_started: Option<u64>,
+    /// Last request-side activity (bytes read or response finished) —
+    /// the idle-timeout reference point.
+    idle_since: u64,
+    /// Responses completed on this connection.
+    served: u64,
+    /// Close once the in-flight response is fully written.
+    close_after: bool,
 }
 
 /// One admitted inference request (queued or running).
@@ -207,6 +255,52 @@ struct PendingReq {
     arrived: u64,
 }
 
+/// Deadline-earliest-first admission queue: orders by
+/// `(absolute deadline, arrival)`, with deadline-less requests ranking
+/// last (`u64::MAX`) and FIFO among themselves. Deterministic: the key is
+/// a pure function of the request, and `BTreeMap` iteration is ordered.
+#[derive(Default)]
+struct EdfQueue {
+    map: BTreeMap<(u64, u64), PendingReq>,
+}
+
+impl EdfQueue {
+    fn key(p: &PendingReq) -> (u64, u64) {
+        (p.deadline.unwrap_or(u64::MAX), p.req)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn push(&mut self, p: PendingReq) {
+        self.map.insert(Self::key(&p), p);
+    }
+
+    /// Removes and returns the most urgent queued request.
+    fn pop_earliest(&mut self) -> Option<PendingReq> {
+        self.map.pop_first().map(|(_, p)| p)
+    }
+
+    /// Removes and returns every queued request matching `hopeless`, in
+    /// EDF order.
+    fn drain_where(&mut self, mut hopeless: impl FnMut(&PendingReq) -> bool) -> Vec<PendingReq> {
+        let keys: Vec<(u64, u64)> = self
+            .map
+            .iter()
+            .filter(|(_, p)| hopeless(p))
+            .map(|(k, _)| *k)
+            .collect();
+        keys.into_iter()
+            .filter_map(|k| self.map.remove(&k))
+            .collect()
+    }
+}
+
 /// The continuous-batching inference server (see module docs).
 pub struct Server<C: Clock> {
     cfg: ServeConfig,
@@ -215,7 +309,7 @@ pub struct Server<C: Clock> {
     backend: Box<dyn Backend>,
     make_backend: BackendFactory,
     conns: Vec<Option<ConnEntry>>,
-    queue: VecDeque<PendingReq>,
+    queue: EdfQueue,
     /// In-flight requests keyed by backend lane id.
     running: BTreeMap<u64, PendingReq>,
     stats: ServeStats,
@@ -255,7 +349,7 @@ impl<C: Clock> Server<C> {
             backend,
             make_backend,
             conns: Vec::new(),
-            queue: VecDeque::new(),
+            queue: EdfQueue::default(),
             running: BTreeMap::new(),
             stats: ServeStats::default(),
             req_seq: 0,
@@ -289,8 +383,9 @@ impl<C: Clock> Server<C> {
     }
 
     /// Stops admitting inference work: every new `/infer` answers `503`
-    /// while in-flight requests run to completion. [`Server::idle`] turns
-    /// true once the drain is finished.
+    /// while in-flight requests run to completion, and freshly parsed
+    /// requests stop being kept alive. [`Server::idle`] turns true once
+    /// the drain is finished.
     pub fn begin_drain(&mut self) {
         self.draining = true;
     }
@@ -319,7 +414,7 @@ impl<C: Clock> Server<C> {
         self.read_pass(now);
         let steps = self.step_pass(now);
         self.shed_hopeless(now);
-        let responses = self.write_pass();
+        let responses = self.write_pass(now);
         self.timeout_pass(now);
         self.publish_gauges();
         TickReport { steps, responses }
@@ -344,13 +439,23 @@ impl<C: Clock> Server<C> {
                         ),
                         off: 0,
                     },
-                    opened_at: now,
+                    parser: RequestParser::new(self.cfg.max_body),
+                    req_started: None,
+                    idle_since: now,
+                    served: 0,
+                    close_after: true,
                 }
             } else {
                 ConnEntry {
                     io,
-                    state: ConnState::Reading(RequestParser::new(self.cfg.max_body)),
-                    opened_at: now,
+                    state: ConnState::Reading,
+                    parser: RequestParser::new(self.cfg.max_body),
+                    // A connection that never sends a byte falls under the
+                    // slow-loris guard, like a half-sent request.
+                    req_started: Some(now),
+                    idle_since: now,
+                    served: 0,
+                    close_after: false,
                 }
             };
             self.insert_conn(entry);
@@ -368,52 +473,85 @@ impl<C: Clock> Server<C> {
         self.conns.len() - 1
     }
 
-    /// Pumps request bytes on every connection still reading. Reads per
-    /// connection per tick are capped so one firehose client cannot starve
-    /// its neighbours within a tick.
+    /// Pumps request bytes on every connection still reading, dispatching
+    /// at most one request per connection per tick (pipelined surplus
+    /// stays buffered until the previous response is written — the
+    /// per-connection ordering guarantee). Reads per connection per tick
+    /// are capped so one firehose client cannot starve its neighbours
+    /// within a tick.
     fn read_pass(&mut self, now: u64) {
         const READ_CAP: usize = 16 * 1024;
         for idx in 0..self.conns.len() {
             let mut verdict: Option<Parse> = None;
             let mut disconnected = false;
+            let mut clean_close = false;
             {
                 let Some(entry) = self.conns[idx].as_mut() else {
                     continue;
                 };
-                let ConnState::Reading(parser) = &mut entry.state else {
+                if !matches!(entry.state, ConnState::Reading) {
                     continue;
-                };
-                let mut budget = READ_CAP;
-                let mut chunk = [0u8; 512];
-                while budget > 0 {
-                    match entry.io.poll_read(&mut chunk[..budget.min(512)]) {
-                        Io::Data(n) => {
-                            budget -= n;
-                            match parser.feed(&chunk[..n]) {
-                                Parse::NeedMore => {}
-                                done => {
-                                    verdict = Some(done);
+                }
+                // A pipelined request may already be fully buffered from a
+                // previous read; consume it before touching the socket.
+                match entry.parser.poll() {
+                    Parse::NeedMore => {
+                        let mut budget = READ_CAP;
+                        let mut chunk = [0u8; 512];
+                        while budget > 0 {
+                            match entry.io.poll_read(&mut chunk[..budget.min(512)]) {
+                                Io::Data(n) => {
+                                    budget -= n;
+                                    entry.idle_since = now;
+                                    if entry.req_started.is_none() {
+                                        entry.req_started = Some(now);
+                                    }
+                                    match entry.parser.feed(&chunk[..n]) {
+                                        Parse::NeedMore => {}
+                                        done => {
+                                            verdict = Some(done);
+                                            break;
+                                        }
+                                    }
+                                }
+                                Io::WouldBlock => break,
+                                Io::Closed => {
+                                    disconnected = true;
+                                    // A kept-alive client hanging up with no
+                                    // request in progress is a normal end of
+                                    // conversation, not a fault.
+                                    clean_close = entry.served > 0
+                                        && entry.req_started.is_none()
+                                        && entry.parser.buffered() == 0;
                                     break;
                                 }
                             }
                         }
-                        Io::WouldBlock => break,
-                        Io::Closed => {
-                            disconnected = true;
-                            break;
-                        }
                     }
+                    done => verdict = Some(done),
                 }
             }
             if disconnected {
-                self.stats.faults_disconnect += 1;
-                tcl_telemetry::counter_add("serve.faults.disconnect", 1);
+                if !clean_close {
+                    self.stats.faults_disconnect += 1;
+                    tcl_telemetry::counter_add("serve.faults.disconnect", 1);
+                }
                 self.drop_conn(idx);
                 continue;
             }
             match verdict {
                 None => {}
-                Some(Parse::Ready(req)) => self.dispatch(now, idx, &req),
+                Some(Parse::Ready(req)) => {
+                    if let Some(entry) = self.conns[idx].as_mut() {
+                        if entry.served > 0 {
+                            self.stats.reused += 1;
+                            tcl_telemetry::counter_add("serve.reused", 1);
+                        }
+                        let at_cap = entry.served + 1 >= self.cfg.max_requests_per_conn as u64;
+                        entry.close_after = !req.keep_alive || at_cap || self.draining;
+                    }
+                    self.dispatch(now, idx, &req);
+                }
                 Some(Parse::Reject { status, reason }) => {
                     if status == 413 || status == 431 {
                         self.stats.faults_oversize += 1;
@@ -421,7 +559,7 @@ impl<C: Clock> Server<C> {
                     }
                     self.respond(idx, status, &error_body(reason), None);
                 }
-                // feed() only returns NeedMore mid-loop, never as a verdict.
+                // feed()/poll() only return NeedMore as handled above.
                 Some(Parse::NeedMore) => {}
             }
         }
@@ -481,7 +619,7 @@ impl<C: Clock> Server<C> {
             if let Some(entry) = self.conns[idx].as_mut() {
                 entry.state = ConnState::Waiting;
             }
-            self.queue.push_back(pending);
+            self.queue.push(pending);
         } else {
             self.stats.shed += 1;
             tcl_telemetry::counter_add("serve.shed", 1);
@@ -548,10 +686,12 @@ impl<C: Clock> Server<C> {
         steps
     }
 
+    /// Pops the queue deadline-earliest-first into free lanes: the most
+    /// urgent queued request reaches the engine first.
     fn admit_from_queue(&mut self, now: u64) {
         while !self.queue.is_empty() && self.backend.active() < self.cfg.capacity {
             // lint: allow(P1) nonempty checked by the loop condition
-            let pending = self.queue.pop_front().expect("queue nonempty");
+            let pending = self.queue.pop_earliest().expect("queue nonempty");
             self.submit(now, pending);
         }
     }
@@ -631,34 +771,34 @@ impl<C: Clock> Server<C> {
 
     /// Sheds queued requests that can no longer produce an answer by their
     /// deadline, *now*, so the shed response itself still beats the
-    /// deadline.
+    /// deadline. The EDF order means the sweep sees the most urgent
+    /// (soonest-to-become-hopeless) requests first.
     fn shed_hopeless(&mut self, now: u64) {
-        let mut keep = VecDeque::with_capacity(self.queue.len());
-        while let Some(pending) = self.queue.pop_front() {
-            let hopeless = pending.deadline.is_some_and(|d| {
-                let min_run =
-                    self.cfg.min_possible_steps(pending.budget) as u64 * self.cfg.us_per_step;
+        let cfg_us = self.cfg.us_per_step;
+        let policy_min = |budget: usize| self.cfg.min_possible_steps(budget);
+        let hopeless = self.queue.drain_where(|pending| {
+            pending.deadline.is_some_and(|d| {
+                let min_run = policy_min(pending.budget) as u64 * cfg_us;
                 now.saturating_add(min_run) > d
-            });
-            if hopeless {
-                self.stats.shed += 1;
-                tcl_telemetry::counter_add("serve.shed", 1);
-                self.respond(
-                    pending.conn,
-                    429,
-                    &error_body("deadline unreachable under load"),
-                    Some(self.cfg.retry_after_s()),
-                );
-            } else {
-                keep.push_back(pending);
-            }
+            })
+        });
+        for pending in hopeless {
+            self.stats.shed += 1;
+            tcl_telemetry::counter_add("serve.shed", 1);
+            self.respond(
+                pending.conn,
+                429,
+                &error_body("deadline unreachable under load"),
+                Some(self.cfg.retry_after_s()),
+            );
         }
-        self.queue = keep;
     }
 
-    /// Flushes pending responses; a fully written response closes the
-    /// connection (one request per connection, like the obs exporter).
-    fn write_pass(&mut self) -> usize {
+    /// Flushes pending responses. A fully written response closes the
+    /// connection when `close_after` is set (client asked, request cap
+    /// reached, error status, or draining); otherwise the connection is
+    /// re-armed for its next request — keep-alive.
+    fn write_pass(&mut self, now: u64) -> usize {
         let mut finished = 0;
         for idx in 0..self.conns.len() {
             let (done, disconnected) = {
@@ -689,27 +829,66 @@ impl<C: Clock> Server<C> {
                 self.stats.responses += 1;
                 tcl_telemetry::counter_add("serve.responses", 1);
                 finished += 1;
-                self.drop_conn(idx);
+                let close = self.conns[idx]
+                    .as_ref()
+                    .is_some_and(|entry| entry.close_after);
+                if close {
+                    self.drop_conn(idx);
+                } else if let Some(entry) = self.conns[idx].as_mut() {
+                    // Keep-alive re-arm: the parser already holds any
+                    // pipelined surplus; the next read_pass polls it.
+                    entry.served += 1;
+                    entry.state = ConnState::Reading;
+                    entry.idle_since = now;
+                    entry.req_started = if entry.parser.buffered() > 0 {
+                        Some(now)
+                    } else {
+                        None
+                    };
+                }
             }
         }
         finished
     }
 
-    /// Times out connections still dribbling their request (slow-loris:
-    /// header or body, the guard does not care which).
+    /// Times out connections still dribbling their current request
+    /// (slow-loris: header or body, the guard does not care which) and
+    /// silently reaps kept-alive connections idle past `idle_timeout_us`.
     fn timeout_pass(&mut self, now: u64) {
+        enum Timeout {
+            SlowLoris,
+            Idle,
+        }
         for idx in 0..self.conns.len() {
             let timed_out = {
                 let Some(entry) = self.conns[idx].as_ref() else {
                     continue;
                 };
-                matches!(entry.state, ConnState::Reading(_))
-                    && now.saturating_sub(entry.opened_at) >= self.cfg.head_timeout_us
+                if !matches!(entry.state, ConnState::Reading) {
+                    continue;
+                }
+                match entry.req_started {
+                    Some(t) if now.saturating_sub(t) >= self.cfg.head_timeout_us => {
+                        Some(Timeout::SlowLoris)
+                    }
+                    None if now.saturating_sub(entry.idle_since) >= self.cfg.idle_timeout_us => {
+                        Some(Timeout::Idle)
+                    }
+                    _ => None,
+                }
             };
-            if timed_out {
-                self.stats.faults_slowloris += 1;
-                tcl_telemetry::counter_add("serve.faults.slowloris", 1);
-                self.respond(idx, 408, &error_body("request timeout"), None);
+            match timed_out {
+                Some(Timeout::SlowLoris) => {
+                    self.stats.faults_slowloris += 1;
+                    tcl_telemetry::counter_add("serve.faults.slowloris", 1);
+                    self.respond(idx, 408, &error_body("request timeout"), None);
+                }
+                Some(Timeout::Idle) => {
+                    self.stats.idle_closed += 1;
+                    tcl_telemetry::counter_add("serve.idle_closed", 1);
+                    self.drop_conn(idx);
+                }
+                None => {}
             }
         }
     }
@@ -722,10 +901,15 @@ impl<C: Clock> Server<C> {
     }
 
     /// Queues a response on a connection (no-op if the client is gone).
+    /// Any non-200 status forces the connection closed after the write:
+    /// the parser may be unsynchronized with a misbehaving client.
     fn respond(&mut self, idx: usize, status: u16, body: &str, retry_after_s: Option<u64>) {
         if let Some(entry) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+            if status != 200 {
+                entry.close_after = true;
+            }
             entry.state = ConnState::Writing {
-                buf: http::response(status, body, retry_after_s),
+                buf: http::response_with(status, body, retry_after_s, !entry.close_after),
                 off: 0,
             };
         }
@@ -742,7 +926,7 @@ impl<C: Clock> Server<C> {
         let s = &self.stats;
         format!(
             "{{\"requests\":{},\"responses\":{},\"completed\":{},\"early_exits\":{},\
-             \"shed\":{},\"deadline_miss\":{},\
+             \"shed\":{},\"deadline_miss\":{},\"reused\":{},\"idle_closed\":{},\
              \"faults\":{{\"disconnect\":{},\"slowloris\":{},\"oversize\":{},\"engine\":{}}},\
              \"lanes_active\":{},\"queue_depth\":{},\"engine_steps\":{},\"lane_steps\":{},\
              \"draining\":{}}}",
@@ -752,6 +936,8 @@ impl<C: Clock> Server<C> {
             s.early_exits,
             s.shed,
             s.deadline_miss,
+            s.reused,
+            s.idle_closed,
             s.faults_disconnect,
             s.faults_slowloris,
             s.faults_oversize,
@@ -810,9 +996,8 @@ fn parse_infer_body(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tcl_snn::Readout;
 
-    pub(crate) fn test_config(feat: usize, capacity: usize) -> ServeConfig {
+    fn test_config(feat: usize, capacity: usize) -> ServeConfig {
         ServeConfig {
             capacity,
             queue_depth: 4,
@@ -824,6 +1009,8 @@ mod tests {
             max_body: 4096,
             head_timeout_us: 50_000,
             max_conns: 32,
+            max_requests_per_conn: 64,
+            idle_timeout_us: 100_000,
         }
     }
 
@@ -831,17 +1018,25 @@ mod tests {
     fn config_validation_rejects_zero_fields() {
         let good = test_config(2, 2);
         assert!(good.validate().is_ok());
-        for field in ["capacity", "max_steps", "us_per_step", "steps_per_tick"] {
+        for field in [
+            "capacity",
+            "max_steps",
+            "us_per_step",
+            "steps_per_tick",
+            "max_requests_per_conn",
+            "idle_timeout_us",
+        ] {
             let mut bad = test_config(2, 2);
             match field {
                 "capacity" => bad.capacity = 0,
                 "max_steps" => bad.max_steps = 0,
                 "us_per_step" => bad.us_per_step = 0,
+                "max_requests_per_conn" => bad.max_requests_per_conn = 0,
+                "idle_timeout_us" => bad.idle_timeout_us = 0,
                 _ => bad.steps_per_tick = 0,
             }
             assert!(bad.validate().is_err(), "{field}");
         }
-        let _ = Readout::SpikeCount; // silence unused import when tests shrink
     }
 
     #[test]
@@ -851,6 +1046,32 @@ mod tests {
         assert_eq!(cfg.budget_for(Some(1_000)), 10);
         assert_eq!(cfg.budget_for(Some(10_000)), 16, "capped at max_steps");
         assert_eq!(cfg.budget_for(Some(99)), 0, "below one timestep");
+    }
+
+    #[test]
+    fn edf_queue_orders_by_deadline_then_arrival() {
+        let mk = |req: u64, deadline: Option<u64>| PendingReq {
+            req,
+            conn: 0,
+            sample: vec![],
+            budget: 1,
+            deadline,
+            arrived: 0,
+        };
+        let mut q = EdfQueue::default();
+        q.push(mk(0, None));
+        q.push(mk(1, Some(9_000)));
+        q.push(mk(2, Some(2_000)));
+        q.push(mk(3, None));
+        q.push(mk(4, Some(2_000)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_earliest())
+            .map(|p| p.req)
+            .collect();
+        assert_eq!(
+            order,
+            vec![2, 4, 1, 0, 3],
+            "earliest deadline first, FIFO among ties, deadline-less last"
+        );
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub fn serve_cfg(features: usize, capacity: usize) -> ServeConfig {
         max_body: 4096,
         head_timeout_us: 50_000,
         max_conns: 64,
+        max_requests_per_conn: 64,
+        idle_timeout_us: 200_000,
     }
 }
 

@@ -10,7 +10,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use common::{body_bool, body_field, drive, identity_net, lane_factory, serve_cfg};
-use tcl_serve::sim::{infer_request, Chunk, SimNet};
+use tcl_serve::sim::{get_request_keep_alive, infer_request, pipelined, Chunk, SimNet};
 use tcl_serve::{Backend, Completion, Server, VirtualClock};
 use tcl_snn::Readout;
 use tcl_tensor::{Result, TensorError};
@@ -135,6 +135,154 @@ fn oversized_requests_are_rejected_early() {
     assert_eq!(big_head.status(), Some(431));
     assert_eq!(normal.status(), Some(200));
     assert_eq!(server.stats().faults_oversize, 2);
+    assert!(server.idle());
+}
+
+/// A kept-alive connection that goes quiet between requests is reaped at
+/// the idle timeout — silently (no 408, no fault counter), because the
+/// client did nothing wrong.
+#[test]
+fn idle_keep_alive_connection_is_reaped_silently() {
+    let net = identity_net(4);
+    let mut cfg = serve_cfg(4, 2);
+    cfg.idle_timeout_us = 3_000;
+    let clock = VirtualClock::new();
+    let sim = SimNet::new(&clock);
+    let client = sim.request_at(0, get_request_keep_alive("/healthz"));
+
+    let factory = lane_factory(&net, &cfg, Readout::SpikeCount);
+    let mut server =
+        Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
+    drive(&mut server, &clock, &sim, 200, 100);
+
+    assert_eq!(client.statuses(), vec![200]);
+    assert!(
+        client.response_text().contains("Connection: keep-alive"),
+        "the 200 advertised keep-alive: {}",
+        client.response_text()
+    );
+    let closed = client.closed_at().expect("idle connection reaped");
+    assert!(
+        (3_000..6_000).contains(&closed),
+        "reaped near the idle timeout, got {closed}"
+    );
+    assert_eq!(server.stats().idle_closed, 1);
+    assert_eq!(server.stats().faults_disconnect, 0, "idle reap is no fault");
+    assert_eq!(server.stats().faults_slowloris, 0, "and no 408");
+    assert!(server.idle());
+}
+
+/// `max_requests_per_conn` bounds reuse: the capping response advertises
+/// `Connection: close` and the connection drops, discarding any further
+/// pipelined requests.
+#[test]
+fn request_cap_closes_the_connection() {
+    let net = identity_net(4);
+    let mut cfg = serve_cfg(4, 2);
+    cfg.max_requests_per_conn = 2;
+    let clock = VirtualClock::new();
+    let sim = SimNet::new(&clock);
+    let three = pipelined(&[
+        get_request_keep_alive("/healthz"),
+        get_request_keep_alive("/healthz"),
+        get_request_keep_alive("/healthz"),
+    ]);
+    let client = sim.request_at(0, three);
+
+    let factory = lane_factory(&net, &cfg, Readout::SpikeCount);
+    let mut server =
+        Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
+    drive(&mut server, &clock, &sim, 200, 100);
+
+    assert_eq!(client.statuses(), vec![200, 200], "third request discarded");
+    let text = client.response_text();
+    assert!(text.contains("Connection: keep-alive"), "first says keep");
+    assert!(
+        text.contains("Connection: close"),
+        "capping response closes"
+    );
+    let closed = client.closed_at().expect("capped connection closed");
+    assert!(closed < 3_000, "closed at the cap, not the idle timeout");
+    assert_eq!(server.stats().reused, 1);
+    assert!(server.idle());
+}
+
+/// A keep-alive client hanging up *between* requests is a clean close —
+/// the disconnect fault counter is for clients that vanish mid-request or
+/// mid-response.
+#[test]
+fn keep_alive_hangup_between_requests_is_a_clean_close() {
+    let net = identity_net(4);
+    let cfg = serve_cfg(4, 2);
+    let clock = VirtualClock::new();
+    let sim = SimNet::new(&clock);
+    let client = sim.connect_at(
+        0,
+        vec![
+            (0, Chunk::Bytes(get_request_keep_alive("/healthz"))),
+            (2_000, Chunk::Hangup),
+        ],
+    );
+
+    let factory = lane_factory(&net, &cfg, Readout::SpikeCount);
+    let mut server =
+        Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
+    drive(&mut server, &clock, &sim, 200, 100);
+
+    assert_eq!(client.statuses(), vec![200]);
+    assert_eq!(
+        server.stats().faults_disconnect,
+        0,
+        "a polite goodbye is not a fault"
+    );
+    assert_eq!(server.stats().idle_closed, 0);
+    assert!(server.idle());
+}
+
+/// Header edge cases through the full server path (not just the parser):
+/// a bare-LF head terminator is served, while Transfer-Encoding,
+/// duplicate Content-Length, and GET-with-body are all rejected with 400.
+#[test]
+fn header_edge_cases_through_the_full_server_path() {
+    let net = identity_net(4);
+    let cfg = serve_cfg(4, 2);
+    let clock = VirtualClock::new();
+    let sim = SimNet::new(&clock);
+    let bare_lf = sim.request_at(
+        0,
+        b"GET /healthz HTTP/1.1\nHost: sim\nConnection: close\n\n".to_vec(),
+    );
+    let chunked = sim.request_at(
+        0,
+        b"POST /infer HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+    );
+    let dup_cl = sim.request_at(
+        0,
+        b"POST /infer HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc".to_vec(),
+    );
+    let get_body = sim.request_at(
+        0,
+        b"GET /healthz HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec(),
+    );
+
+    let factory = lane_factory(&net, &cfg, Readout::SpikeCount);
+    let mut server =
+        Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
+    drive(&mut server, &clock, &sim, 200, 100);
+
+    assert_eq!(bare_lf.status(), Some(200), "{}", bare_lf.response_text());
+    assert_eq!(bare_lf.body(), "ok\n");
+    assert_eq!(chunked.status(), Some(400), "{}", chunked.response_text());
+    assert!(chunked.body().contains("Transfer-Encoding"));
+    assert_eq!(dup_cl.status(), Some(400), "{}", dup_cl.response_text());
+    assert!(dup_cl.body().contains("Content-Length"));
+    assert_eq!(get_body.status(), Some(400), "{}", get_body.response_text());
+    for client in [&chunked, &dup_cl, &get_body] {
+        assert!(
+            client.response_text().contains("Connection: close"),
+            "rejections close the connection"
+        );
+    }
     assert!(server.idle());
 }
 

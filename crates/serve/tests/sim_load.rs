@@ -16,7 +16,7 @@ use common::{
     body_field, drive, identity_net, lane_factory, serve_cfg, solo_lane_output, RecordingBackend,
     ADAPTIVE,
 };
-use tcl_serve::sim::{infer_request, SimNet};
+use tcl_serve::sim::{infer_request, infer_request_keep_alive, pipelined, SimNet};
 use tcl_serve::{Completion, ServeStats, Server, VirtualClock};
 use tcl_snn::{Engine, Readout, SimConfig};
 use tcl_tensor::{SeededRng, Tensor};
@@ -179,6 +179,19 @@ fn open_loop_scenario() -> (String, ServeStats) {
         Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
     drive(&mut server, &clock, &sim, 200, 2_000);
 
+    // No-starvation under EDF: deadline-less requests rank last in the
+    // queue but must still all be served — urgency reorders, it never
+    // permanently displaces (the burst is finite, so the queue drains).
+    for (i, client) in clients.iter().enumerate().take(16) {
+        if !(i as u64).is_multiple_of(4) {
+            assert_eq!(
+                client.status(),
+                Some(200),
+                "deadline-less client {i} starved under EDF"
+            );
+        }
+    }
+
     let fingerprint = clients
         .iter()
         .map(|c| {
@@ -312,6 +325,122 @@ fn every_shed_request_is_answered_before_its_deadline() {
     assert_eq!(shed, 5);
     assert_eq!(server.stats().shed, 5);
     assert_eq!(server.stats().deadline_miss, 0);
+}
+
+/// The keep-alive acceptance criterion: N requests pipelined on ONE
+/// connection produce bitwise-identical scores to the same N requests on
+/// solo connections — connection reuse changes scheduling, never
+/// arithmetic. Pipelined requests are also answered strictly in arrival
+/// order on the shared connection.
+#[test]
+fn pipelined_keep_alive_matches_solo_connections_bitwise() {
+    let samples = mixed_samples();
+    // Four confident samples with distinct predictions 0..=3.
+    let picks: Vec<&Vec<f32>> = vec![&samples[1], &samples[2], &samples[3], &samples[4]];
+    let net = identity_net(4);
+    let cfg = serve_cfg(4, 2);
+
+    let run = |pipeline: bool| -> (Vec<Completion>, Vec<(u16, String)>, ServeStats) {
+        let clock = VirtualClock::new();
+        let sim = SimNet::new(&clock);
+        let clients = if pipeline {
+            // Three kept-alive requests plus a final `Connection: close`
+            // on a single connection, all bytes in one chunk.
+            let mut reqs: Vec<Vec<u8>> = picks
+                .iter()
+                .take(3)
+                .map(|s| infer_request_keep_alive(s, None))
+                .collect();
+            reqs.push(infer_request(picks[3], None));
+            vec![sim.request_at(0, pipelined(&reqs))]
+        } else {
+            picks
+                .iter()
+                .map(|s| sim.request_at(0, infer_request(s, None)))
+                .collect()
+        };
+        let log: Rc<RefCell<Vec<Completion>>> = Rc::new(RefCell::new(Vec::new()));
+        let factory = {
+            let mut inner = lane_factory(&net, &cfg, Readout::SpikeCount);
+            let log = Rc::clone(&log);
+            Box::new(move || RecordingBackend::wrap(inner(), Rc::clone(&log)))
+        };
+        let mut server = Server::new(cfg.clone(), clock.clone(), Box::new(sim.clone()), factory)
+            .expect("server builds");
+        drive(&mut server, &clock, &sim, 100, 2_000);
+        let responses = clients.iter().flat_map(|c| c.responses()).collect();
+        let log = log.borrow().clone();
+        (log, responses, server.stats().clone())
+    };
+
+    let (piped_log, piped_responses, piped_stats) = run(true);
+    let (solo_log, solo_responses, solo_stats) = run(false);
+
+    // All eight requests (4 + 4) answered 200, and the pipelined answers
+    // arrive in request order: predictions 0, 1, 2, 3 on the one stream.
+    assert_eq!(piped_responses.len(), 4);
+    assert_eq!(solo_responses.len(), 4);
+    for (i, (status, body)) in piped_responses.iter().enumerate() {
+        assert_eq!(*status, 200, "pipelined request {i}");
+        assert_eq!(
+            body_field(body, "pred") as usize,
+            i,
+            "pipelined answers follow arrival order"
+        );
+    }
+    assert_eq!(piped_stats.completed, 4);
+    assert_eq!(piped_stats.reused, 3, "three requests rode a reused conn");
+    assert_eq!(solo_stats.reused, 0);
+
+    // Bitwise: pair completions across the two runs by prediction (each
+    // sample predicts a distinct class) and compare the score trajectories.
+    assert_eq!(piped_log.len(), 4);
+    assert_eq!(solo_log.len(), 4);
+    for piped in &piped_log {
+        let twin = solo_log
+            .iter()
+            .find(|c| c.pred == piped.pred)
+            .expect("same prediction appears in the solo run");
+        assert_eq!(piped.scores, twin.scores, "pred {} scores", piped.pred);
+        assert_eq!(piped.steps, twin.steps, "pred {} steps", piped.pred);
+        assert_eq!(piped.early, twin.early, "pred {} early flag", piped.pred);
+    }
+}
+
+/// The EDF discriminator: with the single lane busy, a deadline-less
+/// request queued *first* must still be overtaken by an urgent request
+/// queued *second* — FIFO would serve them in arrival order.
+#[test]
+fn edf_admission_serves_urgent_queued_requests_first() {
+    let net = identity_net(4);
+    let mut cfg = serve_cfg(4, 1);
+    cfg.queue_depth = 4;
+    cfg.policy = tcl_snn::ExitPolicy::Off;
+    cfg.max_steps = 20;
+    cfg.steps_per_tick = 2;
+
+    let clock = VirtualClock::new();
+    let sim = SimNet::new(&clock);
+    let occupier = sim.request_at(0, infer_request(&[0.9, 0.1, 0.1, 0.1], None));
+    let lax = sim.request_at(200, infer_request(&[0.1, 0.85, 0.1, 0.05], None));
+    let urgent = sim.request_at(400, infer_request(&[0.05, 0.1, 0.8, 0.1], Some(10_000)));
+
+    let factory = lane_factory(&net, &cfg, Readout::SpikeCount);
+    let mut server =
+        Server::new(cfg, clock.clone(), Box::new(sim.clone()), factory).expect("server builds");
+    drive(&mut server, &clock, &sim, 200, 2_000);
+
+    for (name, client) in [("occupier", &occupier), ("lax", &lax), ("urgent", &urgent)] {
+        assert_eq!(client.status(), Some(200), "{name}");
+    }
+    assert_eq!(server.stats().deadline_miss, 0);
+    assert!(
+        urgent.completion_index().unwrap() < lax.completion_index().unwrap(),
+        "EDF admits the urgent request ahead of the earlier deadline-less one \
+         (urgent {:?} vs lax {:?})",
+        urgent.completion_index(),
+        lax.completion_index()
+    );
 }
 
 /// The read-only endpoints answer over the simulated transport.
