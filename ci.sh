@@ -56,6 +56,51 @@ if ! printf '%s\n' "$s1_out" | grep -q 'crates/tensor/src/ci_s1_probe.rs:1:[0-9]
 fi
 echo "tcl-lint S1 negative control OK (seeded intrinsic caught)"
 
+# Third negative control: a layering violation (tensor importing a crate
+# above it in the DAG) must trip A1 even though cargo would also reject
+# it — the lint catches the `use` before a Cargo.toml edit legitimises it.
+a1_probe=crates/tensor/src/ci_a1_probe.rs
+printf 'pub use tcl_core::Pipeline;\n' > "$a1_probe"
+if a1_out=$(cargo run --release -q -p tcl-lint 2>/dev/null); then
+  rm -f "$a1_probe"
+  echo "FAIL: tcl-lint exited 0 despite a seeded layering violation" >&2
+  exit 1
+fi
+rm -f "$a1_probe"
+if ! printf '%s\n' "$a1_out" | grep -q 'crates/tensor/src/ci_a1_probe.rs:1:[0-9]* \[A1\]'; then
+  echo "FAIL: tcl-lint missed the seeded layering violation's file:line [A1] diagnostic" >&2
+  printf '%s\n' "$a1_out" >&2
+  exit 1
+fi
+echo "tcl-lint A1 negative control OK (seeded layering violation caught)"
+
+# Fourth negative control: a NaN-unsound float comparator must trip F1.
+f1_probe=crates/tensor/src/ci_f1_probe.rs
+printf 'pub fn probe(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }\n' > "$f1_probe"
+if f1_out=$(cargo run --release -q -p tcl-lint 2>/dev/null); then
+  rm -f "$f1_probe"
+  echo "FAIL: tcl-lint exited 0 despite a seeded partial_cmp violation" >&2
+  exit 1
+fi
+rm -f "$f1_probe"
+if ! printf '%s\n' "$f1_out" | grep -q 'crates/tensor/src/ci_f1_probe.rs:1:[0-9]* \[F1\]'; then
+  echo "FAIL: tcl-lint missed the seeded partial_cmp's file:line [F1] diagnostic" >&2
+  printf '%s\n' "$f1_out" >&2
+  exit 1
+fi
+echo "tcl-lint F1 negative control OK (seeded partial_cmp caught)"
+
+# Crate-dependency graph artifact: the DOT render doubles as the A1/A2
+# check (rendering loads every manifest through the same model) and is
+# published for docs/review.
+cargo run --release -q -p tcl-lint -- --deps --format dot > target/deps.dot
+if ! grep -q '"tcl-tensor" -> "tcl-simd"' target/deps.dot; then
+  echo "FAIL: target/deps.dot missing the tensor -> simd edge" >&2
+  cat target/deps.dot >&2
+  exit 1
+fi
+echo "tcl-lint deps graph OK (target/deps.dot published)"
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

@@ -230,7 +230,7 @@ fn main() {
             candidates.iter().min_by(|a, b| {
                 let da = (a.result.adaptive_accuracy - fixed_acc).abs();
                 let db = (b.result.adaptive_accuracy - fixed_acc).abs();
-                da.partial_cmp(&db).expect("finite accuracies")
+                da.total_cmp(&db)
             })
         })
         .expect("at least one candidate");

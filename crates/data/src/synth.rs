@@ -227,15 +227,19 @@ fn class_prototypes(spec: &SynthSpec, rng: &mut SeededRng) -> Vec<Vec<Tensor>> {
                     for x in 0..w {
                         let mut v = 0.0f32;
                         for &(fy, fx, phase, amp) in &comps {
-                            v += amp
-                                * (std::f32::consts::TAU * (fy * y as f32 + fx * x as f32) + phase)
-                                    .sin();
+                            let arg =
+                                std::f32::consts::TAU * (fy * y as f32 + fx * x as f32) + phase;
+                            // lint: allow(F2) synthetic pixels are frozen by
+                            // the dataset goldens; libm drift fails loudly
+                            v += amp * arg.sin();
                         }
                         // Class bump, shared across variants of the class.
                         let dy = y as f32 - bump_y;
                         let dx = x as f32 - bump_x;
-                        let bump =
-                            1.5 * (-(dy * dy + dx * dx) / (2.0 * bump_sigma * bump_sigma)).exp();
+                        let g = -(dy * dy + dx * dx) / (2.0 * bump_sigma * bump_sigma);
+                        // lint: allow(F2) synthetic pixels are frozen by the
+                        // dataset goldens; libm drift fails loudly
+                        let bump = 1.5 * g.exp();
                         // Map to a mostly-positive range.
                         let scaled = 0.5 + 0.25 * v / spec.frequency_components as f32 + bump;
                         img.set4(0, ch, y, x, scaled);

@@ -18,6 +18,8 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod tree;
+pub mod workspace;
 
 use std::fmt;
 use std::fs;
@@ -47,7 +49,7 @@ impl fmt::Display for LintError {
     }
 }
 
-fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> LintError + '_ {
+pub(crate) fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> LintError + '_ {
     move |err| LintError::Io {
         path: path.to_path_buf(),
         err,
@@ -163,6 +165,12 @@ pub fn run(root: &Path, only_crate: Option<&str>) -> Result<Report, LintError> {
             files_scanned += 1;
             findings.extend(check_file(&rel_path(root, &path), &text, &krate));
         }
+    }
+    // Workspace-level A-rules (manifest DAG + cycles) on full runs only:
+    // a --self-check scoped to one crate has no graph to judge.
+    if only_crate.is_none() {
+        let manifests = workspace::load(root)?;
+        findings.extend(workspace::check(&manifests));
     }
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))

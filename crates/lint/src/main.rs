@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tcl_lint::{explain, render_json, run, RULES};
+use tcl_lint::{explain, render_json, run, workspace, RULES};
 
 const USAGE: &str = "\
 tcl-lint: workspace-aware static analyzer for the TCL repo
@@ -15,8 +15,11 @@ USAGE:
     cargo run -p tcl-lint [--] [OPTIONS]
 
 OPTIONS:
-    --format <text|json>   Output format (default: text, one
-                           `file:line:col [RULE] message` per finding)
+    --format <text|json|dot>  Output format (default: text, one
+                              `file:line:col [RULE] message` per finding;
+                              dot is valid only with --deps)
+    --deps                 Print the crate-dependency graph (text, or
+                           Graphviz DOT with --format dot) and exit
     --explain <RULE>       Print what a rule enforces and why, then exit
     --self-check           Lint only the tcl-lint crate itself
     --root <DIR>           Workspace root (default: discovered from cwd)
@@ -25,12 +28,22 @@ OPTIONS:
 
 EXIT STATUS: 0 clean, 1 findings reported, 2 usage or I/O error.
 
-Rules: D1-D3 determinism, P1-P2 panic policy, C1-C3 concurrency audit,
-G1 telemetry gating. Suppress a site with `// lint: allow(RULE) reason`
-(same line or directly above; the reason is mandatory).";
+Rules: A1-A3 architecture/layering, D1-D3 determinism, F1-F3 float
+determinism, P1-P2 panic policy, C1-C3 concurrency audit, G1 telemetry
+gating, S1 SIMD confinement, U1 suppression audit. Suppress a site with
+`// lint: allow(RULE) reason` (same line or directly above; the reason
+is mandatory; U1 is not suppressible).";
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+    Dot,
+}
 
 struct Opts {
-    json: bool,
+    format: Format,
+    deps: bool,
     self_check: bool,
     root: Option<PathBuf>,
     explain: Option<String>,
@@ -39,7 +52,8 @@ struct Opts {
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
-        json: false,
+        format: Format::Text,
+        deps: false,
         self_check: false,
         root: None,
         explain: None,
@@ -49,10 +63,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => opts.json = true,
-                Some("text") => opts.json = false,
-                other => return Err(format!("--format expects text|json, got {other:?}")),
+                Some("json") => opts.format = Format::Json,
+                Some("text") => opts.format = Format::Text,
+                Some("dot") => opts.format = Format::Dot,
+                other => return Err(format!("--format expects text|json|dot, got {other:?}")),
             },
+            "--deps" => opts.deps = true,
             "--explain" => match it.next() {
                 Some(rule) => opts.explain = Some(rule.clone()),
                 None => return Err("--explain expects a rule id (e.g. D1)".to_string()),
@@ -122,6 +138,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.deps {
+        let manifests = match workspace::load(&root) {
+            Ok(m) => m,
+            Err(err) => {
+                eprintln!("tcl-lint: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        match opts.format {
+            Format::Dot => print!("{}", workspace::render_dot(&manifests)),
+            _ => print!("{}", workspace::render_text(&manifests)),
+        }
+        return ExitCode::SUCCESS;
+    }
+    if opts.format == Format::Dot {
+        eprintln!("tcl-lint: --format dot is only valid with --deps\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let only = opts.self_check.then_some("lint");
     let started = std::time::Instant::now();
     let report = match run(&root, only) {
@@ -131,7 +165,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if opts.json {
+    if opts.format == Format::Json {
         println!("{}", render_json(&report.findings));
     } else {
         for f in &report.findings {

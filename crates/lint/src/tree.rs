@@ -1,0 +1,563 @@
+//! A brace-tree and item parser on top of the total lexer.
+//!
+//! The tree gives rules *structure*: which block encloses a token, what kind
+//! of header opened that block (`if` / `else` / `fn` / other), where items
+//! (`fn`, `mod`, `impl`, …) begin and end, and which attributes attach to
+//! them. It is deliberately not a Rust parser — it only tracks brace
+//! nesting, headers, and item boundaries — but like the lexer it is total:
+//! `build` never panics on any token stream (proptested in
+//! `tests/tree_props.rs`) and its spans are consistent (every block's open
+//! brace precedes its close, children nest strictly inside parents, and
+//! every code token maps to exactly one innermost block).
+//!
+//! Known conservative misparse: a struct pattern in an `if let` header
+//! (`if let Point { x, .. } = p {`) opens a block at the pattern's `{`.
+//! Rules built on the tree therefore err toward flagging, never toward
+//! silence.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Index of the synthetic root block in [`Tree::blocks`].
+pub const ROOT: usize = 0;
+
+/// What kind of header introduced a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// The whole-file root (no braces).
+    Root,
+    /// The then-block of an `if` (including `else if`); `cond` holds the
+    /// condition's token range.
+    IfThen,
+    /// A plain `else { … }` block.
+    Else,
+    /// A function body (`fn name(…) { … }`).
+    Fn,
+    /// Everything else: `match`/`loop`/`while`/`for` bodies, bare blocks,
+    /// struct literals, closures, `impl`/`mod`/`trait` bodies, …
+    Other,
+}
+
+/// One brace-delimited block. All indices are into the code-token slice
+/// passed to [`build`].
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Parent block index ([`ROOT`]'s parent is itself).
+    pub parent: usize,
+    /// Direct child blocks, in source order.
+    pub children: Vec<usize>,
+    /// Token index of the opening `{` (`usize::MAX` for the root).
+    pub open: usize,
+    /// Token index of the matching `}`; `code.len()` when unterminated
+    /// (and for the root).
+    pub close: usize,
+    pub kind: BlockKind,
+    /// For [`BlockKind::IfThen`]: the half-open token range of the
+    /// condition (everything after the `if` keyword up to the `{`).
+    /// `(0, 0)` otherwise.
+    pub cond: (usize, usize),
+}
+
+/// One `#[…]` or `#![…]` attribute.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Token index of the `#`.
+    pub start: usize,
+    /// Token index of the closing `]` (or the last token at EOF when
+    /// unterminated).
+    pub close: usize,
+    /// `true` for inner attributes (`#![…]`).
+    pub inner: bool,
+    /// `true` when the attribute marks test code: contains the ident
+    /// `test` not wrapped in `not(…)` — `#[test]`, `#[cfg(test)]`.
+    pub has_test: bool,
+}
+
+/// One item: a keyword-introduced declaration plus its attached outer
+/// attributes and body block.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Token index where the item starts (first attached attribute's `#`,
+    /// or the keyword itself).
+    pub start: usize,
+    /// Token index one past the item's last token (`;` or body `}`).
+    pub end: usize,
+    /// Token index of the introducing keyword (`fn`, `mod`, `use`, …).
+    pub kw: usize,
+    /// Any attached attribute satisfies [`Attr::has_test`].
+    pub has_test_attr: bool,
+    /// Body block index, when the item ends in a brace block.
+    pub body: Option<usize>,
+}
+
+/// The parsed structure of one file's code tokens.
+pub struct Tree {
+    /// `blocks[ROOT]` is the synthetic whole-file block.
+    pub blocks: Vec<Block>,
+    /// Outer and inner attributes, in source order.
+    pub attrs: Vec<Attr>,
+    /// Items across all nesting levels, in source order of their keyword.
+    pub items: Vec<Item>,
+    /// Innermost enclosing block for each code token.
+    block_of: Vec<usize>,
+}
+
+impl Tree {
+    /// The innermost block containing code token `ci` (ROOT when out of
+    /// range).
+    pub fn innermost(&self, ci: usize) -> usize {
+        self.block_of.get(ci).copied().unwrap_or(ROOT)
+    }
+
+    /// Walks `block` and its ancestors up to and including ROOT.
+    pub fn ancestor_chain(&self, mut block: usize) -> Vec<usize> {
+        let mut chain = Vec::new();
+        // The chain cannot exceed the block count: parents strictly
+        // decrease in index except for ROOT's self-loop.
+        while block < self.blocks.len() {
+            chain.push(block);
+            if block == ROOT {
+                break;
+            }
+            let parent = self.blocks[block].parent;
+            if parent >= block {
+                break;
+            }
+            block = parent;
+        }
+        chain
+    }
+}
+
+/// Keywords that introduce an item at block level.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "impl",
+    "mod",
+    "use",
+    "const",
+    "static",
+    "type",
+    "macro_rules",
+];
+
+fn is_punct(code: &[Tok], ci: usize, b: u8) -> bool {
+    code.get(ci).is_some_and(|t| t.kind == TokKind::Punct(b))
+}
+
+fn ident_text<'a>(code: &[Tok], ci: usize, src: &'a str) -> Option<&'a str> {
+    let t = code.get(ci)?;
+    (t.kind == TokKind::Ident).then(|| t.text(src))
+}
+
+/// Classifies the header of the block opened by the `{` at `open`.
+///
+/// The header is collected by scanning backward from the brace across
+/// balanced `(…)`/`[…]` groups, stopping at `{`, `}`, `;`, or a `,`/`(`/`[`
+/// at reverse depth 0 (so closure bodies in call arguments and match-arm
+/// bodies get the short header they deserve).
+fn classify_header(src: &str, code: &[Tok], open: usize) -> (BlockKind, (usize, usize)) {
+    let mut depth = 0usize;
+    let mut start = open; // header occupies start..open
+    let mut j = open;
+    while j > 0 {
+        j -= 1;
+        match code[j].kind {
+            TokKind::Punct(b')') | TokKind::Punct(b']') => depth += 1,
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            TokKind::Punct(b',') if depth == 0 => break,
+            TokKind::Punct(b'{') | TokKind::Punct(b'}') | TokKind::Punct(b';') => break,
+            _ => {}
+        }
+        start = j;
+    }
+    // Last `if` at paren depth 0 wins: `else if c` and `let x = if c` are
+    // both IfThen with cond = tokens after that `if`.
+    let mut pdepth = 0usize;
+    let mut last_if = None;
+    for (k, tok) in code.iter().enumerate().take(open).skip(start) {
+        match tok.kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => pdepth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => pdepth = pdepth.saturating_sub(1),
+            TokKind::Ident if pdepth == 0 && tok.text(src) == "if" => last_if = Some(k),
+            _ => {}
+        }
+    }
+    if let Some(k) = last_if {
+        return (BlockKind::IfThen, (k + 1, open));
+    }
+    if open > start && ident_text(code, open - 1, src) == Some("else") {
+        return (BlockKind::Else, (0, 0));
+    }
+    if (start..open).any(|k| ident_text(code, k, src) == Some("fn")) {
+        return (BlockKind::Fn, (0, 0));
+    }
+    (BlockKind::Other, (0, 0))
+}
+
+/// Scans the attribute starting at the `#` at `ci`; returns it plus the
+/// token index to resume at, or `None` if this `#` opens no attribute.
+fn scan_attr(src: &str, code: &[Tok], ci: usize) -> Option<(Attr, usize)> {
+    let inner = is_punct(code, ci + 1, b'!');
+    let lb = if inner { ci + 2 } else { ci + 1 };
+    if !is_punct(code, lb, b'[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = lb;
+    let mut has_test = false;
+    let close;
+    loop {
+        match code.get(j).map(|t| t.kind) {
+            Some(TokKind::Punct(b'[')) => depth += 1,
+            Some(TokKind::Punct(b']')) => {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            Some(TokKind::Ident) => {
+                if code[j].text(src) == "test" {
+                    // `cfg(not(test))` is not test code.
+                    let negated = j >= 2
+                        && is_punct(code, j - 1, b'(')
+                        && ident_text(code, j - 2, src) == Some("not");
+                    has_test |= !negated;
+                }
+            }
+            Some(_) => {}
+            None => {
+                close = j.saturating_sub(1);
+                break;
+            }
+        }
+        j += 1;
+    }
+    Some((
+        Attr {
+            start: ci,
+            close,
+            inner,
+            has_test,
+        },
+        close + 1,
+    ))
+}
+
+/// Builds the brace tree, attribute list, and item list for one file.
+/// `code` must be the comment-free token stream (comments confuse no one
+/// here, but excluding them keeps adjacency meaningful for headers).
+pub fn build(src: &str, code: &[Tok]) -> Tree {
+    let mut blocks = vec![Block {
+        parent: ROOT,
+        children: Vec::new(),
+        open: usize::MAX,
+        close: code.len(),
+        kind: BlockKind::Root,
+        cond: (0, 0),
+    }];
+    let mut block_of = vec![ROOT; code.len()];
+    let mut stack = vec![ROOT];
+    for ci in 0..code.len() {
+        match code[ci].kind {
+            TokKind::Punct(b'{') => {
+                let parent = *stack.last().unwrap_or(&ROOT);
+                let (kind, cond) = classify_header(src, code, ci);
+                let id = blocks.len();
+                blocks.push(Block {
+                    parent,
+                    children: Vec::new(),
+                    open: ci,
+                    close: code.len(),
+                    kind,
+                    cond,
+                });
+                blocks[parent].children.push(id);
+                block_of[ci] = id;
+                stack.push(id);
+            }
+            TokKind::Punct(b'}') => {
+                // A stray `}` (stack at root) stays attributed to ROOT.
+                if stack.len() > 1 {
+                    let id = stack.pop().unwrap_or(ROOT);
+                    blocks[id].close = ci;
+                    block_of[ci] = id;
+                }
+            }
+            _ => {
+                block_of[ci] = *stack.last().unwrap_or(&ROOT);
+            }
+        }
+    }
+
+    let mut attrs = Vec::new();
+    let mut items = Vec::new();
+    // Items are scanned per block level: a worklist of block ids, each
+    // scanned across its direct tokens with child-block interiors skipped.
+    let mut work = vec![ROOT];
+    let mut widx = 0usize;
+    while widx < work.len() {
+        let b = work[widx];
+        widx += 1;
+        let (mut ci, end) = if b == ROOT {
+            (0, code.len())
+        } else {
+            (blocks[b].open + 1, blocks[b].close)
+        };
+        for &c in &blocks[b].children.clone() {
+            work.push(c);
+        }
+        let mut pending: Vec<usize> = Vec::new(); // attr indices awaiting an item
+        while ci < end {
+            let owner = block_of.get(ci).copied().unwrap_or(b);
+            if owner != b {
+                // A child block at statement level: jump past its interior.
+                // An attr-attached bare block (`#[cfg(test)] { … }`) still
+                // counts as a test region, so record it as a keyword-less
+                // item.
+                let skip_to = blocks
+                    .get(owner)
+                    .map(|c| c.close.saturating_add(1))
+                    .unwrap_or(ci + 1);
+                if !pending.is_empty() {
+                    let start = pending
+                        .first()
+                        .and_then(|&a| attrs.get(a).map(|a: &Attr| a.start))
+                        .unwrap_or(ci);
+                    let has_test_attr = pending
+                        .iter()
+                        .any(|&a| attrs.get(a).is_some_and(|a: &Attr| a.has_test));
+                    items.push(Item {
+                        start,
+                        end: skip_to.min(code.len()),
+                        kw: ci,
+                        has_test_attr,
+                        body: Some(owner),
+                    });
+                    pending.clear();
+                }
+                ci = if skip_to > ci { skip_to } else { ci + 1 };
+                continue;
+            }
+            if is_punct(code, ci, b'#') {
+                if let Some((attr, next)) = scan_attr(src, code, ci) {
+                    if attr.inner {
+                        // Inner attributes attach to the enclosing scope,
+                        // not the next item.
+                        attrs.push(attr);
+                    } else {
+                        attrs.push(attr);
+                        pending.push(attrs.len() - 1);
+                    }
+                    ci = if next > ci { next } else { ci + 1 };
+                    continue;
+                }
+            }
+            let kw_text = ident_text(code, ci, src);
+            if kw_text.is_some_and(|t| ITEM_KEYWORDS.contains(&t)) {
+                let kw = ci;
+                let is_use = kw_text == Some("use");
+                let start = pending
+                    .first()
+                    .and_then(|&a| attrs.get(a).map(|a: &Attr| a.start))
+                    .unwrap_or(kw);
+                let has_test_attr = pending
+                    .iter()
+                    .any(|&a| attrs.get(a).is_some_and(|a: &Attr| a.has_test));
+                pending.clear();
+                // Scan forward for the item's end: a `;` at bracket depth 0,
+                // or the first body block (`use` skips its brace groups and
+                // always ends at `;`).
+                let mut depth = 0usize;
+                let mut j = kw + 1;
+                let mut body = None;
+                let item_end;
+                loop {
+                    if j >= end {
+                        item_end = j.min(code.len());
+                        break;
+                    }
+                    match code[j].kind {
+                        TokKind::Punct(b'(') | TokKind::Punct(b'[') => depth += 1,
+                        TokKind::Punct(b')') | TokKind::Punct(b']') => {
+                            depth = depth.saturating_sub(1)
+                        }
+                        TokKind::Punct(b';') if depth == 0 => {
+                            item_end = j + 1;
+                            break;
+                        }
+                        TokKind::Punct(b'{') => {
+                            let child = block_of.get(j).copied().unwrap_or(b);
+                            let skip_to = blocks
+                                .get(child)
+                                .map(|c| c.close.saturating_add(1))
+                                .unwrap_or(j + 1);
+                            if is_use {
+                                j = if skip_to > j { skip_to } else { j + 1 };
+                                continue;
+                            }
+                            body = Some(child);
+                            item_end = skip_to.min(code.len());
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                items.push(Item {
+                    start,
+                    end: item_end,
+                    kw,
+                    has_test_attr,
+                    body,
+                });
+                ci = if item_end > ci { item_end } else { ci + 1 };
+                continue;
+            }
+            // Any other token breaks attr attachment: `#[allow(…)] let …`
+            // attaches to no item we track.
+            pending.clear();
+            ci += 1;
+        }
+    }
+    items.sort_by_key(|it| it.kw);
+
+    Tree {
+        blocks,
+        attrs,
+        items,
+        block_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> (Vec<Tok>, Tree) {
+        let code: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let t = build(src, &code);
+        (code, t)
+    }
+
+    #[test]
+    fn classifies_if_else_fn_blocks() {
+        let src = "fn main() { if a && b { x(); } else if c { y(); } else { z(); } }";
+        let (_, t) = tree_of(src);
+        let kinds: Vec<BlockKind> = t.blocks[1..].iter().map(|b| b.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BlockKind::Fn,
+                BlockKind::IfThen,
+                BlockKind::IfThen,
+                BlockKind::Else
+            ]
+        );
+    }
+
+    #[test]
+    fn if_cond_span_covers_condition_tokens() {
+        let src = "fn f() { if telemetry::metrics_enabled() { emit(); } }";
+        let (code, t) = tree_of(src);
+        let ifb = t
+            .blocks
+            .iter()
+            .find(|b| b.kind == BlockKind::IfThen)
+            .expect("if block");
+        let cond_texts: Vec<&str> = (ifb.cond.0..ifb.cond.1)
+            .map(|ci| code[ci].text(src))
+            .collect();
+        assert_eq!(
+            cond_texts,
+            vec!["telemetry", ":", ":", "metrics_enabled", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn closure_and_match_arm_blocks_are_other() {
+        let src = "fn f() { run(|| { a(); }); match x { Y => { b(); } } }";
+        let (_, t) = tree_of(src);
+        let others = t
+            .blocks
+            .iter()
+            .filter(|b| b.kind == BlockKind::Other)
+            .count();
+        // closure body, match body, arm body
+        assert_eq!(others, 3);
+    }
+
+    #[test]
+    fn items_attach_test_attrs_and_bodies() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x(); }\n}\nfn lib() {}\n";
+        let (code, t) = tree_of(src);
+        let m = t
+            .items
+            .iter()
+            .find(|it| code[it.kw].text(src) == "mod")
+            .expect("mod item");
+        assert!(m.has_test_attr);
+        assert!(m.body.is_some());
+        let lib = t
+            .items
+            .iter()
+            .find(|it| {
+                code[it.kw].text(src) == "fn"
+                    && code.get(it.kw + 1).map(|t| t.text(src)) == Some("lib")
+            })
+            .expect("lib fn");
+        assert!(!lib.has_test_attr);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn live() {}\n";
+        let (_, t) = tree_of(src);
+        assert!(t.items.iter().all(|it| !it.has_test_attr));
+        assert!(t.attrs.iter().all(|a| !a.has_test));
+    }
+
+    #[test]
+    fn use_items_skip_brace_groups() {
+        let src = "use std::{fs, io};\nfn after() {}\n";
+        let (code, t) = tree_of(src);
+        let u = t
+            .items
+            .iter()
+            .find(|it| code[it.kw].text(src) == "use")
+            .expect("use item");
+        assert!(u.body.is_none());
+        assert_eq!(code[u.end - 1].text(src), ";");
+        assert!(t.items.iter().any(|it| code[it.kw].text(src) == "fn"));
+    }
+
+    #[test]
+    fn unbalanced_braces_do_not_panic() {
+        for src in ["}}}{{{", "fn f() {", "}", "{", "fn f() { if x { }"] {
+            let (_, t) = tree_of(src);
+            assert!(!t.blocks.is_empty());
+        }
+    }
+
+    #[test]
+    fn ancestor_chain_terminates_at_root() {
+        let src = "fn f() { if a { if b { emit(); } } }";
+        let (code, t) = tree_of(src);
+        let emit_ci = (0..code.len())
+            .find(|&ci| code[ci].text(src) == "emit")
+            .expect("emit token");
+        let chain = t.ancestor_chain(t.innermost(emit_ci));
+        assert_eq!(chain.last(), Some(&ROOT));
+        assert_eq!(chain.len(), 4); // if b, if a, fn, root
+    }
+}

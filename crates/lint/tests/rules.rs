@@ -308,6 +308,186 @@ fn g1_exempts_self_gating_spans_and_cold_files() {
     assert!(lint("core", src).is_empty());
 }
 
+#[test]
+fn g1_dominator_rejects_disjunctive_and_negated_gates() {
+    // `||` means the then-branch can run with telemetry disabled — the
+    // flat v1 matcher accepted any gate call on the if-line (the
+    // false-negative class this PR closes).
+    let src = "fn worker(x: bool) { if x || !telemetry::metrics_enabled() { telemetry::counter_add(\"n\", 1); } }";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+    let src = "fn worker(x: bool) { if x || telemetry::metrics_enabled() { telemetry::counter_add(\"n\", 1); } }";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+    // Conjunction still guarantees the gate held.
+    let src = "fn worker(x: bool) { if x && telemetry::metrics_enabled() { telemetry::counter_add(\"n\", 1); } }";
+    assert!(lint_hot(src).is_empty());
+}
+
+#[test]
+fn g1_dominator_accepts_early_return_guards() {
+    // The early-return idiom dominates everything after it.
+    let src = "fn worker() {\n    if !telemetry::metrics_enabled() {\n        return;\n    }\n    telemetry::counter_add(\"n\", 1);\n}";
+    assert!(lint_hot(src).is_empty());
+    // `continue` and `break` terminate loop bodies the same way.
+    let src = "fn worker(xs: &[u32]) {\n    for _x in xs {\n        if !telemetry::trace_enabled() {\n            continue;\n        }\n        telemetry::counter_add(\"n\", 1);\n    }\n}";
+    assert!(lint_hot(src).is_empty());
+    // A guard that does not diverge guards nothing.
+    let src = "fn worker() {\n    if !telemetry::metrics_enabled() {\n        let _x = 1;\n    }\n    telemetry::counter_add(\"n\", 1);\n}";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+    // A guard weakened by `&&` can fall through with telemetry off.
+    let src = "fn worker(x: bool) {\n    if !telemetry::metrics_enabled() && x {\n        return;\n    }\n    telemetry::counter_add(\"n\", 1);\n}";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+}
+
+#[test]
+fn g1_dominator_tracks_block_structure_not_lines() {
+    // A sibling gate that already closed does not dominate what follows —
+    // the v1 line matcher could be fooled by this shape.
+    let src = "fn worker() {\n    if telemetry::metrics_enabled() {\n        let _x = 1;\n    }\n    telemetry::counter_add(\"n\", 1);\n}";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+    // An outer gate dominates arbitrarily nested emission.
+    let src = "fn worker(xs: &[u32]) {\n    if telemetry::metrics_enabled() {\n        for _x in xs {\n            if true {\n                telemetry::counter_add(\"n\", 1);\n            }\n        }\n    }\n}";
+    assert!(lint_hot(src).is_empty());
+    // The else-branch runs exactly when the gate is false.
+    let src = "fn worker() {\n    if telemetry::metrics_enabled() {\n        let _x = 1;\n    } else {\n        telemetry::counter_add(\"n\", 1);\n    }\n}";
+    assert_eq!(rules(&lint_hot(src)), ["G1"]);
+}
+
+// ---------------------------------------------------------------- A-series
+
+#[test]
+fn a1_flags_use_of_crates_outside_the_dag() {
+    // tensor sits near the bottom of the layering DAG: reaching up to
+    // tcl-core is a layering violation even if someone edits Cargo.toml.
+    let src = "use tcl_core::Pipeline;";
+    assert_eq!(rules(&lint("tensor", src)), ["A1"]);
+    // Allowed edge (tensor -> simd) and self-imports stay quiet.
+    assert!(lint("tensor", "use tcl_simd::gebp_4x16;").is_empty());
+    assert!(lint("tensor", "use tcl_tensor::Tensor;").is_empty());
+    // Non-workspace heads are cargo's problem, not A1's.
+    assert!(lint("tensor", "use std::fmt;\nuse serde::ser::Map;").is_empty());
+}
+
+#[test]
+fn a1_allows_dev_reach_down_only_in_test_code() {
+    // obs may see snn from tests (dev-dependency) but not from library code.
+    let src = "#[cfg(test)]\nmod tests {\n    use tcl_snn::SpikingNetwork;\n}";
+    assert!(lint("obs", src).is_empty());
+    let src = "use tcl_snn::SpikingNetwork;";
+    assert_eq!(rules(&lint("obs", src)), ["A1"]);
+}
+
+#[test]
+fn a3_confines_ambient_capabilities_to_bin_edges() {
+    // Network types, thread spawning, and subprocesses in library code.
+    let src = "fn f(a: &str) { let l = TcpListener::bind(a); }";
+    assert_eq!(rules(&lint("serve", src)), ["A3"]);
+    let src = "fn f() { std::thread::spawn(|| {}); }";
+    assert_eq!(rules(&lint("core", src)), ["A3"]);
+    let src = "fn f() { let c = std::process::Command::new(\"ls\"); }";
+    assert_eq!(rules(&lint("data", src)), ["A3"]);
+    // The same code at a main()-edge file is the program's business.
+    let src = "fn main() { let l = TcpListener::bind(\"0:0\"); std::thread::spawn(|| {}); }";
+    assert!(check_file("crates/serve/src/bin/tcl_serve.rs", src, "serve").is_empty());
+    assert!(check_file("crates/lint/src/main.rs", src, "lint").is_empty());
+}
+
+#[test]
+fn a3_exempts_granted_islands_scoped_spawns_and_tests() {
+    // Granted capability islands (DESIGN.md §11).
+    let src = "fn serve_loop(a: &str) { let l = TcpListener::bind(a); }";
+    assert!(check_file("crates/obs/src/export.rs", src, "obs").is_empty());
+    let src = "fn pool() { std::thread::Builder::new().spawn(|| {}); }";
+    assert!(check_file("crates/snn/src/engine.rs", src, "snn").is_empty());
+    // Scoped fan-out joins deterministically: `scope.spawn` is sanctioned.
+    let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+    assert!(lint("tensor", src).is_empty());
+    // Tests may bind loopback sockets freely.
+    let src =
+        "#[cfg(test)]\nmod tests {\n    fn t() { let l = TcpListener::bind(\"127.0.0.1:0\"); }\n}";
+    assert!(lint("serve", src).is_empty());
+}
+
+// ---------------------------------------------------------------- F-series
+
+#[test]
+fn f1_flags_partial_cmp_everywhere_including_bench() {
+    let src = "fn f(a: f32, b: f32) -> Ordering { a.partial_cmp(&b).unwrap() }";
+    let found = lint("bench", src);
+    assert_eq!(rules(&found), ["F1"], "bench is F1 scope (P-exempt only)");
+    let src = "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }";
+    assert!(rules(&lint("tensor", src)).contains(&"F1"));
+    // total_cmp is the sanctioned comparator.
+    let src = "fn f(v: &mut [f32]) { v.sort_by(|a, b| a.total_cmp(b)); }";
+    assert!(lint("tensor", src).is_empty());
+    // Test code is exempt.
+    let src = "#[test]\nfn t() { assert!(1.0f32.partial_cmp(&2.0).is_some()); }";
+    assert!(lint("tensor", src).is_empty());
+}
+
+#[test]
+fn f2_confines_transcendentals_to_the_vecmath_module() {
+    let src = "fn f(x: f32) -> f32 { x.exp() }";
+    assert_eq!(rules(&lint("nn", src)), ["F2"]);
+    let src = "fn f(x: f32) -> f32 { f32::tanh(x) }";
+    assert_eq!(rules(&lint("snn", src)), ["F2"]);
+    // IEEE-exact operations are fine anywhere.
+    assert!(lint(
+        "nn",
+        "fn f(x: f32) -> f32 { x.sqrt() + x.mul_add(2.0, 1.0) }"
+    )
+    .is_empty());
+    // The sanctioned vec-math module and bench are exempt.
+    let src = "pub fn vexp(x: f32) -> f32 { x.exp() }";
+    assert!(check_file("crates/simd/src/vecmath.rs", src, "simd").is_empty());
+    assert!(lint("bench", "fn f(x: f64) -> f64 { x.exp() }").is_empty());
+    // telemetry::log is a logging call, not a logarithm.
+    assert!(lint("snn", "fn f() { telemetry::log(\"x\", \"y\"); }").is_empty());
+    // A reasoned pragma keeps a frozen-reference site.
+    let src = "fn f(x: f32) -> f32 {\n    // lint: allow(F2) goldens pin this site\n    x.exp()\n}";
+    assert!(lint("nn", src).is_empty());
+}
+
+#[test]
+fn f3_flags_unexplained_narrowing_casts_in_kernel_code() {
+    let src = "fn f(x: usize) -> f32 { x as f32 }";
+    assert_eq!(rules(&lint("simd", src)), ["F3"]);
+    let src = "fn f(x: u64) -> u32 { x as u32 }";
+    assert_eq!(rules(&lint("simd", src)), ["F3"]);
+    // Widening and usize casts are not narrowing.
+    assert!(lint("simd", "fn f(x: u8) -> usize { x as usize }").is_empty());
+    // Kernel-only: other crates cast with ordinary judgement.
+    assert!(lint("tensor", "fn f(x: usize) -> f32 { x as f32 }").is_empty());
+    // Test code and reasoned pragmas are exempt.
+    let src = "#[cfg(test)]\nmod tests {\n    fn t(x: usize) -> f32 { x as f32 }\n}";
+    assert!(lint("simd", src).is_empty());
+    let src = "fn f(x: usize) -> f32 {\n    // lint: allow(F3) lane count <= 64 fits exactly\n    x as f32\n}";
+    assert!(lint("simd", src).is_empty());
+}
+
+// ---------------------------------------------------------------- U-series
+
+#[test]
+fn u1_flags_dead_suppressions() {
+    // The code under this pragma panics no more; the allow is dead weight.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(P1) was an unwrap once\n    x.unwrap_or(0)\n}";
+    assert_eq!(rules(&lint("core", src)), ["U1"]);
+    // A live pragma is not flagged.
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(P1) protected by the Some above\n    x.unwrap()\n}";
+    assert!(lint("core", src).is_empty());
+    // Unknown rule ids are not audited (doc placeholders, future rules).
+    let src = "fn f() {}\n// lint: allow(RULE) placeholder in prose\n";
+    assert!(lint("core", src).is_empty());
+}
+
+#[test]
+fn u1_is_not_suppressible() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    // lint: allow(U1) trying to silence the auditor\n    // lint: allow(P1) was an unwrap once\n    x.unwrap_or(0)\n}";
+    let found = lint("core", src);
+    // The dead P1 pragma is still reported, and the U1 pragma itself is
+    // dead too (U1 never consults pragmas).
+    assert_eq!(rules(&found), ["U1", "U1"]);
+}
+
 // ------------------------------------------------------------ infrastructure
 
 #[test]
@@ -330,9 +510,12 @@ fn one_pragma_can_allow_multiple_rules() {
 
 #[test]
 fn pragma_for_a_different_rule_does_not_leak() {
+    // The P1 pragma neither suppresses the D1 finding nor counts as used —
+    // the suppression auditor flags it as dead in the same pass.
     let src =
         "fn f() {\n    // lint: allow(P1) wrong series entirely\n    let t = Instant::now();\n}";
-    assert_eq!(rules(&lint("tensor", src)), ["D1"]);
+    let found = lint("tensor", src);
+    assert_eq!(rules(&found), ["U1", "D1"]);
 }
 
 #[test]
@@ -347,7 +530,10 @@ fn raw_strings_and_nested_comments_do_not_confuse_the_matcher() {
 
 #[test]
 fn every_rule_id_has_an_explanation() {
-    for rule in ["D1", "D2", "D3", "P1", "P2", "C1", "C2", "C3", "G1", "S1"] {
+    for rule in [
+        "A1", "A2", "A3", "D1", "D2", "D3", "F1", "F2", "F3", "P1", "P2", "C1", "C2", "C3", "G1",
+        "S1", "U1",
+    ] {
         let text = explain(rule).unwrap_or_else(|| panic!("missing --explain {rule}"));
         assert!(text.len() > 40, "{rule} explanation too thin");
     }

@@ -1,0 +1,192 @@
+//! Brace-tree totality and span-consistency properties.
+//!
+//! The G1 dominator analysis and test-region detection are only as
+//! trustworthy as the block tree underneath them, so `tree::build`
+//! promises: it never panics on any token stream, and its structure is
+//! consistent — every block's open brace precedes its close, children
+//! nest strictly inside their parents in source order, every code token
+//! maps to exactly one innermost block whose span contains it, every
+//! ancestor chain terminates at ROOT, and item spans are well-formed.
+//! Checked on arbitrary byte soup, on brace-biased delimiter soup, and on
+//! every `.rs` file in this repository.
+
+use proptest::prelude::*;
+use tcl_lint::lexer::{lex, Tok};
+use tcl_lint::tree::{build, BlockKind, Tree, ROOT};
+
+fn code_tokens(src: &str) -> Vec<Tok> {
+    lex(src).into_iter().filter(|t| !t.is_comment()).collect()
+}
+
+/// Asserts the tree-consistency contract for `t` over `code`.
+fn assert_tree_consistent(code: &[Tok], t: &Tree) {
+    assert!(!t.blocks.is_empty(), "root block missing");
+    let root = &t.blocks[ROOT];
+    assert_eq!(root.kind, BlockKind::Root);
+    assert_eq!(root.close, code.len());
+
+    for (id, b) in t.blocks.iter().enumerate() {
+        if id == ROOT {
+            continue;
+        }
+        // Open strictly precedes close; both sides in bounds (close ==
+        // code.len() marks an unterminated block).
+        assert!(b.open < b.close, "block {id} open !< close: {b:?}");
+        assert!(b.open < code.len(), "block {id} open out of bounds");
+        assert!(b.close <= code.len(), "block {id} close out of bounds");
+        // Parent links point upward and nest: a child's span sits strictly
+        // inside its parent's.
+        assert!(b.parent < id, "block {id} parent not earlier: {b:?}");
+        let p = &t.blocks[b.parent];
+        if b.parent != ROOT {
+            assert!(
+                p.open < b.open && b.close <= p.close,
+                "block {id} not nested in parent: {b:?} in {p:?}"
+            );
+        }
+        assert!(
+            t.blocks[b.parent].children.contains(&id),
+            "block {id} missing from parent's children"
+        );
+        // Children appear in source order.
+        let mut prev = b.open;
+        for &c in &b.children {
+            assert!(t.blocks[c].open > prev, "children out of order in {id}");
+            prev = t.blocks[c].open;
+        }
+        // IfThen conditions are well-formed ranges ending at the brace.
+        if b.kind == BlockKind::IfThen {
+            assert!(b.cond.0 <= b.cond.1, "bad cond range {b:?}");
+            assert_eq!(b.cond.1, b.open, "cond must end at the open brace");
+        }
+    }
+
+    // Every code token's innermost block contains it, and the ancestor
+    // chain walks to ROOT without cycling.
+    for ci in 0..code.len() {
+        let inner = t.innermost(ci);
+        assert!(inner < t.blocks.len(), "innermost out of range");
+        let b = &t.blocks[inner];
+        if inner != ROOT {
+            assert!(
+                b.open <= ci && ci <= b.close,
+                "token {ci} outside its innermost block {inner}: {b:?}"
+            );
+        }
+        let chain = t.ancestor_chain(inner);
+        assert_eq!(chain.last(), Some(&ROOT), "chain must end at ROOT");
+        assert!(chain.len() <= t.blocks.len(), "chain longer than tree");
+    }
+
+    // Item spans are well-formed and keyword-anchored.
+    for it in &t.items {
+        assert!(it.start <= it.kw, "item starts after its keyword: {it:?}");
+        assert!(it.kw < it.end, "item keyword outside span: {it:?}");
+        assert!(it.end <= code.len(), "item end out of bounds: {it:?}");
+        if let Some(body) = it.body {
+            assert!(body < t.blocks.len(), "item body out of range: {it:?}");
+        }
+    }
+
+    // Attribute spans are ordered and in bounds.
+    for a in &t.attrs {
+        assert!(a.start <= a.close, "attr close before start: {a:?}");
+        assert!(a.start < code.len(), "attr start out of bounds: {a:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: the tree builder must neither panic nor
+    /// produce inconsistent structure.
+    #[test]
+    fn tree_is_total_and_consistent_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let code = code_tokens(&src);
+        let t = build(&src, &code);
+        assert_tree_consistent(&code, &t);
+    }
+
+    /// Adversarial soup biased toward tree machinery: braces, item
+    /// keywords, attributes, semicolons, header punctuation.
+    #[test]
+    fn tree_survives_structure_soup(
+        picks in prop::collection::vec(0usize..16, 0..256),
+    ) {
+        const ATOMS: [&str; 16] = [
+            "{", "}", ";", "(", ")", "[", "]", ",", "#", "!", "if ", "else ",
+            "fn ", "use ", "mod ", "x ",
+        ];
+        let src: String = picks.iter().map(|&p| ATOMS[p]).collect();
+        let code = code_tokens(&src);
+        let t = build(&src, &code);
+        assert_tree_consistent(&code, &t);
+    }
+}
+
+/// Every `.rs` file in the repository parses into a consistent tree — the
+/// exact corpus the analyzer runs on in CI, vendored stubs and test code
+/// included.
+#[test]
+fn tree_is_consistent_on_every_repo_rs_file() {
+    let root = repo_root();
+    let mut stack = vec![root.clone()];
+    let mut seen = 0usize;
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let bytes =
+                    std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                let src = String::from_utf8_lossy(&bytes).into_owned();
+                let code = code_tokens(&src);
+                let t = build(&src, &code);
+                assert_tree_consistent(&code, &t);
+                seen += 1;
+            }
+        }
+    }
+    assert!(
+        seen > 100,
+        "expected to parse the whole repo, saw {seen} files"
+    );
+}
+
+/// Balanced sources close every block they open (no `close == len`
+/// sentinel blocks left behind).
+#[test]
+fn balanced_source_closes_every_block() {
+    let src = "fn a() { if x { y(); } else { z(); } } mod m { fn b() {} }";
+    let code = code_tokens(src);
+    let t = build(src, &code);
+    for (id, b) in t.blocks.iter().enumerate() {
+        if id != ROOT {
+            assert!(
+                b.close < code.len(),
+                "unclosed block in balanced src: {b:?}"
+            );
+        }
+    }
+}
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/lint -> crates -> repo root.
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}

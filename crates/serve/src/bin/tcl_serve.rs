@@ -32,17 +32,15 @@ use tcl_snn::{
 };
 use tcl_tensor::Tensor;
 
-/// Wall clock, bound at the `main()` edge only.
+/// Wall clock, bound at the `main()` edge only — the one sanctioned
+/// wall-clock site in this crate; the library core never sees an Instant.
 struct RealClock {
-    // lint: allow(D1) the main() binding is the one sanctioned wall-clock
-    // site in this crate; the library core never sees an Instant
     start: std::time::Instant,
 }
 
 impl RealClock {
     fn new() -> Self {
         RealClock {
-            // lint: allow(D1) main()-edge wall clock (see struct docs)
             start: std::time::Instant::now(),
         }
     }
@@ -50,7 +48,6 @@ impl RealClock {
 
 impl Clock for RealClock {
     fn now_us(&self) -> u64 {
-        // lint: allow(D1) main()-edge wall clock (see struct docs)
         u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 }
@@ -203,8 +200,6 @@ fn main() -> ExitCode {
             None => {
                 // Construction of the demo backend is infallible in
                 // practice (static shapes); a panic here is a code bug.
-                // lint: allow(P1) unreachable: demo_network shapes are
-                // statically consistent
                 unreachable!("demo backend construction cannot fail")
             }
         }
@@ -230,16 +225,15 @@ fn main() -> ExitCode {
             server.begin_drain();
             while !server.idle() {
                 server.tick();
-                // lint: allow(D1) main()-edge pacing sleep; the server
-                // core itself never sleeps
+                // main()-edge pacing sleep; the server core itself never
+                // sleeps.
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
             return ExitCode::SUCCESS;
         }
         if report.steps == 0 && report.responses == 0 {
-            // Idle: avoid spinning the CPU at 100% between requests.
-            // lint: allow(D1) main()-edge pacing sleep; the server core
-            // itself never sleeps
+            // Idle: avoid spinning the CPU at 100% between requests
+            // (main()-edge pacing sleep; the server core never sleeps).
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
     }

@@ -107,6 +107,9 @@ impl SeededRng {
         // Draw u1 in (0, 1] to avoid ln(0).
         let u1: f32 = 1.0 - self.inner.gen::<f32>();
         let u2: f32 = self.inner.gen();
+        // lint: allow(F2) the sampler is part of the frozen seeded-RNG
+        // contract: the rng golden tests pin its exact output, so a libm
+        // shift fails loudly in CI instead of silently skewing results
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
